@@ -1,0 +1,32 @@
+//! BCAT construction (Algorithm 1): zero/one sets plus the tree build.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cachedse_core::{Bcat, ZeroOneSets};
+use cachedse_trace::generate;
+use cachedse_trace::strip::StrippedTrace;
+
+fn bench_bcat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bcat");
+    group.sample_size(20);
+    for unique in [1_000u32, 8_000, 32_000] {
+        // One loop sweep gives exactly `unique` distinct references.
+        let trace = generate::loop_pattern(0, unique, 2);
+        let stripped = StrippedTrace::from_trace(&trace);
+        group.bench_with_input(
+            BenchmarkId::new("zero_one_sets", unique),
+            &stripped,
+            |b, s| {
+                b.iter(|| ZeroOneSets::from_stripped(std::hint::black_box(s)));
+            },
+        );
+        let zo = ZeroOneSets::from_stripped(&stripped);
+        group.bench_with_input(BenchmarkId::new("tree_build", unique), &zo, |b, zo| {
+            b.iter(|| Bcat::build(std::hint::black_box(zo), 16));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bcat);
+criterion_main!(benches);

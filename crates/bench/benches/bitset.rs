@@ -1,0 +1,80 @@
+//! Bitset primitives: the `|S ∩ C|` counting loop the postlude lives in,
+//! and the cross intersections that grow the BCAT — including the
+//! conflict-set representation ablation of DESIGN.md (sorted-slice
+//! membership probes vs materialized bitset intersection counts).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use cachedse_bitset::DenseBitSet;
+
+fn bench_bitset(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let universe = 32_768usize;
+
+    let mut group = c.benchmark_group("bitset");
+    for density in [0.05f64, 0.5] {
+        let a: DenseBitSet = (0..universe)
+            .filter(|_| rng.gen_bool(density))
+            .collect();
+        let b: DenseBitSet = (0..universe)
+            .filter(|_| rng.gen_bool(density))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("intersection_count", format!("{density}")),
+            &(&a, &b),
+            |bch, (a, b)| {
+                bch.iter(|| std::hint::black_box(a).intersection_count(std::hint::black_box(b)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("intersection_materialized", format!("{density}")),
+            &(&a, &b),
+            |bch, (a, b)| {
+                bch.iter(|| std::hint::black_box(a).intersection(std::hint::black_box(b)));
+            },
+        );
+    }
+
+    // The postlude's actual inner loop shape: a sorted conflict slice probed
+    // against a row bitset, vs converting the slice to a bitset first.
+    let row: DenseBitSet = (0..universe).filter(|_| rng.gen_bool(0.1)).collect();
+    for conflict_len in [16usize, 256, 4096] {
+        let conflict: Vec<u32> = {
+            let mut v: Vec<u32> = (0..conflict_len)
+                .map(|_| rng.gen_range(0..universe as u32))
+                .collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        group.bench_with_input(
+            BenchmarkId::new("conflict_probe_slice", conflict_len),
+            &conflict,
+            |bch, conflict| {
+                bch.iter(|| {
+                    conflict
+                        .iter()
+                        .filter(|&&x| std::hint::black_box(&row).contains(x as usize))
+                        .count()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("conflict_probe_via_bitset", conflict_len),
+            &conflict,
+            |bch, conflict| {
+                bch.iter(|| {
+                    let as_set: DenseBitSet =
+                        conflict.iter().map(|&x| x as usize).collect();
+                    std::hint::black_box(&row).intersection_count(&as_set)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bitset);
+criterion_main!(benches);

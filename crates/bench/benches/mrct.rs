@@ -1,0 +1,31 @@
+//! MRCT construction: the paper's Algorithm 2 verbatim (quadratic) against
+//! the hash/recency-list single pass §2.4 recommends — the first ablation
+//! called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cachedse_core::Mrct;
+use cachedse_trace::generate;
+use cachedse_trace::strip::StrippedTrace;
+
+fn bench_mrct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mrct");
+    group.sample_size(10);
+    for n in [2_000u32, 8_000, 32_000] {
+        let trace = generate::working_set_phases(4, n / 4, 256, 11);
+        let stripped = StrippedTrace::from_trace(&trace);
+        group.bench_with_input(BenchmarkId::new("fast", n), &stripped, |b, s| {
+            b.iter(|| Mrct::build(std::hint::black_box(s)));
+        });
+        // The naive O(N·N') builder is only feasible on the smaller sizes.
+        if n <= 8_000 {
+            group.bench_with_input(BenchmarkId::new("naive_alg2", n), &stripped, |b, s| {
+                b.iter(|| Mrct::build_naive(std::hint::black_box(s)));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mrct);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! The postlude phase (Algorithm 3): tree+table evaluation against the
+//! depth-first combined engine — the engine ablation of DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cachedse_core::{dfs, postlude, Bcat, Mrct};
+use cachedse_trace::generate;
+use cachedse_trace::strip::StrippedTrace;
+
+fn bench_postlude(c: &mut Criterion) {
+    let mut group = c.benchmark_group("postlude");
+    group.sample_size(10);
+    for n in [5_000u32, 20_000, 80_000] {
+        let trace = generate::loop_with_excursions(0, 192, n / 192, 13, 1 << 12, 5);
+        let stripped = StrippedTrace::from_trace(&trace);
+        let bits = trace.address_bits();
+        let bcat = Bcat::from_stripped(&stripped, bits);
+        let mrct = Mrct::build(&stripped);
+        group.bench_with_input(
+            BenchmarkId::new("tree_table_alg3", n),
+            &(&bcat, &mrct, &stripped),
+            |b, (bcat, mrct, stripped)| {
+                b.iter(|| {
+                    postlude::level_profiles(
+                        std::hint::black_box(bcat),
+                        std::hint::black_box(mrct),
+                        std::hint::black_box(stripped),
+                        bits,
+                    )
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("depth_first_combined", n),
+            &stripped,
+            |b, stripped| {
+                b.iter(|| dfs::level_profiles(std::hint::black_box(stripped), bits));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_postlude);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Raw cache-simulator throughput across replacement policies — the cost
+//! the traditional flow pays per configuration per iteration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cachedse_sim::{simulate, CacheConfig, Replacement};
+use cachedse_trace::generate;
+
+fn bench_simulator(c: &mut Criterion) {
+    let trace = generate::working_set_phases(8, 25_000, 512, 13);
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    for policy in [
+        Replacement::Lru,
+        Replacement::Fifo,
+        Replacement::Random,
+        Replacement::TreePlru,
+    ] {
+        let config = CacheConfig::builder()
+            .depth(128)
+            .associativity(4)
+            .replacement(policy)
+            .build()
+            .expect("valid config");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy),
+            &config,
+            |b, config| {
+                b.iter(|| simulate(std::hint::black_box(&trace), config));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Trace stripping throughput (the first prelude step, Tables 1–2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cachedse_trace::generate;
+use cachedse_trace::strip::StrippedTrace;
+
+fn bench_strip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strip");
+    group.sample_size(20);
+    for n in [10_000u32, 100_000, 400_000] {
+        let trace = generate::working_set_phases(8, n / 8, 512, 7);
+        group.throughput(Throughput::Elements(u64::from(n)));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &trace, |b, trace| {
+            b.iter(|| StrippedTrace::from_trace(std::hint::black_box(trace)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strip);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! **Extension experiment** (not a table in the paper — its future-work
+//! line-size axis): per benchmark, the energy-optimal (depth,
+//! associativity, line size) found by sweeping the analytical exploration
+//! over line sizes of 1, 2, 4, and 8 words.
+
+use cachedse_cost::{select, CostModel};
+
+fn main() {
+    let model = CostModel::default_180nm();
+    println!("Extension: energy-optimal data cache across line sizes");
+    println!(
+        "{:<10} {:>10} {:>8} {:>6} {:>12} {:>12}",
+        "benchmark", "line", "depth", "ways", "energy nJ", "cycles"
+    );
+    for kernel in cachedse_workloads::all() {
+        let run = kernel.capture();
+        let sweep = select::line_size_sweep(&run.data, 3, &model)
+            .expect("kernel traces are non-empty");
+        let best = sweep
+            .iter()
+            .min_by(|a, b| a.report.dynamic_nj.total_cmp(&b.report.dynamic_nj))
+            .expect("sweep is non-empty");
+        println!(
+            "{:<10} {:>10} {:>8} {:>6} {:>12.1} {:>12}",
+            run.name,
+            format!("{}w", 1u32 << best.line_bits),
+            best.point.depth,
+            best.point.associativity,
+            best.report.dynamic_nj,
+            best.report.cycles
+        );
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 4 of the paper: analysis time against `N · N'`,
+//! with a least-squares fit quantifying the paper's linearity claim.
+
+fn main() {
+    let traces = cachedse_bench::experiments::figure_4_traces();
+    print!("{}", cachedse_bench::experiments::figure_4(&traces));
+}

@@ -1,0 +1,11 @@
+//! Regenerates the Figure 1 / Figure 2 comparison: the traditional
+//! design–simulate–analyze loop, the one-pass simulation refinement, and
+//! the proposed analytical flow, all solving the same task.
+
+fn main() {
+    let trace = cachedse_bench::experiments::flow_comparison_trace();
+    print!(
+        "{}",
+        cachedse_bench::experiments::flow_comparison(&trace, 0.10)
+    );
+}

@@ -1,0 +1,26 @@
+//! Runs every experiment of the reproduction in sequence — the single
+//! command behind `EXPERIMENTS.md`.
+
+use cachedse_bench::experiments;
+
+fn main() {
+    let traces = cachedse_bench::all_traces();
+    println!("=== Tables 5-6 ===");
+    print!("{}", experiments::tables_5_6(&traces));
+    println!("=== Tables 7-30 ===");
+    print!("{}", experiments::tables_7_30(&traces));
+    println!("=== Tables 31-32 ===");
+    print!("{}", experiments::tables_31_32(&traces));
+    println!("=== Figure 4 ===");
+    let figure_4_traces = experiments::figure_4_traces();
+    print!("{}", experiments::figure_4(&figure_4_traces));
+    println!("=== Figures 1-2: flow comparison ===");
+    let trace = experiments::flow_comparison_trace();
+    print!("{}", experiments::flow_comparison(&trace, 0.10));
+    println!("=== Validation ===");
+    let report = experiments::validate_exactness(&traces);
+    print!("{report}");
+    if report.contains("FAILED") {
+        std::process::exit(1);
+    }
+}

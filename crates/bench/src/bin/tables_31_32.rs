@@ -1,0 +1,7 @@
+//! Regenerates Tables 31–32 of the paper: analytical-algorithm run times on
+//! the data and instruction traces.
+
+fn main() {
+    let traces = cachedse_bench::all_traces();
+    print!("{}", cachedse_bench::experiments::tables_31_32(&traces));
+}

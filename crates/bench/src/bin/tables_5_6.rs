@@ -1,0 +1,7 @@
+//! Regenerates Tables 5–6 of the paper: trace statistics of the twelve
+//! benchmark kernels.
+
+fn main() {
+    let traces = cachedse_bench::all_traces();
+    print!("{}", cachedse_bench::experiments::tables_5_6(&traces));
+}

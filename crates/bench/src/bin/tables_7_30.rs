@@ -1,0 +1,8 @@
+//! Regenerates Tables 7–30 of the paper: the optimal cache instances of
+//! every benchmark, for data and instruction caches, under
+//! K ∈ {5, 10, 15, 20}% of the maximum miss count.
+
+fn main() {
+    let traces = cachedse_bench::all_traces();
+    print!("{}", cachedse_bench::experiments::tables_7_30(&traces));
+}

@@ -1,0 +1,12 @@
+//! Replays every cell of the regenerated Tables 7–30 on the LRU cache
+//! simulator: each `(depth, associativity)` must meet its budget, and one
+//! way fewer must violate it.
+
+fn main() {
+    let traces = cachedse_bench::all_traces();
+    let report = cachedse_bench::experiments::validate_exactness(&traces);
+    print!("{report}");
+    if report.contains("FAILED") {
+        std::process::exit(1);
+    }
+}

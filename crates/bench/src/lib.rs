@@ -1,0 +1,163 @@
+//! Shared harness code for regenerating the paper's tables and figures.
+//!
+//! The binaries in `src/bin/` each regenerate one experiment of Ghosh &
+//! Givargis (DATE 2003) — see `DESIGN.md` for the full experiment index:
+//!
+//! * `tables_5_6` — trace statistics (Tables 5–6);
+//! * `tables_7_30` — optimal cache instances per benchmark under
+//!   K ∈ {5, 10, 15, 20}% (Tables 7–30);
+//! * `tables_31_32` — analysis run times (Tables 31–32);
+//! * `figure_4` — execution time vs `N · N'` with a linear fit (Figure 4);
+//! * `flow_comparison` — traditional simulate-loop vs analytical flow
+//!   (Figures 1–2);
+//! * `validate_exactness` — every published cell replayed on the simulator;
+//! * `reproduce_all` — everything above in one run.
+//!
+//! The Criterion benches in `benches/` track the performance of each phase
+//! and the ablations called out in `DESIGN.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod plot;
+
+use std::time::{Duration, Instant};
+
+use cachedse_trace::stats::TraceStats;
+use cachedse_trace::Trace;
+use cachedse_workloads::{all, KernelRun};
+
+/// The paper's budget grid: K as a percentage of the maximum miss count.
+pub const BUDGET_FRACTIONS: [f64; 4] = [0.05, 0.10, 0.15, 0.20];
+
+/// One benchmark trace tagged with its origin.
+#[derive(Clone, Debug)]
+pub struct NamedTrace {
+    /// Benchmark name (paper's table naming).
+    pub name: &'static str,
+    /// `"data"` or `"instr"`.
+    pub side: &'static str,
+    /// The trace itself.
+    pub trace: Trace,
+}
+
+impl NamedTrace {
+    /// `name.side`, e.g. `crc.data`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!("{}.{}", self.name, self.side)
+    }
+}
+
+/// Captures all twelve kernels and returns their 24 traces (12 data + 12
+/// instruction), data side first within each kernel, in the paper's
+/// benchmark order.
+#[must_use]
+pub fn all_traces() -> Vec<NamedTrace> {
+    all()
+        .iter()
+        .flat_map(|k| {
+            let KernelRun { name, data, instr } = k.capture();
+            [
+                NamedTrace {
+                    name,
+                    side: "data",
+                    trace: data,
+                },
+                NamedTrace {
+                    name,
+                    side: "instr",
+                    trace: instr,
+                },
+            ]
+        })
+        .collect()
+}
+
+/// Runs `f` once and returns its result with the elapsed wall-clock time.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed())
+}
+
+/// Least-squares fit `y ≈ slope·x + intercept`; returns
+/// `(slope, intercept, r²)`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or have fewer than two points.
+#[must_use]
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
+    assert_eq!(xs.len(), ys.len(), "mismatched series");
+    assert!(xs.len() >= 2, "need at least two points");
+    let n = xs.len() as f64;
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mean_x).powi(2)).sum();
+    let sxy: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| (x - mean_x) * (y - mean_y))
+        .sum();
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| (y - (slope * x + intercept)).powi(2))
+        .sum();
+    let ss_tot: f64 = ys.iter().map(|y| (y - mean_y).powi(2)).sum();
+    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    (slope, intercept, r2)
+}
+
+/// Renders stats the way Tables 5–6 lay them out.
+#[must_use]
+pub fn stats_row(name: &str, stats: &TraceStats) -> String {
+    format!(
+        "{:<10} {:>10} {:>10} {:>12}",
+        name, stats.total, stats.unique, stats.max_misses
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_recovers_exact_line() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [3.0, 5.0, 7.0, 9.0];
+        let (slope, intercept, r2) = linear_fit(&xs, &ys);
+        assert!((slope - 2.0).abs() < 1e-12);
+        assert!((intercept - 1.0).abs() < 1e-12);
+        assert!((r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_r2_below_one_for_noise() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [1.0, 4.0, 2.0, 8.0];
+        let (_, _, r2) = linear_fit(&xs, &ys);
+        assert!(r2 < 1.0);
+    }
+
+    #[test]
+    fn timed_measures_something() {
+        let (v, d) = timed(|| (0..10_000).sum::<u64>());
+        assert_eq!(v, 49_995_000);
+        assert!(d.as_nanos() > 0);
+    }
+
+    #[test]
+    fn label_format() {
+        let nt = NamedTrace {
+            name: "crc",
+            side: "data",
+            trace: Trace::new(),
+        };
+        assert_eq!(nt.label(), "crc.data");
+    }
+}

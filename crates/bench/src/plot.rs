@@ -1,0 +1,107 @@
+//! Minimal ASCII scatter plots, used to render Figure 4 as an actual
+//! figure in terminal output.
+
+/// Renders `points` as an ASCII scatter of the given character dimensions.
+/// Axes are logarithmic (Figure 4's quantities span decades), so every
+/// coordinate must be positive.
+///
+/// # Panics
+///
+/// Panics if `points` is empty, any coordinate is non-positive, or the plot
+/// area is degenerate.
+///
+/// # Examples
+///
+/// ```
+/// let plot = cachedse_bench::plot::scatter_loglog(
+///     &[(1.0, 1.0), (10.0, 8.0), (100.0, 120.0)],
+///     40,
+///     10,
+/// );
+/// assert_eq!(plot.matches('*').count(), 3);
+/// ```
+#[must_use]
+pub fn scatter_loglog(points: &[(f64, f64)], width: usize, height: usize) -> String {
+    assert!(!points.is_empty(), "nothing to plot");
+    assert!(width >= 8 && height >= 4, "plot area too small");
+    assert!(
+        points.iter().all(|&(x, y)| x > 0.0 && y > 0.0),
+        "log axes need positive coordinates"
+    );
+    let logs: Vec<(f64, f64)> = points.iter().map(|&(x, y)| (x.ln(), y.ln())).collect();
+    let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &logs {
+        min_x = min_x.min(x);
+        max_x = max_x.max(x);
+        min_y = min_y.min(y);
+        max_y = max_y.max(y);
+    }
+    // Avoid zero spans when all points coincide on an axis.
+    let span_x = (max_x - min_x).max(1e-12);
+    let span_y = (max_y - min_y).max(1e-12);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for &(x, y) in &logs {
+        let col = ((x - min_x) / span_x * (width - 1) as f64).round() as usize;
+        let row = ((y - min_y) / span_y * (height - 1) as f64).round() as usize;
+        grid[height - 1 - row][col] = '*';
+    }
+
+    let mut out = String::new();
+    for row in &grid {
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push('+');
+    out.extend(std::iter::repeat_n('-', width));
+    out.push('\n');
+    let x_lo = min_x.exp();
+    let x_hi = max_x.exp();
+    let y_lo = min_y.exp();
+    let y_hi = max_y.exp();
+    out.push_str(&format!(
+        " x: {x_lo:.2e} .. {x_hi:.2e} (log)   y: {y_lo:.2e} .. {y_hi:.2e} (log)\n"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marks_every_point() {
+        let plot = scatter_loglog(&[(1.0, 2.0), (100.0, 0.5), (10.0, 5.0)], 30, 8);
+        assert_eq!(plot.matches('*').count(), 3);
+        assert!(plot.contains("x: 1.00e0"));
+    }
+
+    #[test]
+    fn coincident_points_share_a_cell() {
+        let plot = scatter_loglog(&[(5.0, 5.0), (5.0, 5.0)], 20, 5);
+        assert_eq!(plot.matches('*').count(), 1);
+    }
+
+    #[test]
+    fn extremes_land_on_edges() {
+        let plot = scatter_loglog(&[(1.0, 1.0), (1000.0, 1000.0)], 20, 6);
+        let lines: Vec<&str> = plot.lines().collect();
+        // Max y on the first row, min y on the last grid row.
+        assert!(lines[0].ends_with('*'));
+        assert_eq!(lines[5].chars().nth(1), Some('*'));
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing to plot")]
+    fn empty_input_panics() {
+        let _ = scatter_loglog(&[], 20, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive coordinates")]
+    fn zero_coordinate_panics() {
+        let _ = scatter_loglog(&[(0.0, 1.0)], 20, 5);
+    }
+}

@@ -1,0 +1,193 @@
+//! Minimal flag parsing for the `cachedse` binary.
+//!
+//! The grammar is small (`--flag value` pairs plus positionals), so this is
+//! hand-rolled rather than pulling in a CLI dependency — see the dependency
+//! policy in `DESIGN.md`.
+
+use std::collections::HashMap;
+
+/// Parsed command line: positionals in order, `--key value` options by name.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    positionals: Vec<String>,
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// Error produced while parsing or querying arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// `--option` appeared last with no value.
+    MissingValue(String),
+    /// A required option was not provided.
+    Required(String),
+    /// A value failed to parse.
+    Invalid {
+        /// The option's name.
+        option: String,
+        /// The unparsable text.
+        value: String,
+    },
+    /// A required positional argument is missing.
+    MissingPositional(&'static str),
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::MissingValue(o) => write!(f, "option --{o} expects a value"),
+            Self::Required(o) => write!(f, "option --{o} is required"),
+            Self::Invalid { option, value } => {
+                write!(f, "invalid value {value:?} for --{option}")
+            }
+            Self::MissingPositional(name) => write!(f, "missing <{name}> argument"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Options that never take a value.
+const BARE_FLAGS: [&str; 3] = ["verify", "help", "quiet"];
+
+impl Args {
+    /// Parses raw arguments (without the program/subcommand names).
+    ///
+    /// # Errors
+    ///
+    /// [`ArgError::MissingValue`] if a value-taking option ends the line.
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Self, ArgError> {
+        let mut args = Args::default();
+        let mut iter = raw.into_iter();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                if BARE_FLAGS.contains(&name) {
+                    args.flags.push(name.to_owned());
+                } else {
+                    let value = iter
+                        .next()
+                        .ok_or_else(|| ArgError::MissingValue(name.to_owned()))?;
+                    args.options.insert(name.to_owned(), value);
+                }
+            } else {
+                args.positionals.push(arg);
+            }
+        }
+        Ok(args)
+    }
+
+    /// The `idx`-th positional argument.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgError::MissingPositional`] if absent.
+    pub fn positional(&self, idx: usize, name: &'static str) -> Result<&str, ArgError> {
+        self.positionals
+            .get(idx)
+            .map(String::as_str)
+            .ok_or(ArgError::MissingPositional(name))
+    }
+
+    /// Whether a bare flag (e.g. `--verify`) was given.
+    #[must_use]
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// An optional string option.
+    #[must_use]
+    pub fn opt_str(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// An optional parsed option.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgError::Invalid`] if present but unparsable.
+    pub fn opt<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, ArgError> {
+        match self.options.get(name) {
+            None => Ok(None),
+            Some(v) => v.parse().map(Some).map_err(|_| ArgError::Invalid {
+                option: name.to_owned(),
+                value: v.clone(),
+            }),
+        }
+    }
+
+    /// A parsed option with a default.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgError::Invalid`] if present but unparsable.
+    pub fn opt_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
+        Ok(self.opt(name)?.unwrap_or(default))
+    }
+
+    /// A required parsed option.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgError::Required`] if absent, [`ArgError::Invalid`] if
+    /// unparsable.
+    pub fn required<T: std::str::FromStr>(&self, name: &str) -> Result<T, ArgError> {
+        self.opt(name)?.ok_or_else(|| ArgError::Required(name.to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(line: &str) -> Args {
+        Args::parse(line.split_whitespace().map(str::to_owned)).unwrap()
+    }
+
+    #[test]
+    fn positionals_and_options() {
+        let a = parse("trace.din --depth 64 --assoc 2");
+        assert_eq!(a.positional(0, "file").unwrap(), "trace.din");
+        assert_eq!(a.required::<u32>("depth").unwrap(), 64);
+        assert_eq!(a.opt_or::<u32>("line-bits", 0).unwrap(), 0);
+        assert!(!a.flag("verify"));
+    }
+
+    #[test]
+    fn bare_flags() {
+        let a = parse("t.din --verify --misses 10");
+        assert!(a.flag("verify"));
+        assert_eq!(a.required::<u64>("misses").unwrap(), 10);
+    }
+
+    #[test]
+    fn missing_value_error() {
+        let err = Args::parse(["--depth".to_owned()]).unwrap_err();
+        assert_eq!(err, ArgError::MissingValue("depth".to_owned()));
+    }
+
+    #[test]
+    fn invalid_value_error() {
+        let a = parse("--depth four");
+        let err = a.required::<u32>("depth").unwrap_err();
+        assert!(matches!(err, ArgError::Invalid { .. }));
+        assert_eq!(err.to_string(), "invalid value \"four\" for --depth");
+    }
+
+    #[test]
+    fn missing_positional_error() {
+        let a = parse("--depth 4");
+        assert_eq!(
+            a.positional(0, "trace").unwrap_err(),
+            ArgError::MissingPositional("trace")
+        );
+    }
+
+    #[test]
+    fn required_missing_error() {
+        let a = parse("x");
+        assert_eq!(
+            a.required::<u32>("depth").unwrap_err(),
+            ArgError::Required("depth".to_owned())
+        );
+    }
+}

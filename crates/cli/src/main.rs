@@ -1,0 +1,310 @@
+//! `cachedse` — analytical cache design space exploration from the command
+//! line.
+//!
+//! ```text
+//! cachedse gen --workload crc --out crc.din [--side data|instr]
+//! cachedse gen --pattern loop --len 64 --iterations 100 --out loop.din
+//! cachedse stats trace.din
+//! cachedse simulate trace.din --depth 64 --assoc 2 [--policy lru] [--line-bits 0]
+//! cachedse explore trace.din (--misses K | --fraction F) [--max-bits B]
+//!                            [--engine dfs|tree] [--verify]
+//! cachedse sweep trace.din [--max-bits B]        # the paper's K-grid table
+//! cachedse workloads                             # list the kernels
+//! ```
+
+mod args;
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter};
+use std::process::ExitCode;
+
+use cachedse_core::{verify, DesignSpaceExplorer, Engine, MissBudget};
+use cachedse_sim::{simulate, CacheConfig, Replacement, WritePolicy};
+use cachedse_trace::stats::TraceStats;
+use cachedse_trace::{generate, io::read_din, io::write_din, Trace};
+
+use args::Args;
+
+const USAGE: &str = "\
+usage: cachedse <command> [options]
+
+commands:
+  gen        generate a trace (--workload <name> | --pattern <kind>) --out <file>
+  stats      print N, N', and max misses of a trace
+  simulate   run a trace through one cache configuration
+  explore    compute the optimal (depth, associativity) set analytically
+  sweep      print the paper-style table for K in {5,10,15,20}%
+  rank       order the budget-satisfying configurations by dynamic energy
+  workloads  list the embedded benchmark kernels
+
+run `cachedse <command> --help` for details.";
+
+fn main() -> ExitCode {
+    // A downstream consumer closing the pipe (`cachedse explore ... | head`)
+    // is normal Unix usage, not a crash: the std print macros panic on
+    // EPIPE, so intercept that one panic and exit quietly.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let payload = info.payload();
+        let message = payload
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| payload.downcast_ref::<&str>().copied());
+        let broken_pipe = message.is_some_and(|s| s.contains("Broken pipe"));
+        if broken_pipe {
+            std::process::exit(0);
+        }
+        default_hook(info);
+    }));
+
+    let mut argv = std::env::args().skip(1);
+    let Some(command) = argv.next() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let args = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("cachedse: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "gen" => cmd_gen(&args),
+        "stats" => cmd_stats(&args),
+        "simulate" => cmd_simulate(&args),
+        "explore" => cmd_explore(&args),
+        "sweep" => cmd_sweep(&args),
+        "rank" => cmd_rank(&args),
+        "workloads" => cmd_workloads(),
+        "--help" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}").into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("cachedse: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn load_trace(args: &Args) -> Result<Trace, Box<dyn std::error::Error>> {
+    let path = args.positional(0, "trace-file")?;
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let mut trace = read_din(BufReader::new(file))?;
+    let line_bits: u32 = args.opt_or("line-bits", 0)?;
+    if line_bits > 0 {
+        trace = trace.block_aligned(line_bits);
+    }
+    Ok(trace)
+}
+
+fn cmd_gen(args: &Args) -> CliResult {
+    let trace = if let Some(name) = args.opt_str("workload") {
+        let kernel = cachedse_workloads::by_name(name)
+            .ok_or_else(|| format!("unknown workload {name:?}; see `cachedse workloads`"))?;
+        let run = match args.opt::<u64>("seed")? {
+            Some(seed) => kernel.capture_with_seed(seed),
+            None => kernel.capture(),
+        };
+        match args.opt_str("side").unwrap_or("data") {
+            "data" => run.data,
+            "instr" => run.instr,
+            other => return Err(format!("--side must be data or instr, got {other:?}").into()),
+        }
+    } else {
+        match args.opt_str("pattern") {
+            Some("loop") => generate::loop_pattern(
+                args.opt_or("base", 0)?,
+                args.required("len")?,
+                args.opt_or("iterations", 100)?,
+            ),
+            Some("stride") => generate::strided(
+                args.opt_or("base", 0)?,
+                args.required("stride")?,
+                args.required("count")?,
+                args.opt_or("iterations", 100)?,
+            ),
+            Some("random") => generate::uniform_random(
+                args.opt_or("len", 100_000)?,
+                args.opt_or("space", 1 << 16)?,
+                args.opt_or("seed", 1)?,
+            ),
+            Some("phases") => generate::working_set_phases(
+                args.opt_or("phases", 8)?,
+                args.opt_or("len", 10_000)?,
+                args.opt_or("ws", 256)?,
+                args.opt_or("seed", 1)?,
+            ),
+            Some(other) => {
+                return Err(format!(
+                    "unknown pattern {other:?}; expected loop|stride|random|phases"
+                )
+                .into())
+            }
+            None => return Err("gen needs --workload <name> or --pattern <kind>".into()),
+        }
+    };
+    match args.opt_str("out") {
+        Some(path) => {
+            let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+            write_din(BufWriter::new(file), &trace)?;
+            eprintln!("wrote {} references to {path}", trace.len());
+        }
+        None => write_din(io::stdout().lock(), &trace)?,
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &Args) -> CliResult {
+    let trace = load_trace(args)?;
+    let stats = TraceStats::of(&trace);
+    println!("references (N):       {}", stats.total);
+    println!("unique (N'):          {}", stats.unique);
+    println!("max avoidable misses: {}", stats.max_misses);
+    println!("address bits:         {}", trace.address_bits());
+    Ok(())
+}
+
+fn cmd_simulate(args: &Args) -> CliResult {
+    let trace = load_trace(args)?;
+    let replacement = match args.opt_str("policy").unwrap_or("lru") {
+        "lru" => Replacement::Lru,
+        "fifo" => Replacement::Fifo,
+        "random" => Replacement::Random,
+        "plru" => Replacement::TreePlru,
+        other => return Err(format!("unknown policy {other:?}").into()),
+    };
+    let write_policy = match args.opt_str("write-policy").unwrap_or("wb") {
+        "wb" => WritePolicy::WriteBack,
+        "wt" => WritePolicy::WriteThrough,
+        "wtna" => WritePolicy::WriteThroughNoAllocate,
+        other => return Err(format!("unknown write policy {other:?}").into()),
+    };
+    let config = CacheConfig::builder()
+        .depth(args.required("depth")?)
+        .associativity(args.opt_or("assoc", 1)?)
+        .replacement(replacement)
+        .write_policy(write_policy)
+        .build()?;
+    let stats = simulate(&trace, &config);
+    println!("config:    {config}");
+    println!("accesses:  {}", stats.accesses);
+    println!("hits:      {}", stats.hits);
+    println!(
+        "misses:    {} (cold {}, avoidable {})",
+        stats.misses,
+        stats.cold_misses,
+        stats.avoidable_misses()
+    );
+    println!("miss rate: {:.4}%", stats.miss_rate() * 100.0);
+    println!(
+        "evictions: {}  writebacks: {}  memory writes: {}",
+        stats.evictions, stats.writebacks, stats.mem_writes
+    );
+    Ok(())
+}
+
+fn engine_of(args: &Args) -> Result<Engine, Box<dyn std::error::Error>> {
+    match args.opt_str("engine").unwrap_or("dfs") {
+        "dfs" => Ok(Engine::DepthFirst),
+        "parallel" => Ok(Engine::DepthFirstParallel),
+        "tree" => Ok(Engine::TreeTable),
+        other => Err(format!("unknown engine {other:?}; expected dfs|parallel|tree").into()),
+    }
+}
+
+fn cmd_explore(args: &Args) -> CliResult {
+    let trace = load_trace(args)?;
+    let budget = match (args.opt::<u64>("misses")?, args.opt::<f64>("fraction")?) {
+        (Some(k), None) => MissBudget::Absolute(k),
+        (None, Some(f)) => MissBudget::FractionOfMax(f),
+        (None, None) => return Err("explore needs --misses K or --fraction F".into()),
+        (Some(_), Some(_)) => {
+            return Err("--misses and --fraction are mutually exclusive".into())
+        }
+    };
+    let mut explorer = DesignSpaceExplorer::new(&trace).engine(engine_of(args)?);
+    if let Some(bits) = args.opt::<u32>("max-bits")? {
+        explorer = explorer.max_index_bits(bits);
+    }
+    let result = explorer.explore(budget)?;
+    println!("trace: {}", result.stats());
+    println!("budget K = {} avoidable misses", result.budget());
+    print!("{}", result.table());
+    if let Some(best) = result.smallest() {
+        println!("smallest capacity: {best} = {} lines", best.size_lines());
+    }
+    if args.flag("verify") {
+        let checks = verify::check_result(&trace, &result)?;
+        println!(
+            "verified {} configurations against the LRU simulator",
+            checks.len()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_sweep(args: &Args) -> CliResult {
+    use cachedse_core::BudgetGrid;
+    let trace = load_trace(args)?;
+    let mut explorer = DesignSpaceExplorer::new(&trace);
+    if let Some(bits) = args.opt::<u32>("max-bits")? {
+        explorer = explorer.max_index_bits(bits);
+    }
+    let exploration = explorer.prepare()?;
+    let grid = BudgetGrid::paper_budgets(&exploration)?;
+    print!("{grid}");
+    Ok(())
+}
+
+fn cmd_rank(args: &Args) -> CliResult {
+    use cachedse_cost::{select, CostModel};
+    let trace = load_trace(args)?;
+    let budget = match (args.opt::<u64>("misses")?, args.opt::<f64>("fraction")?) {
+        (Some(k), None) => MissBudget::Absolute(k),
+        (None, Some(f)) => MissBudget::FractionOfMax(f),
+        (None, None) => MissBudget::FractionOfMax(0.10),
+        (Some(_), Some(_)) => {
+            return Err("--misses and --fraction are mutually exclusive".into())
+        }
+    };
+    let mut explorer = DesignSpaceExplorer::new(&trace);
+    if let Some(bits) = args.opt::<u32>("max-bits")? {
+        explorer = explorer.max_index_bits(bits);
+    }
+    let exploration = explorer.prepare()?;
+    let model = CostModel::default_180nm();
+    let line_bits: u32 = args.opt_or("line-bits", 0)?;
+    let ranked = select::rank_within_budget(&exploration, budget, line_bits, &model)?;
+    println!(
+        "{:>8} {:>6} {:>12} {:>12} {:>12} {:>12} {:>8}",
+        "depth", "ways", "misses", "energy nJ", "cycles", "area um2", "ns"
+    );
+    for p in &ranked {
+        println!(
+            "{:>8} {:>6} {:>12} {:>12.1} {:>12} {:>12.0} {:>8.2}",
+            p.point.depth,
+            p.point.associativity,
+            p.avoidable_misses,
+            p.report.dynamic_nj,
+            p.report.cycles,
+            p.report.area_um2,
+            p.report.access_ns
+        );
+    }
+    Ok(())
+}
+
+fn cmd_workloads() -> CliResult {
+    for kernel in cachedse_workloads::all() {
+        println!("{}", kernel.name());
+    }
+    Ok(())
+}

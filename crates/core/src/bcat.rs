@@ -1,0 +1,347 @@
+//! The Binary Cache Allocation Tree (Algorithm 1, Figure 3 of the paper).
+//!
+//! Level `l` of the BCAT partitions the unique references onto the `2^l`
+//! rows of a depth-`2^l` cache: a node's set is obtained by intersecting its
+//! parent with the zero or one set of the next index bit, so the path from
+//! the root encodes the row index. The tree stops growing below sets of
+//! cardinality < 2 — a reference alone in its row can never conflict, so
+//! nothing below such a node affects miss counts.
+//!
+//! The paper's Figure 3 makes the root the `(Z_0, O_0)` split (depth 2); this
+//! implementation adds a level-0 root holding *all* references, which is the
+//! degenerate depth-1 cache, so results start at depth 1.
+
+use cachedse_bitset::DenseBitSet;
+use cachedse_trace::strip::StrippedTrace;
+
+use crate::zero_one::ZeroOneSets;
+
+/// Handle to a node of a [`Bcat`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct NodeId(usize);
+
+/// One node: the references mapping to one row of a `2^level`-row cache.
+#[derive(Clone, Debug)]
+pub struct BcatNode {
+    refs: DenseBitSet,
+    level: u32,
+    row: u32,
+    left: Option<NodeId>,
+    right: Option<NodeId>,
+}
+
+impl BcatNode {
+    /// The unique-reference identifiers mapping to this row.
+    #[must_use]
+    pub fn refs(&self) -> &DenseBitSet {
+        &self.refs
+    }
+
+    /// Tree level; the node describes a row of a depth-`2^level` cache.
+    #[must_use]
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// The cache row this node describes: the low `level` bits of every
+    /// member's address.
+    #[must_use]
+    pub fn row(&self) -> u32 {
+        self.row
+    }
+
+    /// Child holding members whose next index bit is 0.
+    #[must_use]
+    pub fn left(&self) -> Option<NodeId> {
+        self.left
+    }
+
+    /// Child holding members whose next index bit is 1.
+    #[must_use]
+    pub fn right(&self) -> Option<NodeId> {
+        self.right
+    }
+
+    /// `true` if the node was not split further (fewer than two members, or
+    /// the index-bit limit was reached).
+    #[must_use]
+    pub fn is_leaf(&self) -> bool {
+        self.left.is_none() && self.right.is_none()
+    }
+}
+
+/// The Binary Cache Allocation Tree.
+///
+/// # Examples
+///
+/// ```
+/// use cachedse_core::{Bcat, ZeroOneSets};
+/// use cachedse_trace::{paper_running_example, strip::StrippedTrace};
+///
+/// let stripped = StrippedTrace::from_trace(&paper_running_example());
+/// let bcat = Bcat::build(&ZeroOneSets::from_stripped(&stripped), 4);
+///
+/// // Figure 3, first split (0-based ids): Z0 side {1,2,4}, O0 side {0,3}.
+/// let level1: Vec<Vec<usize>> = bcat
+///     .nodes_at(1)
+///     .map(|n| n.refs().ones().collect())
+///     .collect();
+/// assert_eq!(level1, vec![vec![1, 2, 4], vec![0, 3]]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Bcat {
+    nodes: Vec<BcatNode>,
+    levels: Vec<Vec<NodeId>>,
+    unique_len: usize,
+}
+
+impl Bcat {
+    /// Builds the tree, splitting by index bits `B_0 … B_{max_index_bits−1}`
+    /// (or fewer if the addresses have fewer significant bits).
+    #[must_use]
+    pub fn build(zo: &ZeroOneSets, max_index_bits: u32) -> Self {
+        let bits = zo.bits().min(max_index_bits);
+        let root_refs: DenseBitSet = (0..zo.unique_len()).collect();
+        let mut nodes = vec![BcatNode {
+            refs: root_refs,
+            level: 0,
+            row: 0,
+            left: None,
+            right: None,
+        }];
+        let mut levels = vec![vec![NodeId(0)]];
+        for l in 0..bits {
+            let mut next = Vec::new();
+            for &NodeId(idx) in &levels[l as usize] {
+                if nodes[idx].refs.len() < 2 {
+                    continue;
+                }
+                let left_refs = nodes[idx].refs.intersection(zo.zero(l));
+                let right_refs = nodes[idx].refs.intersection(zo.one(l));
+                let row = nodes[idx].row;
+                let left_id = NodeId(nodes.len());
+                nodes.push(BcatNode {
+                    refs: left_refs,
+                    level: l + 1,
+                    row,
+                    left: None,
+                    right: None,
+                });
+                let right_id = NodeId(nodes.len());
+                nodes.push(BcatNode {
+                    refs: right_refs,
+                    level: l + 1,
+                    row: row | (1 << l),
+                    left: None,
+                    right: None,
+                });
+                nodes[idx].left = Some(left_id);
+                nodes[idx].right = Some(right_id);
+                next.push(left_id);
+                next.push(right_id);
+            }
+            if next.is_empty() {
+                break;
+            }
+            levels.push(next);
+        }
+        Self {
+            nodes,
+            levels,
+            unique_len: zo.unique_len(),
+        }
+    }
+
+    /// Convenience: strips nothing extra, just builds zero/one sets and the
+    /// tree from a stripped trace.
+    #[must_use]
+    pub fn from_stripped(stripped: &StrippedTrace, max_index_bits: u32) -> Self {
+        Self::build(&ZeroOneSets::from_stripped(stripped), max_index_bits)
+    }
+
+    /// The root node (level 0: the depth-1 cache, all references in one row).
+    #[must_use]
+    pub fn root(&self) -> &BcatNode {
+        &self.nodes[0]
+    }
+
+    /// Number of levels materialized (level indices `0..levels()`).
+    ///
+    /// Levels where every node would be a singleton are not materialized;
+    /// their miss counts are zero at any associativity.
+    #[must_use]
+    pub fn levels(&self) -> u32 {
+        self.levels.len() as u32
+    }
+
+    /// Total number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of unique references the tree partitions.
+    #[must_use]
+    pub fn unique_len(&self) -> usize {
+        self.unique_len
+    }
+
+    /// Resolves a node handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this tree.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> &BcatNode {
+        &self.nodes[id.0]
+    }
+
+    /// Iterates over the nodes at `level` (empty for levels beyond
+    /// [`levels`](Self::levels)).
+    pub fn nodes_at(&self, level: u32) -> impl Iterator<Item = &BcatNode> {
+        self.levels
+            .get(level as usize)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+            .iter()
+            .map(|&NodeId(i)| &self.nodes[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachedse_trace::{paper_running_example, Address, Record, Trace};
+    use proptest::prelude::*;
+
+    fn bcat_of(trace: &Trace, bits: u32) -> (StrippedTrace, Bcat) {
+        let stripped = StrippedTrace::from_trace(trace);
+        let bcat = Bcat::from_stripped(&stripped, bits);
+        (stripped, bcat)
+    }
+
+    fn sets_at(bcat: &Bcat, level: u32) -> Vec<Vec<usize>> {
+        bcat.nodes_at(level)
+            .map(|n| n.refs().ones().collect())
+            .collect()
+    }
+
+    #[test]
+    fn paper_figure_3() {
+        let (_, bcat) = bcat_of(&paper_running_example(), 4);
+        // Paper ids 1..=5 are our 0..=4.
+        assert_eq!(sets_at(&bcat, 0), vec![vec![0, 1, 2, 3, 4]]);
+        assert_eq!(sets_at(&bcat, 1), vec![vec![1, 2, 4], vec![0, 3]]);
+        // Level 2 (Figure 3): {2,5},{3} under the zero side; {},{1,4} under
+        // the one side -> 0-based {1,4},{2},{},{0,3}.
+        assert_eq!(
+            sets_at(&bcat, 2),
+            vec![vec![1, 4], vec![2], vec![], vec![0, 3]]
+        );
+        // Level 3: only {1,4} and {0,3} split: {},{1,4} and {0,3},{}.
+        assert_eq!(
+            sets_at(&bcat, 3),
+            vec![vec![], vec![1, 4], vec![0, 3], vec![]]
+        );
+        // Level 4 (Figure 3 leaves): {5},{2} and {4},{1} -> 0-based.
+        assert_eq!(
+            sets_at(&bcat, 4),
+            vec![vec![4], vec![1], vec![3], vec![0]]
+        );
+        assert_eq!(bcat.levels(), 5);
+    }
+
+    #[test]
+    fn rows_match_address_bits() {
+        let (stripped, bcat) = bcat_of(&paper_running_example(), 4);
+        for level in 0..bcat.levels() {
+            let mask = (1u32 << level) - 1;
+            for node in bcat.nodes_at(level) {
+                for id in node.refs().ones() {
+                    let addr = stripped
+                        .address_of(cachedse_trace::strip::RefId::new(id as u32));
+                    assert_eq!(addr.raw() & mask, node.row(), "level {level}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn navigation() {
+        let (_, bcat) = bcat_of(&paper_running_example(), 4);
+        let root = bcat.root();
+        assert_eq!(root.level(), 0);
+        assert!(!root.is_leaf());
+        let left = bcat.node(root.left().unwrap());
+        let right = bcat.node(root.right().unwrap());
+        assert_eq!(left.refs().ones().collect::<Vec<_>>(), vec![1, 2, 4]);
+        assert_eq!(right.refs().ones().collect::<Vec<_>>(), vec![0, 3]);
+        // Singleton node {2} at level 2 is a leaf.
+        let singleton = bcat
+            .nodes_at(2)
+            .find(|n| n.refs().len() == 1)
+            .unwrap();
+        assert!(singleton.is_leaf());
+    }
+
+    #[test]
+    fn respects_max_index_bits() {
+        let (_, bcat) = bcat_of(&paper_running_example(), 1);
+        assert_eq!(bcat.levels(), 2);
+        assert_eq!(sets_at(&bcat, 1), vec![vec![1, 2, 4], vec![0, 3]]);
+        assert!(bcat.nodes_at(2).next().is_none());
+    }
+
+    #[test]
+    fn empty_trace_tree() {
+        let (_, bcat) = bcat_of(&Trace::new(), 8);
+        assert_eq!(bcat.levels(), 1);
+        assert!(bcat.root().refs().is_empty());
+        assert!(bcat.root().is_leaf());
+    }
+
+    #[test]
+    fn single_reference_tree() {
+        let trace: Trace = [Record::read(Address::new(42))].into_iter().collect();
+        let (_, bcat) = bcat_of(&trace, 8);
+        assert_eq!(bcat.levels(), 1);
+        assert_eq!(bcat.root().refs().len(), 1);
+    }
+
+    proptest! {
+        /// Nodes at each level are disjoint, rows are unique, children
+        /// partition their parent, and every member's address matches the row.
+        #[test]
+        fn structural_invariants(addrs in prop::collection::vec(0u32..512, 1..150),
+                                 max_bits in 1u32..10) {
+            let trace: Trace = addrs.iter().map(|&a| Record::read(Address::new(a))).collect();
+            let (stripped, bcat) = bcat_of(&trace, max_bits);
+
+            for level in 0..bcat.levels() {
+                let mask = (1u64 << level) - 1;
+                let mut seen_rows = std::collections::HashSet::new();
+                let mut seen_refs = std::collections::HashSet::new();
+                for node in bcat.nodes_at(level) {
+                    prop_assert!(seen_rows.insert(node.row()));
+                    for id in node.refs().ones() {
+                        prop_assert!(seen_refs.insert(id), "ref in two rows");
+                        let addr = stripped
+                            .address_of(cachedse_trace::strip::RefId::new(id as u32));
+                        prop_assert_eq!(u64::from(addr.raw()) & mask, u64::from(node.row()));
+                    }
+                    if let (Some(l), Some(r)) = (node.left(), node.right()) {
+                        let l = bcat.node(l);
+                        let r = bcat.node(r);
+                        prop_assert!(l.refs().is_disjoint(r.refs()));
+                        prop_assert_eq!(&l.refs().union(r.refs()), node.refs());
+                    } else {
+                        // Leaves inside the bit range must be too small to split.
+                        if node.level() < bcat.levels() - 1 {
+                            prop_assert!(node.refs().len() < 2);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

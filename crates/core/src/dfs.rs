@@ -1,0 +1,454 @@
+//! The combined, linear-space engine sketched in Section 2.4 of the paper.
+//!
+//! "The implementation of Algorithm 1 and Algorithm 3 can be combined.
+//! Specifically, the BCAT does not need to be calculated in its entirety.
+//! Instead, a depth first traversal of the tree can be performed. This also
+//! would reduce the space complexity of the algorithm from exponential down
+//! to linear."
+//!
+//! This module realizes that sketch. Each BCAT node is represented not by a
+//! reference set but by its *subtrace* — the original access order filtered
+//! to the references mapping to that row. The per-occurrence conflict depth
+//! `|S ∩ C|` is then simply the number of distinct references touched within
+//! the subtrace since the previous occurrence, computed with a Fenwick tree
+//! in `O(m log m)` for a subtrace of length `m`. Children are produced by
+//! partitioning the subtrace on the next index bit, the parent subtrace is
+//! dropped, and recursion proceeds depth-first — no BCAT, no MRCT, no
+//! conflict sets are ever materialized.
+//!
+//! Output is identical to the tree+table path ([`crate::postlude`]); the
+//! test suite asserts equality.
+
+use std::collections::HashMap;
+
+use cachedse_sim::fenwick::Fenwick;
+use cachedse_sim::onepass::DepthProfile;
+use cachedse_trace::strip::StrippedTrace;
+
+/// Computes the same per-depth miss profiles as
+/// [`postlude::level_profiles`](crate::postlude::level_profiles), by
+/// depth-first subtrace partitioning.
+///
+/// # Examples
+///
+/// ```
+/// use cachedse_core::dfs;
+/// use cachedse_trace::{paper_running_example, strip::StrippedTrace};
+///
+/// let stripped = StrippedTrace::from_trace(&paper_running_example());
+/// let profiles = dfs::level_profiles(&stripped, 4);
+/// assert_eq!(profiles[1].min_associativity(0), 3); // Section 2.3
+/// ```
+#[must_use]
+pub fn level_profiles(stripped: &StrippedTrace, max_index_bits: u32) -> Vec<DepthProfile> {
+    let total = stripped.total_len() as u64;
+    let unique = stripped.unique_len() as u64;
+    let non_cold = total - unique;
+
+    // Tail histograms (d >= 1 entries) per level; d = 0 is reconstructed at
+    // the end as "everything not otherwise accounted for".
+    let mut histograms: Vec<Vec<u64>> = vec![Vec::new(); max_index_bits as usize + 1];
+
+    // Precompute each reference's address bits once.
+    let addrs: Vec<u32> = stripped
+        .unique_addresses()
+        .iter()
+        .map(|a| a.raw())
+        .collect();
+
+    let root: Vec<u32> = stripped.id_sequence().iter().map(|id| id.raw()).collect();
+    visit(&root, 0, max_index_bits, &addrs, &mut histograms);
+
+    histograms
+        .into_iter()
+        .enumerate()
+        .map(|(level, mut histogram)| {
+            let tail: u64 = histogram.iter().sum();
+            if histogram.is_empty() {
+                histogram.push(non_cold - tail);
+            } else {
+                histogram[0] = non_cold - tail;
+            }
+            DepthProfile::from_parts(1 << level, histogram, unique, total)
+        })
+        .collect()
+}
+
+/// Multi-threaded variant of [`level_profiles`], realizing the paper's
+/// §2.4 remark that "the use of sets allows for execution of the algorithm
+/// on a cluster of machines": BCAT subtrees are independent, so the tree is
+/// split at a shallow level and the subtrees are processed by a worker pool,
+/// each accumulating private histograms that are summed at the end.
+///
+/// Produces byte-identical results to the serial engine (asserted by the
+/// test suite).
+///
+/// # Examples
+///
+/// ```
+/// use std::num::NonZeroUsize;
+/// use cachedse_core::dfs;
+/// use cachedse_trace::{generate, strip::StrippedTrace};
+///
+/// let trace = generate::uniform_random(5_000, 512, 3);
+/// let stripped = StrippedTrace::from_trace(&trace);
+/// let serial = dfs::level_profiles(&stripped, 9);
+/// let parallel = dfs::level_profiles_parallel(
+///     &stripped,
+///     9,
+///     NonZeroUsize::new(4).expect("nonzero"),
+/// );
+/// assert_eq!(serial, parallel);
+/// ```
+#[must_use]
+pub fn level_profiles_parallel(
+    stripped: &StrippedTrace,
+    max_index_bits: u32,
+    threads: std::num::NonZeroUsize,
+) -> Vec<DepthProfile> {
+    let total = stripped.total_len() as u64;
+    let unique = stripped.unique_len() as u64;
+    let non_cold = total - unique;
+
+    let mut histograms: Vec<Vec<u64>> = vec![Vec::new(); max_index_bits as usize + 1];
+    let addrs: Vec<u32> = stripped
+        .unique_addresses()
+        .iter()
+        .map(|a| a.raw())
+        .collect();
+
+    // Split where there are comfortably more subtrees than workers; the
+    // levels above the split are cheap (a few passes over the trace) and
+    // stay serial.
+    let split_level =
+        (usize::BITS - (threads.get() * 4).leading_zeros()).min(max_index_bits);
+
+    let root: Vec<u32> = stripped.id_sequence().iter().map(|id| id.raw()).collect();
+    let mut work: Vec<Vec<u32>> = Vec::new();
+    gather(
+        root,
+        0,
+        split_level,
+        max_index_bits,
+        &addrs,
+        &mut histograms,
+        &mut work,
+    );
+
+    if !work.is_empty() {
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let locals = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads.get())
+                .map(|_| {
+                    let next = &next;
+                    let work = &work;
+                    let addrs = &addrs;
+                    scope.spawn(move |_| {
+                        let mut local: Vec<Vec<u64>> =
+                            vec![Vec::new(); max_index_bits as usize + 1];
+                        loop {
+                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            let Some(subtrace) = work.get(i) else { break };
+                            visit(subtrace, split_level, max_index_bits, addrs, &mut local);
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker does not panic"))
+                .collect::<Vec<_>>()
+        })
+        .expect("scoped threads join");
+        for local in locals {
+            for (level, hist) in local.into_iter().enumerate() {
+                if histograms[level].len() < hist.len() {
+                    histograms[level].resize(hist.len(), 0);
+                }
+                for (slot, v) in histograms[level].iter_mut().zip(hist) {
+                    *slot += v;
+                }
+            }
+        }
+    }
+
+    histograms
+        .into_iter()
+        .enumerate()
+        .map(|(level, mut histogram)| {
+            let tail: u64 = histogram.iter().sum();
+            if histogram.is_empty() {
+                histogram.push(non_cold - tail);
+            } else {
+                histogram[0] = non_cold - tail;
+            }
+            DepthProfile::from_parts(1 << level, histogram, unique, total)
+        })
+        .collect()
+}
+
+/// Serial prefix of the parallel engine: processes levels above
+/// `split_level` exactly like [`visit`], but instead of recursing past the
+/// split it parks the surviving subtraces on the work list.
+#[allow(clippy::too_many_arguments)]
+fn gather(
+    subtrace: Vec<u32>,
+    level: u32,
+    split_level: u32,
+    max_index_bits: u32,
+    addrs: &[u32],
+    histograms: &mut [Vec<u64>],
+    work: &mut Vec<Vec<u32>>,
+) {
+    if level == split_level {
+        work.push(subtrace);
+        return;
+    }
+    accumulate(&subtrace, &mut histograms[level as usize]);
+    if level == max_index_bits {
+        return;
+    }
+    let bit = 1u32 << level;
+    let mut left: Vec<u32> = Vec::new();
+    let mut right: Vec<u32> = Vec::new();
+    let mut left_reuse = false;
+    let mut right_reuse = false;
+    let mut left_unique = 0usize;
+    let mut right_unique = 0usize;
+    let mut seen: HashMap<u32, ()> = HashMap::with_capacity(subtrace.len());
+    for &id in &subtrace {
+        let repeated = seen.insert(id, ()).is_some();
+        if addrs[id as usize] & bit == 0 {
+            left.push(id);
+            left_reuse |= repeated;
+            left_unique += usize::from(!repeated);
+        } else {
+            right.push(id);
+            right_reuse |= repeated;
+            right_unique += usize::from(!repeated);
+        }
+    }
+    drop(seen);
+    drop(subtrace);
+    if left_reuse && left_unique >= 2 {
+        gather(
+            left,
+            level + 1,
+            split_level,
+            max_index_bits,
+            addrs,
+            histograms,
+            work,
+        );
+    } else {
+        drop(left);
+    }
+    if right_reuse && right_unique >= 2 {
+        gather(
+            right,
+            level + 1,
+            split_level,
+            max_index_bits,
+            addrs,
+            histograms,
+            work,
+        );
+    }
+}
+
+/// Processes one node: accumulate this level's conflict depths, partition on
+/// the next index bit, recurse.
+fn visit(
+    subtrace: &[u32],
+    level: u32,
+    max_index_bits: u32,
+    addrs: &[u32],
+    histograms: &mut [Vec<u64>],
+) {
+    accumulate(subtrace, &mut histograms[level as usize]);
+    if level == max_index_bits {
+        return;
+    }
+
+    let bit = 1u32 << level;
+    let mut left: Vec<u32> = Vec::new();
+    let mut right: Vec<u32> = Vec::new();
+    // A child needs visiting only if it can produce a nonzero conflict
+    // depth: some reference recurs in it AND it holds at least two distinct
+    // references. Repeat-free or single-reference subtraces contribute only
+    // d = 0 entries, which the caller reconstructs globally. (Every
+    // occurrence of a reference lands on the same side — the address bit is
+    // a property of the reference — so per-child uniqueness is well defined.)
+    let mut left_reuse = false;
+    let mut right_reuse = false;
+    let mut left_unique = 0usize;
+    let mut right_unique = 0usize;
+    let mut seen: HashMap<u32, ()> = HashMap::with_capacity(subtrace.len());
+    for &id in subtrace {
+        let repeated = seen.insert(id, ()).is_some();
+        if addrs[id as usize] & bit == 0 {
+            left.push(id);
+            left_reuse |= repeated;
+            left_unique += usize::from(!repeated);
+        } else {
+            right.push(id);
+            right_reuse |= repeated;
+            right_unique += usize::from(!repeated);
+        }
+    }
+    drop(seen);
+    if left_reuse && left_unique >= 2 {
+        visit(&left, level + 1, max_index_bits, addrs, histograms);
+    }
+    drop(left);
+    if right_reuse && right_unique >= 2 {
+        visit(&right, level + 1, max_index_bits, addrs, histograms);
+    }
+}
+
+/// Fenwick-tree sweep over one subtrace: histogram (for `d ≥ 1`) of the
+/// number of distinct references between consecutive occurrences.
+fn accumulate(subtrace: &[u32], histogram: &mut Vec<u64>) {
+    let mut fenwick = Fenwick::new(subtrace.len());
+    let mut last: HashMap<u32, usize> = HashMap::new();
+    for (t, &id) in subtrace.iter().enumerate() {
+        if let Some(prev) = last.insert(id, t) {
+            let d = fenwick.range_sum(prev + 1, t) as usize;
+            if d > 0 {
+                if histogram.len() <= d {
+                    histogram.resize(d + 1, 0);
+                }
+                histogram[d] += 1;
+            }
+            fenwick.add(prev, -1);
+        }
+        fenwick.add(t, 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bcat::Bcat;
+    use crate::mrct::Mrct;
+    use crate::postlude;
+    use cachedse_sim::onepass::profile_depths;
+    use cachedse_trace::{generate, paper_running_example, Address, Record, Trace};
+    use proptest::prelude::*;
+
+    fn tree_table(trace: &Trace, bits: u32) -> Vec<DepthProfile> {
+        let stripped = StrippedTrace::from_trace(trace);
+        let bcat = Bcat::from_stripped(&stripped, bits);
+        let mrct = Mrct::build(&stripped);
+        postlude::level_profiles(&bcat, &mrct, &stripped, bits)
+    }
+
+    fn depth_first(trace: &Trace, bits: u32) -> Vec<DepthProfile> {
+        level_profiles(&StrippedTrace::from_trace(trace), bits)
+    }
+
+    #[test]
+    fn paper_example_equivalence() {
+        let trace = paper_running_example();
+        assert_eq!(depth_first(&trace, 4), tree_table(&trace, 4));
+        assert_eq!(depth_first(&trace, 4), profile_depths(&trace, 4));
+    }
+
+    #[test]
+    fn workload_equivalence() {
+        for trace in [
+            generate::loop_pattern(0x80, 40, 25),
+            generate::strided(16, 32, 48, 5),
+            generate::uniform_random(1_500, 200, 23),
+            generate::working_set_phases(5, 200, 30, 41),
+        ] {
+            let bits = trace.address_bits().min(9);
+            assert_eq!(depth_first(&trace, bits), tree_table(&trace, bits));
+        }
+    }
+
+    #[test]
+    fn empty_trace() {
+        let profiles = depth_first(&Trace::new(), 3);
+        assert_eq!(profiles.len(), 4);
+        for p in &profiles {
+            assert_eq!(p.misses_at(1), 0);
+            assert_eq!(p.accesses(), 0);
+        }
+    }
+
+    #[test]
+    fn requesting_more_bits_than_addresses_is_safe() {
+        let trace: Trace = [1u32, 2, 1, 2]
+            .into_iter()
+            .map(|a| Record::read(Address::new(a)))
+            .collect();
+        let profiles = depth_first(&trace, 10);
+        assert_eq!(profiles.len(), 11);
+        assert_eq!(profiles[0].misses_at(1), 2);
+        for p in &profiles[1..] {
+            assert_eq!(p.misses_at(1), 0);
+        }
+    }
+
+    proptest! {
+        /// The depth-first engine, the tree+table engine, and one-pass
+        /// simulation agree on arbitrary traces.
+        #[test]
+        fn three_way_equivalence(addrs in prop::collection::vec(0u32..80, 1..250),
+                                 max_bits in 0u32..8) {
+            let trace: Trace = addrs.iter().map(|&a| Record::read(Address::new(a))).collect();
+            let dfs = depth_first(&trace, max_bits);
+            prop_assert_eq!(&dfs, &tree_table(&trace, max_bits));
+            prop_assert_eq!(&dfs, &profile_depths(&trace, max_bits));
+        }
+
+        /// The parallel engine is byte-identical to the serial one for any
+        /// trace, bit budget, and worker count.
+        #[test]
+        fn parallel_equals_serial(addrs in prop::collection::vec(0u32..120, 1..300),
+                                  max_bits in 0u32..9,
+                                  threads in 1usize..6) {
+            let trace: Trace = addrs.iter().map(|&a| Record::read(Address::new(a))).collect();
+            let stripped = StrippedTrace::from_trace(&trace);
+            let serial = level_profiles(&stripped, max_bits);
+            let parallel = level_profiles_parallel(
+                &stripped,
+                max_bits,
+                std::num::NonZeroUsize::new(threads).expect("nonzero"),
+            );
+            prop_assert_eq!(serial, parallel);
+        }
+    }
+
+    #[test]
+    fn parallel_on_workload_shapes() {
+        for trace in [
+            generate::loop_with_excursions(0, 128, 80, 11, 1 << 14, 9),
+            generate::working_set_phases(8, 400, 64, 2),
+        ] {
+            let stripped = StrippedTrace::from_trace(&trace);
+            let bits = trace.address_bits();
+            let serial = level_profiles(&stripped, bits);
+            for threads in [1, 2, 8] {
+                let parallel = level_profiles_parallel(
+                    &stripped,
+                    bits,
+                    std::num::NonZeroUsize::new(threads).expect("nonzero"),
+                );
+                assert_eq!(serial, parallel, "threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_empty_trace() {
+        let profiles = level_profiles_parallel(
+            &StrippedTrace::from_trace(&Trace::new()),
+            4,
+            std::num::NonZeroUsize::new(3).expect("nonzero"),
+        );
+        assert_eq!(profiles, level_profiles(&StrippedTrace::from_trace(&Trace::new()), 4));
+    }
+}

@@ -1,0 +1,52 @@
+//! Error type of the analytical explorer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by the analytical exploration API.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExploreError {
+    /// The trace contains no references; there is nothing to explore.
+    EmptyTrace,
+    /// A fractional miss budget was negative, above 1, or not finite.
+    InvalidBudgetFraction(f64),
+    /// The requested maximum index width exceeds the 31 bits a `u32` depth
+    /// can express.
+    IndexBitsTooLarge(u32),
+}
+
+impl fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyTrace => write!(f, "trace is empty"),
+            Self::InvalidBudgetFraction(x) => {
+                write!(f, "miss budget fraction {x} must be within 0.0..=1.0")
+            }
+            Self::IndexBitsTooLarge(bits) => {
+                write!(f, "maximum index width {bits} exceeds 31 bits")
+            }
+        }
+    }
+}
+
+impl Error for ExploreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_traits() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<ExploreError>();
+        assert_eq!(ExploreError::EmptyTrace.to_string(), "trace is empty");
+        assert_eq!(
+            ExploreError::InvalidBudgetFraction(-0.5).to_string(),
+            "miss budget fraction -0.5 must be within 0.0..=1.0"
+        );
+        assert_eq!(
+            ExploreError::IndexBitsTooLarge(40).to_string(),
+            "maximum index width 40 exceeds 31 bits"
+        );
+    }
+}

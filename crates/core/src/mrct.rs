@@ -1,0 +1,319 @@
+//! The Memory Reference Conflict Table (Algorithm 2, Table 4 of the paper).
+//!
+//! For every unique reference, the MRCT stores one *conflict set* per
+//! occurrence after the first: the set of distinct other references touched
+//! since the previous occurrence. The first occurrence is excluded because it
+//! "will always be a cold miss".
+//!
+//! Two builders are provided:
+//!
+//! * [`Mrct::build`] — the production path: a single pass over the identifier
+//!   sequence maintaining an LRU recency list, as Section 2.4 of the paper
+//!   recommends ("building of the MRCT … can be performed during the
+//!   stripping of the trace with no additional added time complexity if a
+//!   hash table is used"). Cost is proportional to the *output* size.
+//! * [`Mrct::build_naive`] — the paper's Algorithm 2 verbatim: for every
+//!   trace element, extend the pending conflict set of every other unique
+//!   reference. `O(N · N')`; kept as executable documentation and as the
+//!   oracle the fast builder is property-tested against.
+//!
+//! Conflict sets are stored as sorted identifier slices: the postlude only
+//! ever needs `|S ∩ C|` against a bitset `S`, which is a membership-count
+//! loop over the slice.
+
+use cachedse_trace::strip::{RefId, StrippedTrace};
+
+/// The conflict table: per unique reference, the conflict sets of its
+/// non-first occurrences in trace order.
+///
+/// # Examples
+///
+/// ```
+/// use cachedse_core::Mrct;
+/// use cachedse_trace::{paper_running_example, strip::{RefId, StrippedTrace}};
+///
+/// let stripped = StrippedTrace::from_trace(&paper_running_example());
+/// let mrct = Mrct::build(&stripped);
+///
+/// // Table 4, reference 1 (our id 0): {{2,3,4}, {2,4,5}} -> 0-based
+/// // {{1,2,3}, {1,3,4}}.
+/// let sets = mrct.conflict_sets(RefId::new(0));
+/// assert_eq!(sets[0], vec![1, 2, 3].into_boxed_slice());
+/// assert_eq!(sets[1], vec![1, 3, 4].into_boxed_slice());
+/// // Reference 5 (our id 4) occurs once: no conflict sets.
+/// assert!(mrct.conflict_sets(RefId::new(4)).is_empty());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Mrct {
+    /// `conflicts[id]` = conflict sets of reference `id`, one per non-first
+    /// occurrence, in trace order. Each set is sorted ascending.
+    conflicts: Vec<Vec<Box<[u32]>>>,
+}
+
+impl Mrct {
+    /// Builds the table in one pass with an LRU recency list.
+    ///
+    /// When reference `r` recurs, the references touched since its previous
+    /// occurrence are exactly those *more recent than `r`* on the recency
+    /// list, so the conflict set is a suffix copy — no per-element set
+    /// unions.
+    #[must_use]
+    pub fn build(stripped: &StrippedTrace) -> Self {
+        let n_unique = stripped.unique_len();
+        let mut conflicts: Vec<Vec<Box<[u32]>>> = vec![Vec::new(); n_unique];
+        // Recency list, most recent at the END (so cold inserts are O(1));
+        // `position[id]` is the index of `id` on the list, or usize::MAX.
+        let mut recency: Vec<u32> = Vec::with_capacity(n_unique);
+        let mut position: Vec<usize> = vec![usize::MAX; n_unique];
+        for &id in stripped.id_sequence() {
+            let idx = id.index();
+            let pos = position[idx];
+            if pos == usize::MAX {
+                position[idx] = recency.len();
+                recency.push(id.raw());
+            } else {
+                let mut set: Vec<u32> = recency[pos + 1..].to_vec();
+                set.sort_unstable();
+                conflicts[idx].push(set.into_boxed_slice());
+                // Move to the back, shifting the suffix left one slot.
+                recency.remove(pos);
+                for (i, &moved) in recency.iter().enumerate().skip(pos) {
+                    position[moved as usize] = i;
+                }
+                position[idx] = recency.len();
+                recency.push(id.raw());
+            }
+        }
+        Self { conflicts }
+    }
+
+    /// The paper's Algorithm 2, verbatim: quadratic, for testing and
+    /// documentation.
+    ///
+    /// For each trace element `R_j`, every other unique reference's pending
+    /// set `S_i` gains `R_j`'s identifier; when `R_j = U_i`, the pending set
+    /// `S_i` is emitted (skipping the empty set of the first occurrence) and
+    /// reset.
+    #[must_use]
+    pub fn build_naive(stripped: &StrippedTrace) -> Self {
+        let n_unique = stripped.unique_len();
+        let mut conflicts: Vec<Vec<Box<[u32]>>> = vec![Vec::new(); n_unique];
+        let mut pending: Vec<Vec<u32>> = vec![Vec::new(); n_unique];
+        let mut seen = vec![false; n_unique];
+        for &id in stripped.id_sequence() {
+            let j = id.index();
+            if seen[j] {
+                let mut set = std::mem::take(&mut pending[j]);
+                set.sort_unstable();
+                set.dedup();
+                conflicts[j].push(set.into_boxed_slice());
+            } else {
+                seen[j] = true;
+            }
+            for (i, s) in pending.iter_mut().enumerate() {
+                if i != j && seen[i] {
+                    s.push(id.raw());
+                }
+            }
+        }
+        Self { conflicts }
+    }
+
+    /// Number of unique references covered.
+    #[must_use]
+    pub fn unique_len(&self) -> usize {
+        self.conflicts.len()
+    }
+
+    /// The conflict sets of reference `id`, in trace order, each sorted
+    /// ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn conflict_sets(&self, id: RefId) -> &[Box<[u32]>] {
+        &self.conflicts[id.index()]
+    }
+
+    /// Total number of conflict sets — equals `N − N'`, one per non-first
+    /// occurrence.
+    #[must_use]
+    pub fn total_sets(&self) -> usize {
+        self.conflicts.iter().map(Vec::len).sum()
+    }
+
+    /// Total stored identifiers across all conflict sets (the table's memory
+    /// footprint driver).
+    #[must_use]
+    pub fn total_elements(&self) -> usize {
+        self.conflicts
+            .iter()
+            .flat_map(|sets| sets.iter())
+            .map(|s| s.len())
+            .sum()
+    }
+
+    /// Iterates `(RefId, conflict sets)` pairs in identifier order.
+    pub fn iter(&self) -> impl Iterator<Item = (RefId, &[Box<[u32]>])> {
+        self.conflicts
+            .iter()
+            .enumerate()
+            .map(|(i, sets)| (RefId::new(i as u32), sets.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachedse_trace::{generate, paper_running_example, Address, Record, Trace};
+    use proptest::prelude::*;
+
+    fn mrct_of(trace: &Trace) -> Mrct {
+        Mrct::build(&StrippedTrace::from_trace(trace))
+    }
+
+    fn as_vecs(sets: &[Box<[u32]>]) -> Vec<Vec<u32>> {
+        sets.iter().map(|s| s.to_vec()).collect()
+    }
+
+    #[test]
+    fn paper_table_4() {
+        let mrct = mrct_of(&paper_running_example());
+        // Table 4, shifted to 0-based ids:
+        // 1: {{2,3,4},{2,4,5}} -> {{1,2,3},{1,3,4}}
+        assert_eq!(
+            as_vecs(mrct.conflict_sets(RefId::new(0))),
+            vec![vec![1, 2, 3], vec![1, 3, 4]]
+        );
+        // 2: {{1,3,4,5}} -> {{0,2,3,4}}
+        assert_eq!(
+            as_vecs(mrct.conflict_sets(RefId::new(1))),
+            vec![vec![0, 2, 3, 4]]
+        );
+        // 3: {{1,2,4,5}} -> {{0,1,3,4}}
+        assert_eq!(
+            as_vecs(mrct.conflict_sets(RefId::new(2))),
+            vec![vec![0, 1, 3, 4]]
+        );
+        // 4: {{1,2,5}} -> {{0,1,4}}
+        assert_eq!(
+            as_vecs(mrct.conflict_sets(RefId::new(3))),
+            vec![vec![0, 1, 4]]
+        );
+        // 5: {} (single occurrence)
+        assert!(mrct.conflict_sets(RefId::new(4)).is_empty());
+        assert_eq!(mrct.total_sets(), 5); // N - N' = 10 - 5
+    }
+
+    #[test]
+    fn immediate_repeat_has_empty_conflict_set() {
+        let trace: Trace = [7u32, 7]
+            .into_iter()
+            .map(|a| Record::read(Address::new(a)))
+            .collect();
+        let mrct = mrct_of(&trace);
+        assert_eq!(as_vecs(mrct.conflict_sets(RefId::new(0))), vec![Vec::new()]);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let mrct = mrct_of(&Trace::new());
+        assert_eq!(mrct.unique_len(), 0);
+        assert_eq!(mrct.total_sets(), 0);
+        assert_eq!(mrct.total_elements(), 0);
+    }
+
+    #[test]
+    fn duplicate_interveners_appear_once() {
+        // a b b b a: the second a's conflict set is {b}, not {b,b,b}.
+        let trace: Trace = [1u32, 2, 2, 2, 1]
+            .into_iter()
+            .map(|a| Record::read(Address::new(a)))
+            .collect();
+        let mrct = mrct_of(&trace);
+        assert_eq!(as_vecs(mrct.conflict_sets(RefId::new(0))), vec![vec![1]]);
+    }
+
+    #[test]
+    fn naive_matches_fast_on_paper_example() {
+        let stripped = StrippedTrace::from_trace(&paper_running_example());
+        assert_eq!(Mrct::build(&stripped), Mrct::build_naive(&stripped));
+    }
+
+    #[test]
+    fn naive_matches_fast_on_workload_shapes() {
+        for trace in [
+            generate::loop_pattern(0, 16, 10),
+            generate::strided(0, 8, 32, 4),
+            generate::uniform_random(500, 40, 3),
+            generate::working_set_phases(3, 100, 12, 9),
+        ] {
+            let stripped = StrippedTrace::from_trace(&trace);
+            assert_eq!(Mrct::build(&stripped), Mrct::build_naive(&stripped));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn naive_matches_fast(addrs in prop::collection::vec(0u32..30, 0..200)) {
+            let trace: Trace = addrs.iter().map(|&a| Record::read(Address::new(a))).collect();
+            let stripped = StrippedTrace::from_trace(&trace);
+            prop_assert_eq!(Mrct::build(&stripped), Mrct::build_naive(&stripped));
+        }
+
+        /// Structural invariants: one set per non-first occurrence, sorted,
+        /// self-free, and within id range.
+        #[test]
+        fn structural_invariants(addrs in prop::collection::vec(0u32..30, 0..200)) {
+            let trace: Trace = addrs.iter().map(|&a| Record::read(Address::new(a))).collect();
+            let stripped = StrippedTrace::from_trace(&trace);
+            let mrct = Mrct::build(&stripped);
+
+            prop_assert_eq!(
+                mrct.total_sets(),
+                stripped.total_len() - stripped.unique_len()
+            );
+            for (id, sets) in mrct.iter() {
+                prop_assert_eq!(sets.len() as u32,
+                                stripped.occurrences(id).saturating_sub(1));
+                for set in sets {
+                    prop_assert!(set.windows(2).all(|w| w[0] < w[1]), "sorted, distinct");
+                    prop_assert!(!set.contains(&id.raw()), "self-free");
+                    prop_assert!(set.iter().all(|&x| (x as usize) < mrct.unique_len()));
+                }
+            }
+        }
+
+        /// Conflict sets really are "distinct refs in the reuse window":
+        /// check against a direct window scan.
+        #[test]
+        fn window_semantics(addrs in prop::collection::vec(0u32..20, 0..120)) {
+            let trace: Trace = addrs.iter().map(|&a| Record::read(Address::new(a))).collect();
+            let stripped = StrippedTrace::from_trace(&trace);
+            let mrct = Mrct::build(&stripped);
+            let ids = stripped.id_sequence();
+
+            let mut last = std::collections::HashMap::new();
+            let mut occurrence_index = vec![0usize; stripped.unique_len()];
+            for (t, &id) in ids.iter().enumerate() {
+                if let Some(&prev) = last.get(&id) {
+                    let mut window: Vec<u32> = ids[prev + 1..t]
+                        .iter()
+                        .map(|r| r.raw())
+                        .filter(|&x| x != id.raw())
+                        .collect();
+                    window.sort_unstable();
+                    window.dedup();
+                    let k = occurrence_index[id.index()];
+                    prop_assert_eq!(
+                        mrct.conflict_sets(id)[k].as_ref(),
+                        window.as_slice()
+                    );
+                    occurrence_index[id.index()] += 1;
+                }
+                last.insert(id, t);
+            }
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! The postlude phase (Algorithm 3 of the paper): combining the BCAT and the
+//! MRCT into exact per-`(depth, associativity)` miss counts.
+//!
+//! For a cache of depth `2^l`, the rows are the BCAT nodes at level `l`. An
+//! occurrence of reference `r` with conflict set `C` (from the MRCT), mapped
+//! to a row with resident set `S`, misses at associativity `A` **iff**
+//! `|S ∩ C| ≥ A`: the members of `S ∩ C` are exactly the distinct same-row
+//! references touched since `r`'s previous occurrence, i.e. `r`'s LRU stack
+//! depth within the row.
+//!
+//! Instead of the paper's per-associativity counters with early exit, this
+//! implementation accumulates a *histogram* of `|S ∩ C|` per level: the miss
+//! count at associativity `A` is the histogram's tail sum from `A`, which
+//! yields every associativity at once (and is how the one-pass simulator in
+//! `cachedse-sim` reports its results, making the two directly comparable —
+//! they produce equal [`DepthProfile`]s).
+
+use cachedse_sim::onepass::DepthProfile;
+use cachedse_trace::strip::{RefId, StrippedTrace};
+
+use crate::bcat::Bcat;
+use crate::mrct::Mrct;
+
+/// Computes the exact miss profile of every depth `1, 2, …, 2^max_index_bits`
+/// from the prelude data structures.
+///
+/// Levels beyond the materialized BCAT (all rows hold at most one reference,
+/// or the addresses have no more significant bits) contribute no avoidable
+/// misses and come out as all-`d = 0` profiles.
+///
+/// # Examples
+///
+/// ```
+/// use cachedse_core::{postlude, Bcat, Mrct, ZeroOneSets};
+/// use cachedse_trace::{paper_running_example, strip::StrippedTrace};
+///
+/// let stripped = StrippedTrace::from_trace(&paper_running_example());
+/// let bcat = Bcat::from_stripped(&stripped, 4);
+/// let mrct = Mrct::build(&stripped);
+/// let profiles = postlude::level_profiles(&bcat, &mrct, &stripped, 4);
+///
+/// // Section 2.3: a depth-2 cache needs associativity 3 for zero misses.
+/// assert_eq!(profiles[1].min_associativity(0), 3);
+/// ```
+#[must_use]
+pub fn level_profiles(
+    bcat: &Bcat,
+    mrct: &Mrct,
+    stripped: &StrippedTrace,
+    max_index_bits: u32,
+) -> Vec<DepthProfile> {
+    let total = stripped.total_len() as u64;
+    let unique = stripped.unique_len() as u64;
+    let non_cold = total - unique;
+
+    (0..=max_index_bits)
+        .map(|level| {
+            let mut histogram: Vec<u64> = Vec::new();
+            for node in bcat.nodes_at(level) {
+                let s = node.refs();
+                if s.len() < 2 {
+                    // A lone reference never conflicts; its occurrences all
+                    // land in the d = 0 bucket reconstructed below.
+                    continue;
+                }
+                for id in s.ones() {
+                    for conflict in mrct.conflict_sets(RefId::new(id as u32)) {
+                        let d = conflict
+                            .iter()
+                            .filter(|&&other| s.contains(other as usize))
+                            .count();
+                        if d > 0 {
+                            if histogram.len() <= d {
+                                histogram.resize(d + 1, 0);
+                            }
+                            histogram[d] += 1;
+                        }
+                    }
+                }
+            }
+            // Every non-first occurrence falls in exactly one row; those not
+            // counted above had zero same-row conflicts.
+            let tail: u64 = histogram.iter().sum();
+            if histogram.is_empty() {
+                histogram.push(non_cold - tail);
+            } else {
+                histogram[0] = non_cold - tail;
+            }
+            DepthProfile::from_parts(1 << level, histogram, unique, total)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachedse_sim::onepass::profile_depths;
+    use cachedse_trace::{generate, paper_running_example, Address, Record, Trace};
+    use proptest::prelude::*;
+
+    fn analytic_profiles(trace: &Trace, max_bits: u32) -> Vec<DepthProfile> {
+        let stripped = StrippedTrace::from_trace(trace);
+        let bcat = Bcat::from_stripped(&stripped, max_bits);
+        let mrct = Mrct::build(&stripped);
+        level_profiles(&bcat, &mrct, &stripped, max_bits)
+    }
+
+    #[test]
+    fn paper_example_zero_miss_associativities() {
+        let profiles = analytic_profiles(&paper_running_example(), 4);
+        let zero_miss: Vec<(u32, u32)> = profiles
+            .iter()
+            .map(|p| (p.depth(), p.min_associativity(0)))
+            .collect();
+        // Depth 1 needs 5 ways (deepest reuse spans 4 conflicts); depth 2
+        // needs 3 (Section 2.3); depths 4 and 8 need 2; depth 16 is fully
+        // disambiguated.
+        assert_eq!(
+            zero_miss,
+            vec![(1, 5), (2, 3), (4, 2), (8, 2), (16, 1)]
+        );
+    }
+
+    #[test]
+    fn paper_example_miss_counts_at_a1() {
+        let profiles = analytic_profiles(&paper_running_example(), 4);
+        // Worked in Section 2.3: at depth 4, row {1,4} (paper ids) sees two
+        // misses from reference 1 and one from 4; row {2,5} adds two more
+        // (2's and none of 5's... counted via the MRCT): direct mapped depth
+        // 4 misses 2+1+1+... — just pin the exact values as regression
+        // anchors, verified against the simulator below.
+        let d4 = &profiles[2];
+        assert_eq!(d4.misses_at(1), 4);
+        assert_eq!(d4.misses_at(2), 0);
+    }
+
+    #[test]
+    fn matches_one_pass_simulation_on_paper_example() {
+        let trace = paper_running_example();
+        assert_eq!(analytic_profiles(&trace, 4), profile_depths(&trace, 4));
+    }
+
+    #[test]
+    fn matches_one_pass_simulation_on_workloads() {
+        for trace in [
+            generate::loop_pattern(0x40, 24, 20),
+            generate::strided(0, 4, 64, 6),
+            generate::uniform_random(800, 128, 11),
+            generate::working_set_phases(4, 150, 24, 2),
+            generate::loop_with_excursions(0, 48, 30, 11, 1 << 10, 5),
+        ] {
+            let bits = trace.address_bits();
+            assert_eq!(analytic_profiles(&trace, bits), profile_depths(&trace, bits));
+        }
+    }
+
+    #[test]
+    fn empty_level_beyond_addresses() {
+        let trace: Trace = [1u32, 2, 1, 2]
+            .into_iter()
+            .map(|a| Record::read(Address::new(a)))
+            .collect();
+        // Addresses use 2 bits; ask for depths up to 2^5.
+        let profiles = analytic_profiles(&trace, 5);
+        assert_eq!(profiles.len(), 6);
+        for p in &profiles[2..] {
+            assert_eq!(p.misses_at(1), 0, "depth {}", p.depth());
+        }
+    }
+
+    proptest! {
+        /// The analytical postlude equals one-pass simulation on arbitrary
+        /// traces — the soundness core of the whole reproduction.
+        #[test]
+        fn matches_one_pass_simulation(addrs in prop::collection::vec(0u32..96, 1..250),
+                                       max_bits in 0u32..8) {
+            let trace: Trace = addrs.iter().map(|&a| Record::read(Address::new(a))).collect();
+            prop_assert_eq!(
+                analytic_profiles(&trace, max_bits),
+                profile_depths(&trace, max_bits)
+            );
+        }
+    }
+}

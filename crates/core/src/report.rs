@@ -1,0 +1,271 @@
+//! Paper-style multi-budget tables (the layout of Tables 7–30).
+//!
+//! The paper presents its results as one table per benchmark: rows are
+//! cache depths, columns the K ∈ {5, 10, 15, 20}% budgets, and each cell
+//! the minimum associativity. [`BudgetGrid`] renders an [`Exploration`]
+//! that way, for any budget set.
+
+use std::fmt;
+
+use crate::error::ExploreError;
+use crate::explorer::{Exploration, MissBudget};
+
+/// A depths × budgets table of minimum associativities.
+///
+/// # Examples
+///
+/// ```
+/// use cachedse_core::{BudgetGrid, DesignSpaceExplorer};
+/// use cachedse_trace::paper_running_example;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let trace = paper_running_example();
+/// let exploration = DesignSpaceExplorer::new(&trace).prepare()?;
+/// let grid = BudgetGrid::paper_budgets(&exploration)?;
+/// assert_eq!(grid.budget_count(), 4); // 5, 10, 15, 20 %
+/// assert!(grid.to_string().contains("depth"));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BudgetGrid {
+    depths: Vec<u32>,
+    labels: Vec<String>,
+    /// `cells[row][col]`: minimum associativity at `depths[row]` under
+    /// budget `labels[col]`.
+    cells: Vec<Vec<u32>>,
+}
+
+/// The paper's budget grid: K as 5, 10, 15, and 20 % of the maximum miss
+/// count.
+pub const PAPER_FRACTIONS: [f64; 4] = [0.05, 0.10, 0.15, 0.20];
+
+impl BudgetGrid {
+    /// Builds a grid over fractional budgets (column labels are
+    /// percentages).
+    ///
+    /// # Errors
+    ///
+    /// [`ExploreError::InvalidBudgetFraction`] for out-of-range fractions.
+    pub fn from_fractions(
+        exploration: &Exploration,
+        fractions: &[f64],
+    ) -> Result<Self, ExploreError> {
+        let budgets: Vec<MissBudget> = fractions
+            .iter()
+            .map(|&f| MissBudget::FractionOfMax(f))
+            .collect();
+        let labels = fractions.iter().map(|f| format!("{:.0}%", f * 100.0)).collect();
+        Self::from_budgets(exploration, &budgets, labels)
+    }
+
+    /// Builds the paper's 5/10/15/20 % grid.
+    ///
+    /// # Errors
+    ///
+    /// Never in practice (the fractions are in range); the signature keeps
+    /// the plumbing uniform.
+    pub fn paper_budgets(exploration: &Exploration) -> Result<Self, ExploreError> {
+        Self::from_fractions(exploration, &PAPER_FRACTIONS)
+    }
+
+    /// Builds a grid over arbitrary budgets with caller-supplied column
+    /// labels.
+    ///
+    /// # Errors
+    ///
+    /// Propagates budget-resolution errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels` and `budgets` differ in length.
+    pub fn from_budgets(
+        exploration: &Exploration,
+        budgets: &[MissBudget],
+        labels: Vec<String>,
+    ) -> Result<Self, ExploreError> {
+        assert_eq!(budgets.len(), labels.len(), "one label per budget");
+        let results: Vec<_> = budgets
+            .iter()
+            .map(|&b| exploration.result(b))
+            .collect::<Result<_, _>>()?;
+        let depths: Vec<u32> = exploration.profiles().iter().map(|p| p.depth()).collect();
+        let cells = depths
+            .iter()
+            .map(|&d| {
+                results
+                    .iter()
+                    .map(|r| r.associativity_of(d).expect("every depth explored"))
+                    .collect()
+            })
+            .collect();
+        Ok(Self {
+            depths,
+            labels,
+            cells,
+        })
+    }
+
+    /// The depths (row headers), ascending.
+    #[must_use]
+    pub fn depths(&self) -> &[u32] {
+        &self.depths
+    }
+
+    /// Number of budget columns.
+    #[must_use]
+    pub fn budget_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// The associativity at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[must_use]
+    pub fn associativity(&self, row: usize, col: usize) -> u32 {
+        self.cells[row][col]
+    }
+
+    /// Rows where at least one column needs more than a direct-mapped
+    /// cache — the informative region of the table.
+    #[must_use]
+    pub fn interesting_rows(&self) -> usize {
+        self.cells
+            .iter()
+            .rposition(|row| row.iter().any(|&a| a > 1))
+            .map_or(0, |i| i + 1)
+    }
+
+    /// Renders the grid as CSV (`depth` column plus one column per budget),
+    /// for spreadsheet or plotting pipelines.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cachedse_core::{BudgetGrid, DesignSpaceExplorer};
+    /// use cachedse_trace::paper_running_example;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let exploration = DesignSpaceExplorer::new(&paper_running_example()).prepare()?;
+    /// let csv = BudgetGrid::paper_budgets(&exploration)?.to_csv();
+    /// assert!(csv.starts_with("depth,5%,10%,15%,20%\n"));
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("depth");
+        for label in &self.labels {
+            let _ = write!(out, ",{label}");
+        }
+        out.push('\n');
+        for (depth, row) in self.depths.iter().zip(&self.cells) {
+            let _ = write!(out, "{depth}");
+            for a in row {
+                let _ = write!(out, ",{a}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for BudgetGrid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:>8}", "depth")?;
+        for label in &self.labels {
+            write!(f, " {:>6}", label)?;
+        }
+        writeln!(f)?;
+        for (depth, row) in self.depths.iter().zip(&self.cells) {
+            write!(f, "{depth:>8}")?;
+            for &a in row {
+                write!(f, " {a:>6}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explorer::DesignSpaceExplorer;
+    use cachedse_trace::paper_running_example;
+
+    fn grid() -> BudgetGrid {
+        let trace = paper_running_example();
+        let exploration = DesignSpaceExplorer::new(&trace).prepare().expect("non-empty");
+        BudgetGrid::paper_budgets(&exploration).expect("valid fractions")
+    }
+
+    #[test]
+    fn shape_and_cells() {
+        let g = grid();
+        assert_eq!(g.depths(), &[1, 2, 4, 8, 16]);
+        assert_eq!(g.budget_count(), 4);
+        // Max misses of the example is 5; 5% of 5 floors to 0, so the first
+        // column is the zero-miss column: depths 1..16 need 5,3,2,2,1.
+        assert_eq!(g.associativity(0, 0), 5);
+        assert_eq!(g.associativity(1, 0), 3);
+        assert_eq!(g.associativity(4, 0), 1);
+        // 20% of 5 floors to 1 miss allowed: never harder than 5%.
+        for row in 0..g.depths().len() {
+            assert!(g.associativity(row, 3) <= g.associativity(row, 0));
+        }
+    }
+
+    #[test]
+    fn interesting_rows_trims_trailing_direct_mapped() {
+        let g = grid();
+        // Depth 16 row is all 1s; everything above has some A > 1.
+        assert_eq!(g.interesting_rows(), 4);
+    }
+
+    #[test]
+    fn display_layout() {
+        let text = grid().to_string();
+        let mut lines = text.lines();
+        let header = lines.next().expect("non-empty");
+        assert!(header.contains("depth"));
+        assert!(header.contains("5%") && header.contains("20%"));
+        assert_eq!(text.lines().count(), 1 + 5);
+    }
+
+    #[test]
+    fn custom_budgets_and_labels() {
+        let trace = paper_running_example();
+        let exploration = DesignSpaceExplorer::new(&trace).prepare().expect("non-empty");
+        let g = BudgetGrid::from_budgets(
+            &exploration,
+            &[MissBudget::Absolute(0), MissBudget::Absolute(5)],
+            vec!["K=0".into(), "K=5".into()],
+        )
+        .expect("valid");
+        assert_eq!(g.budget_count(), 2);
+        assert!(g.to_string().contains("K=0"));
+        // With all 5 avoidable misses allowed, direct-mapped depth 1 works.
+        assert_eq!(g.associativity(0, 1), 1);
+    }
+
+    #[test]
+    fn csv_round_layout() {
+        let csv = grid().to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("depth,5%,10%,15%,20%"));
+        assert_eq!(lines.next(), Some("1,5,5,5,5"));
+        assert_eq!(csv.lines().count(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per budget")]
+    fn mismatched_labels_panic() {
+        let trace = paper_running_example();
+        let exploration = DesignSpaceExplorer::new(&trace).prepare().expect("non-empty");
+        let _ = BudgetGrid::from_budgets(&exploration, &[MissBudget::Absolute(0)], vec![]);
+    }
+}

@@ -1,0 +1,161 @@
+//! Zero/one sets: per-address-bit membership sets (Table 3 of the paper).
+//!
+//! For every address bit `B_i`, the set `Z_i` holds the identifiers of the
+//! unique references whose bit `i` is 0, and `O_i` those whose bit `i` is 1.
+//! Cross-intersecting these sets is how Algorithm 1 grows the
+//! [BCAT](crate::Bcat): the references mapping to cache row `b_1 b_0` of a
+//! depth-4 cache are exactly `(Z_0 or O_0) ∩ (Z_1 or O_1)` as selected by the
+//! row bits.
+
+use cachedse_bitset::DenseBitSet;
+use cachedse_trace::strip::StrippedTrace;
+
+/// The array of `(Z_i, O_i)` pairs for a stripped trace.
+///
+/// # Examples
+///
+/// ```
+/// use cachedse_core::ZeroOneSets;
+/// use cachedse_trace::{paper_running_example, strip::StrippedTrace};
+///
+/// let stripped = StrippedTrace::from_trace(&paper_running_example());
+/// let zo = ZeroOneSets::from_stripped(&stripped);
+///
+/// // Table 3, bit B0: Z = {2,3,5}, O = {1,4} in the paper's 1-based ids,
+/// // i.e. {1,2,4} and {0,3} with this crate's 0-based ids.
+/// assert_eq!(zo.zero(0).ones().collect::<Vec<_>>(), vec![1, 2, 4]);
+/// assert_eq!(zo.one(0).ones().collect::<Vec<_>>(), vec![0, 3]);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ZeroOneSets {
+    zero: Vec<DenseBitSet>,
+    one: Vec<DenseBitSet>,
+    unique_len: usize,
+}
+
+impl ZeroOneSets {
+    /// Builds the zero/one sets of every significant address bit.
+    #[must_use]
+    pub fn from_stripped(stripped: &StrippedTrace) -> Self {
+        let bits = stripped.address_bits();
+        let n = stripped.unique_len();
+        let mut zero = vec![DenseBitSet::with_capacity(n); bits as usize];
+        let mut one = vec![DenseBitSet::with_capacity(n); bits as usize];
+        for (id, addr) in stripped.iter() {
+            for b in 0..bits {
+                if addr.bit(b) {
+                    one[b as usize].insert(id.index());
+                } else {
+                    zero[b as usize].insert(id.index());
+                }
+            }
+        }
+        Self {
+            zero,
+            one,
+            unique_len: n,
+        }
+    }
+
+    /// Number of address bits covered.
+    #[must_use]
+    pub fn bits(&self) -> u32 {
+        self.zero.len() as u32
+    }
+
+    /// Number of unique references the sets partition.
+    #[must_use]
+    pub fn unique_len(&self) -> usize {
+        self.unique_len
+    }
+
+    /// The set `Z_i` of references with a 0 at bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.bits()`.
+    #[must_use]
+    pub fn zero(&self, i: u32) -> &DenseBitSet {
+        &self.zero[i as usize]
+    }
+
+    /// The set `O_i` of references with a 1 at bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.bits()`.
+    #[must_use]
+    pub fn one(&self, i: u32) -> &DenseBitSet {
+        &self.one[i as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachedse_trace::{paper_running_example, Address, Record, Trace};
+    use proptest::prelude::*;
+
+    fn ids(set: &DenseBitSet) -> Vec<usize> {
+        set.ones().collect()
+    }
+
+    #[test]
+    fn paper_table_3() {
+        let stripped = StrippedTrace::from_trace(&paper_running_example());
+        let zo = ZeroOneSets::from_stripped(&stripped);
+        assert_eq!(zo.bits(), 4);
+        assert_eq!(zo.unique_len(), 5);
+        // Paper Table 3 (ids shifted to 0-based):
+        // B0: Z={2,3,5}->{1,2,4}, O={1,4}->{0,3}
+        assert_eq!(ids(zo.zero(0)), vec![1, 2, 4]);
+        assert_eq!(ids(zo.one(0)), vec![0, 3]);
+        // B1: Z={2,5}->{1,4}, O={1,3,4}->{0,2,3}
+        assert_eq!(ids(zo.zero(1)), vec![1, 4]);
+        assert_eq!(ids(zo.one(1)), vec![0, 2, 3]);
+        // B2: Z={1,4}->{0,3}, O={2,3,5}->{1,2,4}
+        assert_eq!(ids(zo.zero(2)), vec![0, 3]);
+        assert_eq!(ids(zo.one(2)), vec![1, 2, 4]);
+        // B3: Z={3,4,5}->{2,3,4}, O={1,2}->{0,1}
+        assert_eq!(ids(zo.zero(3)), vec![2, 3, 4]);
+        assert_eq!(ids(zo.one(3)), vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_trace_has_one_bit() {
+        let stripped = StrippedTrace::from_trace(&Trace::new());
+        let zo = ZeroOneSets::from_stripped(&stripped);
+        assert_eq!(zo.bits(), 1);
+        assert!(zo.zero(0).is_empty());
+        assert!(zo.one(0).is_empty());
+    }
+
+    proptest! {
+        /// Every bit's (Z, O) pair partitions the unique references.
+        #[test]
+        fn each_bit_partitions(addrs in prop::collection::vec(0u32..1024, 1..200)) {
+            let trace: Trace = addrs.iter().map(|&a| Record::read(Address::new(a))).collect();
+            let stripped = StrippedTrace::from_trace(&trace);
+            let zo = ZeroOneSets::from_stripped(&stripped);
+            let all: DenseBitSet = (0..stripped.unique_len()).collect();
+            for b in 0..zo.bits() {
+                prop_assert!(zo.zero(b).is_disjoint(zo.one(b)));
+                prop_assert_eq!(&zo.zero(b).union(zo.one(b)), &all);
+            }
+        }
+
+        /// Membership agrees with the address bits.
+        #[test]
+        fn membership_matches_bits(addrs in prop::collection::vec(0u32..4096, 1..100)) {
+            let trace: Trace = addrs.iter().map(|&a| Record::read(Address::new(a))).collect();
+            let stripped = StrippedTrace::from_trace(&trace);
+            let zo = ZeroOneSets::from_stripped(&stripped);
+            for (id, addr) in stripped.iter() {
+                for b in 0..zo.bits() {
+                    prop_assert_eq!(zo.one(b).contains(id.index()), addr.bit(b));
+                    prop_assert_eq!(zo.zero(b).contains(id.index()), !addr.bit(b));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Cache geometry: the physical parameters the cost models consume.
+
+use cachedse_sim::{CacheConfig, DesignPoint};
+use std::fmt;
+
+/// Address width assumed when sizing tags (word-addressed, as everywhere in
+/// this workspace).
+pub const ADDRESS_BITS: u32 = 32;
+
+/// Bits per data word.
+pub const WORD_BITS: u32 = 32;
+
+/// The physical shape of one cache: rows, ways, and line size.
+///
+/// # Examples
+///
+/// ```
+/// use cachedse_cost::CacheGeometry;
+///
+/// let g = CacheGeometry::new(256, 2, 1); // 256 rows, 2-way, 2-word lines
+/// assert_eq!(g.size_words(), 1024);
+/// assert_eq!(g.index_bits(), 8);
+/// assert_eq!(g.tag_bits(), 32 - 8 - 1);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CacheGeometry {
+    depth: u32,
+    associativity: u32,
+    line_bits: u32,
+}
+
+impl CacheGeometry {
+    /// Creates a geometry; `line_bits` is `log2` of the line size in words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is not a power of two or `associativity` is zero.
+    #[must_use]
+    pub fn new(depth: u32, associativity: u32, line_bits: u32) -> Self {
+        assert!(
+            depth > 0 && depth.is_power_of_two(),
+            "depth must be a power of two"
+        );
+        assert!(associativity > 0, "associativity must be nonzero");
+        Self {
+            depth,
+            associativity,
+            line_bits,
+        }
+    }
+
+    /// Geometry of an explored design point at a given line size.
+    #[must_use]
+    pub fn from_design_point(point: DesignPoint, line_bits: u32) -> Self {
+        Self::new(point.depth, point.associativity, line_bits)
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Ways per row.
+    #[must_use]
+    pub fn associativity(&self) -> u32 {
+        self.associativity
+    }
+
+    /// `log2` of the line size in words.
+    #[must_use]
+    pub fn line_bits(&self) -> u32 {
+        self.line_bits
+    }
+
+    /// Words per line.
+    #[must_use]
+    pub fn line_words(&self) -> u32 {
+        1 << self.line_bits
+    }
+
+    /// `log2(depth)`.
+    #[must_use]
+    pub fn index_bits(&self) -> u32 {
+        self.depth.trailing_zeros()
+    }
+
+    /// Tag width: address bits minus index and line-offset bits.
+    #[must_use]
+    pub fn tag_bits(&self) -> u32 {
+        ADDRESS_BITS.saturating_sub(self.index_bits() + self.line_bits)
+    }
+
+    /// Total data capacity in words.
+    #[must_use]
+    pub fn size_words(&self) -> u64 {
+        u64::from(self.depth) * u64::from(self.associativity) * u64::from(self.line_words())
+    }
+
+    /// Total storage bits: data plus tag plus valid/dirty state per line.
+    #[must_use]
+    pub fn storage_bits(&self) -> u64 {
+        let lines = u64::from(self.depth) * u64::from(self.associativity);
+        let per_line =
+            u64::from(self.line_words()) * u64::from(WORD_BITS) + u64::from(self.tag_bits()) + 2;
+        lines * per_line
+    }
+}
+
+impl From<&CacheConfig> for CacheGeometry {
+    fn from(config: &CacheConfig) -> Self {
+        Self::new(config.depth(), config.associativity(), config.line_bits())
+    }
+}
+
+impl fmt::Display for CacheGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{}x{}w",
+            self.depth,
+            self.associativity,
+            self.line_words()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_quantities() {
+        let g = CacheGeometry::new(512, 2, 2);
+        assert_eq!(g.index_bits(), 9);
+        assert_eq!(g.line_words(), 4);
+        assert_eq!(g.tag_bits(), 32 - 9 - 2);
+        assert_eq!(g.size_words(), 512 * 2 * 4);
+        assert_eq!(
+            g.storage_bits(),
+            512 * 2 * (4 * 32 + 21 + 2)
+        );
+        assert_eq!(g.to_string(), "512x2x4w");
+    }
+
+    #[test]
+    fn from_config_and_point() {
+        let config = CacheConfig::lru(64, 4).unwrap();
+        let g = CacheGeometry::from(&config);
+        assert_eq!(g.depth(), 64);
+        let p = DesignPoint {
+            depth: 8,
+            associativity: 2,
+        };
+        assert_eq!(CacheGeometry::from_design_point(p, 1).line_words(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_bad_depth() {
+        let _ = CacheGeometry::new(3, 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn rejects_zero_ways() {
+        let _ = CacheGeometry::new(4, 0, 0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Energy, area, and timing models for the explored cache design space.
+//!
+//! The paper's motivation is energy as much as performance: cache fetches
+//! from off-chip memory are "power costly communication over the system bus
+//! that crosses chip boundaries", and its future-work section names
+//! management policies, line size, and bus architecture as the next design
+//! axes. This crate supplies the missing objective function: first-order,
+//! CACTI-flavored (the paper's reference \[11\]) models of
+//!
+//! * **dynamic energy per access** ([`EnergyModel`]) — decoder, tag
+//!   compares, and data-array read scale with depth, associativity, and line
+//!   size;
+//! * **miss cost** — bus transfer + main-memory access energy and stall
+//!   cycles per line fill ([`MemoryModel`]);
+//! * **area** ([`AreaModel`]) — storage bits plus per-way comparator and
+//!   decoder overhead;
+//! * **access time** ([`TimingModel`]) — decode + way-mux critical path.
+//!
+//! Combined with the exact per-configuration miss counts of
+//! `cachedse-core`, the [`select`] module turns the paper's
+//! miss-constrained exploration into an *energy-optimal* selection without
+//! any simulation (every quantity it needs — accesses, cold misses, misses
+//! per `(D, A)` — is already in the analytical profiles).
+//!
+//! The constants are representative of a late-1990s/early-2000s embedded
+//! process (0.18 µm), the technology of the paper's era. They are exposed as
+//! plain struct fields: calibrate them against your own characterization
+//! data; the *relative* rankings these models produce are the point, not
+//! absolute joules.
+//!
+//! # Examples
+//!
+//! ```
+//! use cachedse_cost::{CacheGeometry, CostModel};
+//!
+//! let model = CostModel::default_180nm();
+//! let small = CacheGeometry::new(64, 1, 0);
+//! let big = CacheGeometry::new(1024, 4, 2);
+//! assert!(model.energy.read_energy_pj(&small) < model.energy.read_energy_pj(&big));
+//! assert!(model.area.area_um2(&small) < model.area.area_um2(&big));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod geometry;
+mod models;
+
+pub mod select;
+
+pub use geometry::CacheGeometry;
+pub use models::{AreaModel, CostModel, CostReport, EnergyModel, MemoryModel, TimingModel};

@@ -1,0 +1,335 @@
+//! The first-order cost models.
+//!
+//! Every formula is written out where it is computed, with named constants,
+//! so the models can be audited and recalibrated at a glance. They follow
+//! the structure (not the circuit-level detail) of CACTI: an access pays for
+//! row decode, then `A` parallel tag compares and data reads, then way
+//! selection; a miss additionally pays bus + main-memory costs per line
+//! word.
+
+use std::fmt;
+
+use cachedse_sim::SimStats;
+
+use crate::geometry::CacheGeometry;
+
+/// Dynamic-energy model (picojoules).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EnergyModel {
+    /// Decoder energy per indexed row bit (pJ): wordline/decoder tree cost
+    /// grows with `log2(depth)`.
+    pub decode_pj_per_index_bit: f64,
+    /// Bitline/sense energy per row of the array touched (pJ): grows with
+    /// `sqrt(depth)` as bitlines lengthen.
+    pub bitline_pj_per_sqrt_row: f64,
+    /// Energy per tag bit compared, per way (pJ).
+    pub tag_pj_per_bit: f64,
+    /// Energy per data bit read out, per way (pJ) — all ways read in a
+    /// conventional parallel-access set-associative cache.
+    pub data_pj_per_bit: f64,
+    /// Output driver / way-mux energy per access (pJ).
+    pub output_pj: f64,
+}
+
+impl EnergyModel {
+    /// Representative 0.18 µm constants.
+    #[must_use]
+    pub fn default_180nm() -> Self {
+        Self {
+            decode_pj_per_index_bit: 0.8,
+            bitline_pj_per_sqrt_row: 0.9,
+            tag_pj_per_bit: 0.05,
+            data_pj_per_bit: 0.04,
+            output_pj: 1.2,
+        }
+    }
+
+    /// Dynamic energy of one cache read access (pJ).
+    #[must_use]
+    pub fn read_energy_pj(&self, g: &CacheGeometry) -> f64 {
+        let ways = f64::from(g.associativity());
+        let decode = self.decode_pj_per_index_bit * f64::from(g.index_bits().max(1))
+            + self.bitline_pj_per_sqrt_row * f64::from(g.depth()).sqrt();
+        let tags = ways * self.tag_pj_per_bit * f64::from(g.tag_bits());
+        let data = ways
+            * self.data_pj_per_bit
+            * f64::from(g.line_words() * crate::geometry::WORD_BITS);
+        decode + tags + data + self.output_pj
+    }
+}
+
+/// Off-chip memory and bus model: what a miss costs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MemoryModel {
+    /// Energy to drive one word across the system bus (pJ) — the paper's
+    /// "power costly communication over the system bus that crosses chip
+    /// boundaries".
+    pub bus_pj_per_word: f64,
+    /// Main-memory access energy per line fill (pJ).
+    pub mainmem_pj_per_access: f64,
+    /// Stall cycles to start a line fill.
+    pub miss_latency_cycles: u64,
+    /// Additional stall cycles per burst word after the first.
+    pub cycles_per_burst_word: u64,
+}
+
+impl MemoryModel {
+    /// Representative embedded SDRAM + on-board bus constants.
+    #[must_use]
+    pub fn default_embedded() -> Self {
+        Self {
+            bus_pj_per_word: 18.0,
+            mainmem_pj_per_access: 160.0,
+            miss_latency_cycles: 20,
+            cycles_per_burst_word: 2,
+        }
+    }
+
+    /// Energy of one miss (line fill) in pJ.
+    #[must_use]
+    pub fn miss_energy_pj(&self, g: &CacheGeometry) -> f64 {
+        self.mainmem_pj_per_access + self.bus_pj_per_word * f64::from(g.line_words())
+    }
+
+    /// Stall cycles of one miss.
+    #[must_use]
+    pub fn miss_cycles(&self, g: &CacheGeometry) -> u64 {
+        self.miss_latency_cycles + self.cycles_per_burst_word * u64::from(g.line_words() - 1)
+    }
+}
+
+/// Area model (square micrometres).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AreaModel {
+    /// Area per SRAM storage bit (µm²).
+    pub um2_per_bit: f64,
+    /// Area per way for the tag comparator and way-select logic (µm²).
+    pub um2_per_comparator: f64,
+    /// Decoder area per indexed row (µm²).
+    pub um2_per_row_decode: f64,
+}
+
+impl AreaModel {
+    /// Representative 0.18 µm constants (≈4.6 µm² per 6T SRAM bit).
+    #[must_use]
+    pub fn default_180nm() -> Self {
+        Self {
+            um2_per_bit: 4.6,
+            um2_per_comparator: 950.0,
+            um2_per_row_decode: 45.0,
+        }
+    }
+
+    /// Total estimated area (µm²).
+    #[must_use]
+    pub fn area_um2(&self, g: &CacheGeometry) -> f64 {
+        self.um2_per_bit * g.storage_bits() as f64
+            + self.um2_per_comparator * f64::from(g.associativity())
+            + self.um2_per_row_decode * f64::from(g.depth())
+    }
+}
+
+/// Access-time model (nanoseconds) — decode, sense, compare, way-mux.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TimingModel {
+    /// Fixed sense/precharge time (ns).
+    pub base_ns: f64,
+    /// Added per index bit of row decode (ns).
+    pub ns_per_index_bit: f64,
+    /// Added per doubling of associativity (way-select mux depth, ns).
+    pub ns_per_way_doubling: f64,
+}
+
+impl TimingModel {
+    /// Representative 0.18 µm constants.
+    #[must_use]
+    pub fn default_180nm() -> Self {
+        Self {
+            base_ns: 0.9,
+            ns_per_index_bit: 0.11,
+            ns_per_way_doubling: 0.18,
+        }
+    }
+
+    /// Estimated access time (ns).
+    #[must_use]
+    pub fn access_ns(&self, g: &CacheGeometry) -> f64 {
+        let way_levels = (32 - g.associativity().leading_zeros() - 1) as f64;
+        self.base_ns
+            + self.ns_per_index_bit * f64::from(g.index_bits())
+            + self.ns_per_way_doubling * way_levels
+    }
+}
+
+/// The three models bundled.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostModel {
+    /// Per-access dynamic energy.
+    pub energy: EnergyModel,
+    /// Miss (bus + main memory) costs.
+    pub memory: MemoryModel,
+    /// Silicon area.
+    pub area: AreaModel,
+    /// Access latency.
+    pub timing: TimingModel,
+}
+
+impl CostModel {
+    /// The default 0.18 µm embedded technology bundle.
+    #[must_use]
+    pub fn default_180nm() -> Self {
+        Self {
+            energy: EnergyModel::default_180nm(),
+            memory: MemoryModel::default_embedded(),
+            area: AreaModel::default_180nm(),
+            timing: TimingModel::default_180nm(),
+        }
+    }
+
+    /// Evaluates a run: `accesses` cache accesses of which `misses` missed
+    /// (cold misses included — they fill lines and burn bus energy too).
+    #[must_use]
+    pub fn evaluate(&self, g: &CacheGeometry, accesses: u64, misses: u64) -> CostReport {
+        let access_energy = self.energy.read_energy_pj(g) * accesses as f64;
+        let miss_energy = self.memory.miss_energy_pj(g) * misses as f64;
+        let stall_cycles = self.memory.miss_cycles(g) * misses;
+        let cycles = accesses + stall_cycles;
+        CostReport {
+            geometry: *g,
+            accesses,
+            misses,
+            dynamic_nj: (access_energy + miss_energy) / 1e3,
+            cycles,
+            area_um2: self.area.area_um2(g),
+            access_ns: self.timing.access_ns(g),
+        }
+    }
+
+    /// Evaluates simulator output directly.
+    #[must_use]
+    pub fn evaluate_stats(&self, g: &CacheGeometry, stats: &SimStats) -> CostReport {
+        self.evaluate(g, stats.accesses, stats.misses)
+    }
+}
+
+/// The evaluated cost of running one workload on one cache.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostReport {
+    /// The geometry evaluated.
+    pub geometry: CacheGeometry,
+    /// Cache accesses.
+    pub accesses: u64,
+    /// Total misses (cold included).
+    pub misses: u64,
+    /// Total dynamic energy, nanojoules.
+    pub dynamic_nj: f64,
+    /// Execution cycles charged to the memory system (1 per access + miss
+    /// stalls).
+    pub cycles: u64,
+    /// Estimated silicon area (µm²).
+    pub area_um2: f64,
+    /// Estimated access time (ns).
+    pub access_ns: f64,
+}
+
+impl CostReport {
+    /// Energy–delay product (nJ · cycles): the classic single-figure merit.
+    #[must_use]
+    pub fn energy_delay(&self) -> f64 {
+        self.dynamic_nj * self.cycles as f64
+    }
+}
+
+impl fmt::Display for CostReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {:.1} nJ, {} cycles, {:.0} um2, {:.2} ns",
+            self.geometry, self.dynamic_nj, self.cycles, self.area_um2, self.access_ns
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn g(depth: u32, ways: u32, line_bits: u32) -> CacheGeometry {
+        CacheGeometry::new(depth, ways, line_bits)
+    }
+
+    #[test]
+    fn energy_grows_with_each_axis() {
+        let m = EnergyModel::default_180nm();
+        let base = m.read_energy_pj(&g(64, 1, 0));
+        assert!(m.read_energy_pj(&g(128, 1, 0)) > base, "deeper costs more");
+        assert!(m.read_energy_pj(&g(64, 2, 0)) > base, "more ways cost more");
+        assert!(m.read_energy_pj(&g(64, 1, 1)) > base, "wider lines cost more");
+    }
+
+    #[test]
+    fn miss_costs_scale_with_line() {
+        let m = MemoryModel::default_embedded();
+        assert!(m.miss_energy_pj(&g(4, 1, 2)) > m.miss_energy_pj(&g(4, 1, 0)));
+        assert_eq!(m.miss_cycles(&g(4, 1, 0)), 20);
+        assert_eq!(m.miss_cycles(&g(4, 1, 2)), 20 + 2 * 3);
+    }
+
+    #[test]
+    fn area_dominated_by_storage() {
+        let m = AreaModel::default_180nm();
+        let small = m.area_um2(&g(64, 1, 0));
+        let double = m.area_um2(&g(128, 1, 0));
+        assert!(double > 1.7 * small && double < 2.3 * small);
+    }
+
+    #[test]
+    fn timing_grows_with_depth_and_ways() {
+        let m = TimingModel::default_180nm();
+        assert!(m.access_ns(&g(256, 1, 0)) > m.access_ns(&g(16, 1, 0)));
+        assert!(m.access_ns(&g(16, 8, 0)) > m.access_ns(&g(16, 1, 0)));
+        // A direct-mapped cache has zero way-mux levels.
+        let dm = m.access_ns(&g(16, 1, 0));
+        assert!((dm - (0.9 + 0.11 * 4.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn evaluate_accounts_misses() {
+        let model = CostModel::default_180nm();
+        let geom = g(64, 2, 0);
+        let clean = model.evaluate(&geom, 10_000, 0);
+        let missy = model.evaluate(&geom, 10_000, 1_000);
+        assert_eq!(clean.cycles, 10_000);
+        assert_eq!(missy.cycles, 10_000 + 20 * 1_000);
+        assert!(missy.dynamic_nj > clean.dynamic_nj);
+        assert!(missy.energy_delay() > clean.energy_delay());
+        assert!(missy.to_string().contains("64x2x1w"));
+    }
+
+    proptest! {
+        /// More misses never reduce energy or cycles.
+        #[test]
+        fn cost_monotone_in_misses(accesses in 1u64..1_000_000,
+                                   m1 in 0u64..10_000, m2 in 0u64..10_000) {
+            let model = CostModel::default_180nm();
+            let geom = g(128, 2, 1);
+            let (lo, hi) = if m1 <= m2 { (m1, m2) } else { (m2, m1) };
+            let a = model.evaluate(&geom, accesses, lo);
+            let b = model.evaluate(&geom, accesses, hi);
+            prop_assert!(b.dynamic_nj >= a.dynamic_nj);
+            prop_assert!(b.cycles >= a.cycles);
+        }
+
+        /// All cost figures are finite and positive for sane geometries.
+        #[test]
+        fn costs_are_finite(index_bits in 0u32..16, ways in 1u32..16, line_bits in 0u32..4) {
+            let model = CostModel::default_180nm();
+            let geom = g(1 << index_bits, ways, line_bits);
+            let r = model.evaluate(&geom, 1000, 100);
+            prop_assert!(r.dynamic_nj.is_finite() && r.dynamic_nj > 0.0);
+            prop_assert!(r.area_um2.is_finite() && r.area_um2 > 0.0);
+            prop_assert!(r.access_ns.is_finite() && r.access_ns > 0.0);
+        }
+    }
+}

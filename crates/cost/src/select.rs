@@ -1,0 +1,245 @@
+//! Energy-aware selection over analytically explored design spaces.
+//!
+//! The paper's output is, per depth, the minimum associativity meeting a
+//! miss budget. A designer still has to pick *one* of those `(D, A)` pairs —
+//! and the right tiebreaker for embedded parts is energy. Everything needed
+//! is already in the analytical profiles (accesses, cold misses, exact
+//! misses at every `(D, A)`), so selection costs no simulation.
+//!
+//! [`line_size_sweep`] extends the same idea along the paper's future-work
+//! axis of line size: explore the trace coarsened to each candidate line
+//! size, evaluate energy (longer lines pay more per miss and per access but
+//! miss less), and return the per-line-size optima.
+
+use cachedse_core::{DesignSpaceExplorer, Exploration, ExploreError, MissBudget};
+use cachedse_sim::DesignPoint;
+use cachedse_trace::Trace;
+
+use crate::geometry::CacheGeometry;
+use crate::models::{CostModel, CostReport};
+
+/// A design point with its evaluated cost.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RankedPoint {
+    /// The `(depth, associativity)` pair.
+    pub point: DesignPoint,
+    /// The line size (`log2` words) the trace was analyzed at.
+    pub line_bits: u32,
+    /// Exact avoidable misses at this configuration.
+    pub avoidable_misses: u64,
+    /// The evaluated cost.
+    pub report: CostReport,
+}
+
+/// Evaluates every budget-satisfying pair of an exploration and returns them
+/// sorted by dynamic energy (ties toward smaller area).
+///
+/// # Errors
+///
+/// Propagates [`ExploreError`] from budget resolution.
+pub fn rank_within_budget(
+    exploration: &Exploration,
+    budget: MissBudget,
+    line_bits: u32,
+    model: &CostModel,
+) -> Result<Vec<RankedPoint>, ExploreError> {
+    let result = exploration.result(budget)?;
+    let mut ranked: Vec<RankedPoint> = exploration
+        .profiles()
+        .iter()
+        .zip(result.pairs())
+        .map(|(profile, &point)| {
+            let avoidable = profile.misses_at(point.associativity);
+            let misses = avoidable + profile.cold();
+            let geometry = CacheGeometry::from_design_point(point, line_bits);
+            RankedPoint {
+                point,
+                line_bits,
+                avoidable_misses: avoidable,
+                report: model.evaluate(&geometry, profile.accesses(), misses),
+            }
+        })
+        .collect();
+    ranked.sort_by(|a, b| {
+        a.report
+            .dynamic_nj
+            .total_cmp(&b.report.dynamic_nj)
+            .then(a.report.area_um2.total_cmp(&b.report.area_um2))
+    });
+    Ok(ranked)
+}
+
+/// The lowest-energy configuration meeting the budget.
+///
+/// # Errors
+///
+/// Propagates [`ExploreError`] from budget resolution.
+pub fn energy_optimal(
+    exploration: &Exploration,
+    budget: MissBudget,
+    line_bits: u32,
+    model: &CostModel,
+) -> Result<RankedPoint, ExploreError> {
+    Ok(rank_within_budget(exploration, budget, line_bits, model)?
+        .into_iter()
+        .next()
+        .expect("explorations cover at least depth 1"))
+}
+
+/// The global energy optimum with **no** miss constraint: scans every depth
+/// and every associativity up to the zero-miss requirement (beyond it,
+/// misses stay zero while energy only grows).
+#[must_use]
+pub fn energy_optimal_unconstrained(
+    exploration: &Exploration,
+    line_bits: u32,
+    model: &CostModel,
+) -> RankedPoint {
+    let mut best: Option<RankedPoint> = None;
+    for profile in exploration.profiles() {
+        let a_zero = profile.min_associativity(0);
+        for assoc in 1..=a_zero {
+            let point = DesignPoint {
+                depth: profile.depth(),
+                associativity: assoc,
+            };
+            let avoidable = profile.misses_at(assoc);
+            let geometry = CacheGeometry::from_design_point(point, line_bits);
+            let report =
+                model.evaluate(&geometry, profile.accesses(), avoidable + profile.cold());
+            let candidate = RankedPoint {
+                point,
+                line_bits,
+                avoidable_misses: avoidable,
+                report,
+            };
+            let better = match &best {
+                None => true,
+                Some(b) => candidate.report.dynamic_nj < b.report.dynamic_nj,
+            };
+            if better {
+                best = Some(candidate);
+            }
+        }
+    }
+    best.expect("explorations cover at least depth 1")
+}
+
+/// Explores the trace at every line size `2^0 .. 2^max_line_bits` words and
+/// returns the unconstrained energy optimum per line size, smallest line
+/// first — the paper's future-work line-size axis made comparable through
+/// energy.
+///
+/// # Errors
+///
+/// [`ExploreError::EmptyTrace`] for an empty trace.
+pub fn line_size_sweep(
+    trace: &Trace,
+    max_line_bits: u32,
+    model: &CostModel,
+) -> Result<Vec<RankedPoint>, ExploreError> {
+    (0..=max_line_bits)
+        .map(|line_bits| {
+            let coarse = trace.block_aligned(line_bits);
+            let exploration = DesignSpaceExplorer::new(&coarse).prepare()?;
+            Ok(energy_optimal_unconstrained(
+                &exploration,
+                line_bits,
+                model,
+            ))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachedse_sim::{simulate, CacheConfig};
+    use cachedse_trace::generate;
+
+    fn exploration_of(trace: &Trace) -> Exploration {
+        DesignSpaceExplorer::new(trace).prepare().expect("non-empty")
+    }
+
+    #[test]
+    fn ranking_is_sorted_and_within_budget() {
+        let trace = generate::loop_with_excursions(0, 64, 50, 9, 1 << 10, 3);
+        let exploration = exploration_of(&trace);
+        let model = CostModel::default_180nm();
+        let budget = MissBudget::FractionOfMax(0.10);
+        let ranked = rank_within_budget(&exploration, budget, 0, &model).unwrap();
+        assert_eq!(ranked.len(), exploration.profiles().len());
+        let resolved = exploration.resolve_budget(budget).unwrap();
+        for pair in ranked.windows(2) {
+            assert!(pair[0].report.dynamic_nj <= pair[1].report.dynamic_nj);
+        }
+        for p in &ranked {
+            assert!(p.avoidable_misses <= resolved);
+        }
+        assert_eq!(
+            energy_optimal(&exploration, budget, 0, &model).unwrap(),
+            ranked[0]
+        );
+    }
+
+    #[test]
+    fn ranked_misses_match_simulation() {
+        let trace = generate::working_set_phases(4, 300, 48, 5);
+        let exploration = exploration_of(&trace);
+        let model = CostModel::default_180nm();
+        let ranked =
+            rank_within_budget(&exploration, MissBudget::Absolute(20), 0, &model).unwrap();
+        for p in ranked {
+            let config = CacheConfig::lru(p.point.depth, p.point.associativity).unwrap();
+            let stats = simulate(&trace, &config);
+            assert_eq!(p.avoidable_misses, stats.avoidable_misses());
+            assert_eq!(p.report.misses, stats.misses);
+            assert_eq!(p.report.accesses, stats.accesses);
+        }
+    }
+
+    #[test]
+    fn unconstrained_beats_or_ties_every_budgeted_choice() {
+        let trace = generate::uniform_random(3_000, 256, 9);
+        let exploration = exploration_of(&trace);
+        let model = CostModel::default_180nm();
+        let free = energy_optimal_unconstrained(&exploration, 0, &model);
+        for fraction in [0.0, 0.05, 0.20, 1.0] {
+            let constrained = energy_optimal(
+                &exploration,
+                MissBudget::FractionOfMax(fraction),
+                0,
+                &model,
+            )
+            .unwrap();
+            assert!(free.report.dynamic_nj <= constrained.report.dynamic_nj + 1e-9);
+        }
+    }
+
+    #[test]
+    fn line_sweep_covers_all_sizes() {
+        let trace = generate::loop_pattern(0, 128, 40);
+        let model = CostModel::default_180nm();
+        let sweep = line_size_sweep(&trace, 3, &model).unwrap();
+        assert_eq!(sweep.len(), 4);
+        for (bits, p) in sweep.iter().enumerate() {
+            assert_eq!(p.line_bits, bits as u32);
+        }
+        // A pure sequential loop benefits from longer lines: the best line
+        // size is not the single-word one.
+        let best = sweep
+            .iter()
+            .min_by(|a, b| a.report.dynamic_nj.total_cmp(&b.report.dynamic_nj))
+            .unwrap();
+        assert!(best.line_bits > 0, "sequential loop should prefer wider lines");
+    }
+
+    #[test]
+    fn empty_trace_errors() {
+        let model = CostModel::default_180nm();
+        assert!(matches!(
+            line_size_sweep(&Trace::new(), 2, &model),
+            Err(ExploreError::EmptyTrace)
+        ));
+    }
+}

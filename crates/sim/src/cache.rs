@@ -1,0 +1,653 @@
+//! The cache model itself.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use cachedse_trace::{AccessKind, Record, Trace};
+
+use crate::config::{CacheConfig, Replacement, WritePolicy};
+
+/// Counters accumulated over a simulation.
+///
+/// The paper's constraint `K` excludes cold misses ("cold misses cannot be
+/// avoided"), so alongside raw [`misses`](Self::misses) the simulator
+/// classifies [`cold_misses`](Self::cold_misses) — first-ever touches of a
+/// block — and exposes [`avoidable_misses`](Self::avoidable_misses), the
+/// quantity every comparison in this workspace is stated in.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Total accesses observed.
+    pub accesses: u64,
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed (including cold misses).
+    pub misses: u64,
+    /// Misses on blocks never seen before (compulsory misses).
+    pub cold_misses: u64,
+    /// Valid lines displaced to make room.
+    pub evictions: u64,
+    /// Dirty lines written back on eviction (write-back policy only).
+    pub writebacks: u64,
+    /// Words written through to memory (write-through policies only).
+    pub mem_writes: u64,
+}
+
+impl SimStats {
+    /// Misses beyond the unavoidable cold misses — the paper's miss metric.
+    #[must_use]
+    pub fn avoidable_misses(&self) -> u64 {
+        self.misses - self.cold_misses
+    }
+
+    /// Miss ratio over all accesses (0 for an empty run).
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+impl fmt::Display for SimStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "accesses={} hits={} misses={} (cold={}, avoidable={})",
+            self.accesses,
+            self.hits,
+            self.misses,
+            self.cold_misses,
+            self.avoidable_misses()
+        )
+    }
+}
+
+/// Outcome of a single access, returned by [`Cache::access`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The block was resident.
+    Hit,
+    /// First-ever touch of the block (compulsory miss).
+    ColdMiss,
+    /// The block had been resident before but was displaced.
+    AvoidableMiss,
+}
+
+impl AccessOutcome {
+    /// Returns `true` for either kind of miss.
+    #[must_use]
+    pub fn is_miss(self) -> bool {
+        !matches!(self, Self::Hit)
+    }
+}
+
+/// Full detail of one access, returned by [`Cache::access_detailed`]: the
+/// outcome plus the address of any dirty line written back to make room —
+/// what a lower memory level needs to model the traffic faithfully.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AccessDetail {
+    /// Hit/miss classification.
+    pub outcome: AccessOutcome,
+    /// First word address of the dirty victim line, if one was written
+    /// back.
+    pub writeback: Option<cachedse_trace::Address>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Line {
+    tag: u32,
+    dirty: bool,
+    /// LRU: updated on every touch. FIFO: set at fill only. The victim is
+    /// always the minimum stamp, so one mechanism serves both policies.
+    stamp: u64,
+    valid: bool,
+}
+
+impl Line {
+    const INVALID: Self = Self {
+        tag: 0,
+        dirty: false,
+        stamp: 0,
+        valid: false,
+    };
+}
+
+#[derive(Clone, Debug)]
+struct Set {
+    lines: Vec<Line>,
+    /// Tree-PLRU state: bit `i` is internal node `i` of the decision tree
+    /// (1-based heap order); a set bit sends the victim search right.
+    plru: u64,
+}
+
+/// A trace-driven set-associative cache.
+///
+/// Feed it records one at a time with [`access`](Self::access), or use the
+/// [`simulate`] convenience for a whole trace.
+///
+/// # Examples
+///
+/// ```
+/// use cachedse_sim::{AccessOutcome, Cache, CacheConfig};
+/// use cachedse_trace::{Address, Record};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut cache = Cache::new(CacheConfig::lru(2, 1)?);
+/// assert_eq!(cache.access(Record::read(Address::new(0))), AccessOutcome::ColdMiss);
+/// assert_eq!(cache.access(Record::read(Address::new(0))), AccessOutcome::Hit);
+/// // Address 2 maps to the same row as 0 and displaces it...
+/// cache.access(Record::read(Address::new(2)));
+/// // ...so re-touching 0 is an avoidable miss.
+/// assert_eq!(cache.access(Record::read(Address::new(0))), AccessOutcome::AvoidableMiss);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Set>,
+    stats: SimStats,
+    touched: HashSet<u32>,
+    clock: u64,
+    rng: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry.
+    #[must_use]
+    pub fn new(config: CacheConfig) -> Self {
+        let set = Set {
+            lines: vec![Line::INVALID; config.associativity() as usize],
+            plru: 0,
+        };
+        Self {
+            config,
+            sets: vec![set; config.depth() as usize],
+            stats: SimStats::default(),
+            touched: HashSet::new(),
+            clock: 0,
+            rng: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// The configuration this cache was built with.
+    #[must_use]
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Consumes the cache and returns its counters.
+    #[must_use]
+    pub fn into_stats(self) -> SimStats {
+        self.stats
+    }
+
+    /// Simulates one access and returns its outcome.
+    pub fn access(&mut self, record: Record) -> AccessOutcome {
+        self.access_detailed(record).outcome
+    }
+
+    /// Simulates one access and additionally reports any write-back it
+    /// caused (see [`AccessDetail`]).
+    pub fn access_detailed(&mut self, record: Record) -> AccessDetail {
+        self.clock += 1;
+        self.stats.accesses += 1;
+
+        let is_write = record.kind == AccessKind::Write;
+        let write_back = self.config.write_policy() == WritePolicy::WriteBack;
+        if is_write && !write_back {
+            self.stats.mem_writes += 1;
+        }
+
+        let block = record.addr.block(self.config.line_bits()).raw();
+        let set_idx = self.config.set_of(block);
+        let replacement = self.config.replacement();
+        let assoc = self.config.associativity();
+        let clock = self.clock;
+
+        let set = &mut self.sets[set_idx];
+        if let Some(way) = set
+            .lines
+            .iter()
+            .position(|l| l.valid && l.tag == block)
+        {
+            self.stats.hits += 1;
+            match replacement {
+                Replacement::Lru => set.lines[way].stamp = clock,
+                Replacement::TreePlru => plru_touch(&mut set.plru, assoc, way as u32),
+                Replacement::Fifo | Replacement::Random => {}
+            }
+            if is_write && write_back {
+                set.lines[way].dirty = true;
+            }
+            return AccessDetail {
+                outcome: AccessOutcome::Hit,
+                writeback: None,
+            };
+        }
+
+        self.stats.misses += 1;
+        let cold = self.touched.insert(block);
+        if cold {
+            self.stats.cold_misses += 1;
+        }
+
+        let allocate =
+            !is_write || self.config.write_policy() != WritePolicy::WriteThroughNoAllocate;
+        let mut writeback = None;
+        if allocate {
+            let way = match set.lines.iter().position(|l| !l.valid) {
+                Some(free) => free,
+                None => {
+                    let victim = match replacement {
+                        Replacement::Lru | Replacement::Fifo => set
+                            .lines
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, l)| l.stamp)
+                            .map(|(i, _)| i)
+                            .expect("associativity is at least 1"),
+                        Replacement::Random => {
+                            // xorshift64*: deterministic, uniform enough for
+                            // victim selection.
+                            self.rng ^= self.rng << 13;
+                            self.rng ^= self.rng >> 7;
+                            self.rng ^= self.rng << 17;
+                            (self.rng % u64::from(assoc)) as usize
+                        }
+                        Replacement::TreePlru => plru_victim(set.plru, assoc) as usize,
+                    };
+                    self.stats.evictions += 1;
+                    if set.lines[victim].dirty {
+                        self.stats.writebacks += 1;
+                        writeback = Some(cachedse_trace::Address::new(
+                            set.lines[victim].tag << self.config.line_bits(),
+                        ));
+                    }
+                    victim
+                }
+            };
+            set.lines[way] = Line {
+                tag: block,
+                dirty: is_write && write_back,
+                stamp: clock,
+                valid: true,
+            };
+            if replacement == Replacement::TreePlru {
+                plru_touch(&mut set.plru, assoc, way as u32);
+            }
+        }
+
+        AccessDetail {
+            outcome: if cold {
+                AccessOutcome::ColdMiss
+            } else {
+                AccessOutcome::AvoidableMiss
+            },
+            writeback,
+        }
+    }
+
+    /// Simulates every record of `trace` in order.
+    pub fn run(&mut self, trace: &Trace) {
+        for record in trace {
+            self.access(*record);
+        }
+    }
+}
+
+/// Point the PLRU tree away from the way just touched.
+fn plru_touch(tree: &mut u64, assoc: u32, way: u32) {
+    let mut lo = 0;
+    let mut width = assoc;
+    let mut node = 1u32;
+    while width > 1 {
+        let half = width / 2;
+        let right = way >= lo + half;
+        if right {
+            // Victim should go left next time.
+            *tree &= !(1 << node);
+            lo += half;
+            node = 2 * node + 1;
+        } else {
+            *tree |= 1 << node;
+            node *= 2;
+        }
+        width = half;
+    }
+}
+
+/// Follow the PLRU tree to the victim way.
+fn plru_victim(tree: u64, assoc: u32) -> u32 {
+    let mut lo = 0;
+    let mut width = assoc;
+    let mut node = 1u32;
+    while width > 1 {
+        let half = width / 2;
+        if tree & (1 << node) != 0 {
+            lo += half;
+            node = 2 * node + 1;
+        } else {
+            node *= 2;
+        }
+        width = half;
+    }
+    lo
+}
+
+/// Simulates `trace` on a fresh cache of the given configuration and returns
+/// the counters.
+///
+/// # Examples
+///
+/// ```
+/// use cachedse_sim::{simulate, CacheConfig};
+/// use cachedse_trace::generate;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // A 64-word loop fits entirely in a 64-row direct-mapped cache.
+/// let trace = generate::loop_pattern(0, 64, 10);
+/// let stats = simulate(&trace, &CacheConfig::lru(64, 1)?);
+/// assert_eq!(stats.avoidable_misses(), 0);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn simulate(trace: &Trace, config: &CacheConfig) -> SimStats {
+    let mut cache = Cache::new(*config);
+    cache.run(trace);
+    cache.into_stats()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachedse_trace::{generate, Address};
+
+    fn reads(addrs: &[u32]) -> Trace {
+        addrs
+            .iter()
+            .map(|&a| Record::read(Address::new(a)))
+            .collect()
+    }
+
+    fn lru(depth: u32, assoc: u32) -> CacheConfig {
+        CacheConfig::lru(depth, assoc).unwrap()
+    }
+
+    #[test]
+    fn empty_trace() {
+        let stats = simulate(&Trace::new(), &lru(4, 1));
+        assert_eq!(stats, SimStats::default());
+        assert_eq!(stats.miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn all_misses_on_depth_one() {
+        // Depth-1 direct mapped holds one line: a b a b all miss.
+        let stats = simulate(&reads(&[1, 2, 1, 2]), &lru(1, 1));
+        assert_eq!(stats.misses, 4);
+        assert_eq!(stats.cold_misses, 2);
+        assert_eq!(stats.avoidable_misses(), 2);
+        // Every miss after the first fill displaces the resident line.
+        assert_eq!(stats.evictions, 3);
+    }
+
+    #[test]
+    fn lru_prefers_recent() {
+        // 2-way, depth 1: a b c evicts a (LRU), so a misses, b hits.
+        let mut cache = Cache::new(lru(1, 2));
+        for addr in [1, 2, 3] {
+            cache.access(Record::read(Address::new(addr)));
+        }
+        assert_eq!(
+            cache.access(Record::read(Address::new(1))),
+            AccessOutcome::AvoidableMiss
+        );
+        // That access evicted 2 (LRU after the miss on 1? order: after c and
+        // a, resident = {3, 1}), so 3 still hits.
+        assert_eq!(
+            cache.access(Record::read(Address::new(3))),
+            AccessOutcome::Hit
+        );
+    }
+
+    #[test]
+    fn fifo_ignores_hits() {
+        // 2-way FIFO: fill a, b; touch a (no recency update); insert c
+        // evicts a (oldest by fill), unlike LRU which would evict b.
+        let config = CacheConfig::builder()
+            .depth(1)
+            .associativity(2)
+            .replacement(Replacement::Fifo)
+            .build()
+            .unwrap();
+        let mut cache = Cache::new(config);
+        for addr in [1, 2, 1, 3] {
+            cache.access(Record::read(Address::new(addr)));
+        }
+        assert_eq!(
+            cache.access(Record::read(Address::new(2))),
+            AccessOutcome::Hit
+        );
+        assert_eq!(
+            cache.access(Record::read(Address::new(1))),
+            AccessOutcome::AvoidableMiss
+        );
+    }
+
+    #[test]
+    fn plru_behaves_as_lru_for_two_ways() {
+        // With associativity 2 tree-PLRU is exact LRU; compare on a random
+        // trace.
+        let trace = generate::uniform_random(2_000, 64, 9);
+        let a = simulate(
+            &trace,
+            &CacheConfig::builder()
+                .depth(4)
+                .associativity(2)
+                .replacement(Replacement::TreePlru)
+                .build()
+                .unwrap(),
+        );
+        let b = simulate(&trace, &lru(4, 2));
+        assert_eq!(a.misses, b.misses);
+    }
+
+    #[test]
+    fn plru_four_ways_is_reasonable() {
+        // PLRU is an approximation: it must protect the most recently used
+        // way, and on looping traffic covering capacity it behaves sanely.
+        let trace = generate::uniform_random(5_000, 128, 11);
+        let plru = simulate(
+            &trace,
+            &CacheConfig::builder()
+                .depth(8)
+                .associativity(4)
+                .replacement(Replacement::TreePlru)
+                .build()
+                .unwrap(),
+        );
+        let lru_stats = simulate(&trace, &lru(8, 4));
+        // Same compulsory misses; conflict misses within 25% of LRU on
+        // uniform traffic.
+        assert_eq!(plru.cold_misses, lru_stats.cold_misses);
+        let p = plru.avoidable_misses() as f64;
+        let l = lru_stats.avoidable_misses() as f64;
+        assert!((p - l).abs() / l < 0.25, "plru {p} vs lru {l}");
+    }
+
+    #[test]
+    fn random_replacement_is_deterministic() {
+        let config = CacheConfig::builder()
+            .depth(2)
+            .associativity(2)
+            .replacement(Replacement::Random)
+            .build()
+            .unwrap();
+        let trace = generate::uniform_random(1_000, 64, 3);
+        assert_eq!(simulate(&trace, &config), simulate(&trace, &config));
+    }
+
+    #[test]
+    fn writeback_counts_dirty_evictions() {
+        // Depth 1, 1 way: write 1, then read 3 (same set) -> eviction of
+        // dirty line 1 -> one writeback.
+        let trace: Trace = [
+            Record::write(Address::new(1)),
+            Record::read(Address::new(3)),
+        ]
+        .into_iter()
+        .collect();
+        let stats = simulate(&trace, &lru(1, 1));
+        assert_eq!(stats.writebacks, 1);
+        assert_eq!(stats.mem_writes, 0);
+    }
+
+    #[test]
+    fn write_through_counts_memory_writes() {
+        let config = CacheConfig::builder()
+            .write_policy(WritePolicy::WriteThrough)
+            .build()
+            .unwrap();
+        let trace: Trace = [
+            Record::write(Address::new(1)),
+            Record::write(Address::new(1)),
+        ]
+        .into_iter()
+        .collect();
+        let stats = simulate(&trace, &config);
+        assert_eq!(stats.mem_writes, 2);
+        assert_eq!(stats.writebacks, 0);
+    }
+
+    #[test]
+    fn no_allocate_write_misses_do_not_fill() {
+        let config = CacheConfig::builder()
+            .write_policy(WritePolicy::WriteThroughNoAllocate)
+            .build()
+            .unwrap();
+        let mut cache = Cache::new(config);
+        assert!(cache.access(Record::write(Address::new(1))).is_miss());
+        // Still not resident: the write did not allocate.
+        assert!(cache.access(Record::read(Address::new(1))).is_miss());
+        // The read allocated; cold classification happened at first touch.
+        assert_eq!(cache.stats().cold_misses, 1);
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn line_size_coalesces_words() {
+        // 4-word lines: addresses 0..3 share a block.
+        let config = CacheConfig::builder().depth(4).line_bits(2).build().unwrap();
+        let stats = simulate(&reads(&[0, 1, 2, 3]), &config);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 3);
+    }
+
+    #[test]
+    fn cold_misses_equal_unique_blocks() {
+        let trace = generate::uniform_random(3_000, 100, 5);
+        let stats = simulate(&trace, &lru(4, 2));
+        let unique = cachedse_trace::strip::StrippedTrace::from_trace(&trace).unique_len();
+        assert_eq!(stats.cold_misses as usize, unique);
+    }
+
+    #[test]
+    fn bigger_cache_never_misses_more_lru() {
+        // LRU inclusion property: for fixed depth, more ways never miss more.
+        let trace = generate::uniform_random(4_000, 256, 17);
+        let mut prev = u64::MAX;
+        for assoc in [1, 2, 4, 8, 16] {
+            let m = simulate(&trace, &lru(8, assoc)).misses;
+            assert!(m <= prev, "assoc {assoc}: {m} > {prev}");
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn paper_running_example_depth_two() {
+        // Section 2.3: at depth 2 the node sets are {2,3,5} and {1,4}
+        // (paper ids); zero misses needs A = 3.
+        let trace = cachedse_trace::paper_running_example();
+        assert_eq!(simulate(&trace, &lru(2, 3)).avoidable_misses(), 0);
+        assert!(simulate(&trace, &lru(2, 2)).avoidable_misses() > 0);
+    }
+
+    /// An independently written move-to-front LRU reference model, used to
+    /// differentially test the stamp-based production cache.
+    fn reference_lru(trace: &Trace, depth: u32, assoc: u32) -> SimStats {
+        use std::collections::HashSet;
+        let mut sets: Vec<Vec<(u32, bool)>> = vec![Vec::new(); depth as usize];
+        let mut touched: HashSet<u32> = HashSet::new();
+        let mut stats = SimStats::default();
+        for r in trace {
+            stats.accesses += 1;
+            let block = r.addr.raw();
+            let set = &mut sets[(block & (depth - 1)) as usize];
+            let is_write = r.kind == AccessKind::Write;
+            if let Some(pos) = set.iter().position(|&(tag, _)| tag == block) {
+                stats.hits += 1;
+                let (tag, dirty) = set.remove(pos);
+                set.insert(0, (tag, dirty || is_write));
+            } else {
+                stats.misses += 1;
+                if touched.insert(block) {
+                    stats.cold_misses += 1;
+                }
+                set.insert(0, (block, is_write));
+                if set.len() > assoc as usize {
+                    let (_, dirty) = set.pop().expect("just overflowed");
+                    stats.evictions += 1;
+                    if dirty {
+                        stats.writebacks += 1;
+                    }
+                }
+            }
+        }
+        stats
+    }
+
+    proptest::proptest! {
+        /// The production cache equals the move-to-front reference model on
+        /// every counter, for arbitrary read/write traces and geometries.
+        #[test]
+        fn differential_lru_model(
+            ops in proptest::collection::vec((proptest::prelude::any::<bool>(), 0u32..64), 1..400),
+            index_bits in 0u32..4,
+            assoc in 1u32..6,
+        ) {
+            let trace: Trace = ops
+                .iter()
+                .map(|&(w, a)| {
+                    if w {
+                        Record::write(Address::new(a))
+                    } else {
+                        Record::read(Address::new(a))
+                    }
+                })
+                .collect();
+            let depth = 1u32 << index_bits;
+            let stats = simulate(&trace, &lru(depth, assoc));
+            let model = reference_lru(&trace, depth, assoc);
+            proptest::prop_assert_eq!(stats, model);
+        }
+    }
+
+    #[test]
+    fn stats_display() {
+        let stats = simulate(&reads(&[1, 2, 1]), &lru(1, 1));
+        assert_eq!(
+            stats.to_string(),
+            "accesses=3 hits=0 misses=3 (cold=2, avoidable=1)"
+        );
+    }
+}

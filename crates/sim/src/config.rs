@@ -1,0 +1,389 @@
+//! Cache configuration.
+
+use std::error::Error;
+use std::fmt;
+
+/// Replacement policy of a set-associative cache.
+///
+/// The paper fixes LRU ("the most common and often optimal choice") and the
+/// analytical model is exact only for LRU; the other policies exist so the
+/// simulator can serve as a general design–simulate–analyze baseline and for
+/// ablation studies.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Replacement {
+    /// Least recently used.
+    #[default]
+    Lru,
+    /// First in, first out (no recency update on hits).
+    Fifo,
+    /// Uniform random victim (deterministic xorshift stream per cache).
+    Random,
+    /// Tree-based pseudo-LRU. Requires a power-of-two associativity.
+    TreePlru,
+}
+
+impl fmt::Display for Replacement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Self::Lru => "lru",
+            Self::Fifo => "fifo",
+            Self::Random => "random",
+            Self::TreePlru => "plru",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Write policy of the cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum WritePolicy {
+    /// Write-back with write-allocate — the paper's fixed choice.
+    #[default]
+    WriteBack,
+    /// Write-through with write-allocate.
+    WriteThrough,
+    /// Write-through, no allocation on write misses.
+    WriteThroughNoAllocate,
+}
+
+impl fmt::Display for WritePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Self::WriteBack => "write-back",
+            Self::WriteThrough => "write-through",
+            Self::WriteThroughNoAllocate => "write-through-no-allocate",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A validated cache configuration.
+///
+/// The design space of the paper is `(depth D, associativity A)`: `D` is the
+/// number of rows (sets), indexed by the low `log2(D)` address bits, and `A`
+/// the number of ways per row. Cache capacity is `D · A` lines.
+///
+/// # Examples
+///
+/// ```
+/// use cachedse_sim::CacheConfig;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let cfg = CacheConfig::builder().depth(64).associativity(2).build()?;
+/// assert_eq!(cfg.index_bits(), 6);
+/// assert_eq!(cfg.size_lines(), 128);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    depth: u32,
+    associativity: u32,
+    line_bits: u32,
+    replacement: Replacement,
+    write_policy: WritePolicy,
+}
+
+impl CacheConfig {
+    /// Starts building a configuration. Defaults: depth 1, associativity 1,
+    /// one-word lines, LRU, write-back.
+    #[must_use]
+    pub fn builder() -> CacheConfigBuilder {
+        CacheConfigBuilder::default()
+    }
+
+    /// A direct-mapped LRU write-back cache of the given depth.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `depth` is not a power of two.
+    pub fn direct_mapped(depth: u32) -> Result<Self, ConfigError> {
+        Self::builder().depth(depth).build()
+    }
+
+    /// An LRU write-back cache with the given geometry — the paper's design
+    /// points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `depth` is not a power of two or
+    /// `associativity` is zero.
+    pub fn lru(depth: u32, associativity: u32) -> Result<Self, ConfigError> {
+        Self::builder().depth(depth).associativity(associativity).build()
+    }
+
+    /// Number of rows (sets).
+    #[must_use]
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Number of ways per row.
+    #[must_use]
+    pub fn associativity(&self) -> u32 {
+        self.associativity
+    }
+
+    /// `log2(depth)`: the width of the index field.
+    #[must_use]
+    pub fn index_bits(&self) -> u32 {
+        self.depth.trailing_zeros()
+    }
+
+    /// `log2` of the line size in words.
+    #[must_use]
+    pub fn line_bits(&self) -> u32 {
+        self.line_bits
+    }
+
+    /// Replacement policy.
+    #[must_use]
+    pub fn replacement(&self) -> Replacement {
+        self.replacement
+    }
+
+    /// Write policy.
+    #[must_use]
+    pub fn write_policy(&self) -> WritePolicy {
+        self.write_policy
+    }
+
+    /// Total capacity in lines: `depth · associativity`.
+    #[must_use]
+    pub fn size_lines(&self) -> u64 {
+        u64::from(self.depth) * u64::from(self.associativity)
+    }
+
+    /// Total capacity in words: `depth · associativity · line_words`.
+    #[must_use]
+    pub fn size_words(&self) -> u64 {
+        self.size_lines() << self.line_bits
+    }
+
+    /// The set index of a block address.
+    #[must_use]
+    pub(crate) fn set_of(&self, block: u32) -> usize {
+        (block & (self.depth - 1)) as usize
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self {
+            depth: 1,
+            associativity: 1,
+            line_bits: 0,
+            replacement: Replacement::Lru,
+            write_policy: WritePolicy::WriteBack,
+        }
+    }
+}
+
+impl fmt::Display for CacheConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{} {} {} ({}-word lines)",
+            self.depth,
+            self.associativity,
+            self.replacement,
+            self.write_policy,
+            1u32 << self.line_bits,
+        )
+    }
+}
+
+/// Builder for [`CacheConfig`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CacheConfigBuilder {
+    config: CacheConfig,
+}
+
+impl CacheConfigBuilder {
+    /// Sets the number of rows. Must be a power of two (1 is allowed).
+    #[must_use]
+    pub fn depth(mut self, depth: u32) -> Self {
+        self.config.depth = depth;
+        self
+    }
+
+    /// Sets the number of ways per row. Must be at least 1.
+    #[must_use]
+    pub fn associativity(mut self, ways: u32) -> Self {
+        self.config.associativity = ways;
+        self
+    }
+
+    /// Sets the line size to `2^line_bits` words.
+    #[must_use]
+    pub fn line_bits(mut self, line_bits: u32) -> Self {
+        self.config.line_bits = line_bits;
+        self
+    }
+
+    /// Sets the replacement policy.
+    #[must_use]
+    pub fn replacement(mut self, replacement: Replacement) -> Self {
+        self.config.replacement = replacement;
+        self
+    }
+
+    /// Sets the write policy.
+    #[must_use]
+    pub fn write_policy(mut self, policy: WritePolicy) -> Self {
+        self.config.write_policy = policy;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// * [`ConfigError::DepthNotPowerOfTwo`] — `depth` is 0 or not a power
+    ///   of two;
+    /// * [`ConfigError::ZeroAssociativity`] — `associativity` is 0;
+    /// * [`ConfigError::PlruAssociativity`] — tree PLRU with a
+    ///   non-power-of-two associativity;
+    /// * [`ConfigError::LineTooWide`] — `line_bits ≥ 32`.
+    pub fn build(self) -> Result<CacheConfig, ConfigError> {
+        let c = self.config;
+        if c.depth == 0 || !c.depth.is_power_of_two() {
+            return Err(ConfigError::DepthNotPowerOfTwo(c.depth));
+        }
+        if c.associativity == 0 {
+            return Err(ConfigError::ZeroAssociativity);
+        }
+        if c.replacement == Replacement::TreePlru && !c.associativity.is_power_of_two() {
+            return Err(ConfigError::PlruAssociativity(c.associativity));
+        }
+        if c.line_bits >= 32 {
+            return Err(ConfigError::LineTooWide(c.line_bits));
+        }
+        Ok(c)
+    }
+}
+
+/// Error returned for invalid cache configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// Depth must be a power of two so the low address bits form the index.
+    DepthNotPowerOfTwo(u32),
+    /// A cache needs at least one way.
+    ZeroAssociativity,
+    /// Tree PLRU needs a power-of-two way count.
+    PlruAssociativity(u32),
+    /// Line size exponent out of range.
+    LineTooWide(u32),
+    /// In a hierarchy, the L2 line must be at least as wide as the L1 line,
+    /// or refills would be unrepresentable.
+    LevelLinesMismatch {
+        /// L1 line size exponent.
+        l1_line_bits: u32,
+        /// L2 line size exponent (smaller — the problem).
+        l2_line_bits: u32,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DepthNotPowerOfTwo(d) => {
+                write!(f, "cache depth must be a power of two, got {d}")
+            }
+            Self::ZeroAssociativity => write!(f, "associativity must be at least 1"),
+            Self::PlruAssociativity(a) => {
+                write!(f, "tree PLRU requires a power-of-two associativity, got {a}")
+            }
+            Self::LineTooWide(b) => write!(f, "line size exponent {b} out of range"),
+            Self::LevelLinesMismatch {
+                l1_line_bits,
+                l2_line_bits,
+            } => write!(
+                f,
+                "L2 line (2^{l2_line_bits} words) must be at least as wide as the L1 line (2^{l1_line_bits} words)"
+            ),
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults() {
+        let c = CacheConfig::builder().build().unwrap();
+        assert_eq!(c.depth(), 1);
+        assert_eq!(c.associativity(), 1);
+        assert_eq!(c.index_bits(), 0);
+        assert_eq!(c.size_lines(), 1);
+        assert_eq!(c.replacement(), Replacement::Lru);
+        assert_eq!(c.write_policy(), WritePolicy::WriteBack);
+    }
+
+    #[test]
+    fn geometry_accessors() {
+        let c = CacheConfig::lru(256, 4).unwrap();
+        assert_eq!(c.index_bits(), 8);
+        assert_eq!(c.size_lines(), 1024);
+        assert_eq!(c.size_words(), 1024);
+        let c = CacheConfig::builder()
+            .depth(4)
+            .associativity(2)
+            .line_bits(3)
+            .build()
+            .unwrap();
+        assert_eq!(c.size_words(), 64);
+    }
+
+    #[test]
+    fn set_mapping_uses_low_bits() {
+        let c = CacheConfig::direct_mapped(8).unwrap();
+        assert_eq!(c.set_of(0b10101), 0b101);
+        let c1 = CacheConfig::direct_mapped(1).unwrap();
+        assert_eq!(c1.set_of(12345), 0);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert_eq!(
+            CacheConfig::direct_mapped(3).unwrap_err(),
+            ConfigError::DepthNotPowerOfTwo(3)
+        );
+        assert_eq!(
+            CacheConfig::direct_mapped(0).unwrap_err(),
+            ConfigError::DepthNotPowerOfTwo(0)
+        );
+        assert_eq!(
+            CacheConfig::lru(4, 0).unwrap_err(),
+            ConfigError::ZeroAssociativity
+        );
+        assert_eq!(
+            CacheConfig::builder()
+                .depth(4)
+                .associativity(3)
+                .replacement(Replacement::TreePlru)
+                .build()
+                .unwrap_err(),
+            ConfigError::PlruAssociativity(3)
+        );
+        assert_eq!(
+            CacheConfig::builder().line_bits(32).build().unwrap_err(),
+            ConfigError::LineTooWide(32)
+        );
+    }
+
+    #[test]
+    fn display_forms() {
+        let c = CacheConfig::lru(64, 2).unwrap();
+        assert_eq!(c.to_string(), "64x2 lru write-back (1-word lines)");
+        assert_eq!(Replacement::TreePlru.to_string(), "plru");
+        assert_eq!(
+            WritePolicy::WriteThroughNoAllocate.to_string(),
+            "write-through-no-allocate"
+        );
+        assert!(!format!("{:?}", ConfigError::ZeroAssociativity).is_empty());
+    }
+}

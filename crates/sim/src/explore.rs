@@ -1,0 +1,183 @@
+//! The traditional design–simulate–analyze exploration loop (Figure 1a of
+//! the paper).
+//!
+//! For every candidate depth, simulate the trace at increasing associativity
+//! until the miss budget is met. This is the baseline whose cost the
+//! analytical method of `cachedse-core` eliminates; it is retained as
+//! ground truth for tests and as the comparison point for the end-to-end
+//! benchmarks.
+
+use cachedse_trace::Trace;
+
+use crate::cache::simulate;
+use crate::config::CacheConfig;
+use crate::onepass::DepthProfile;
+use std::fmt;
+
+/// One optimal cache instance: the minimum associativity found for a depth.
+///
+/// These are the inner cells of the paper's Tables 7–30.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DesignPoint {
+    /// Number of cache rows `D`.
+    pub depth: u32,
+    /// Minimum degree of associativity `A` meeting the budget.
+    pub associativity: u32,
+}
+
+impl DesignPoint {
+    /// Cache capacity in lines: `D · A`.
+    #[must_use]
+    pub fn size_lines(&self) -> u64 {
+        u64::from(self.depth) * u64::from(self.associativity)
+    }
+}
+
+impl fmt::Display for DesignPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(D={}, A={})", self.depth, self.associativity)
+    }
+}
+
+/// Exhaustive exploration by repeated full simulation — the paper's
+/// Figure 1a flow.
+///
+/// # Examples
+///
+/// ```
+/// use cachedse_sim::explore::ExhaustiveExplorer;
+/// use cachedse_trace::paper_running_example;
+///
+/// let trace = paper_running_example();
+/// // Depths 1, 2, 4, 8; zero avoidable misses allowed.
+/// let points = ExhaustiveExplorer::new(3).explore(&trace, 0);
+/// let at_depth_2 = points.iter().find(|p| p.depth == 2).unwrap();
+/// assert_eq!(at_depth_2.associativity, 3); // Section 2.3 of the paper
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct ExhaustiveExplorer {
+    max_index_bits: u32,
+}
+
+impl ExhaustiveExplorer {
+    /// Explores depths `1, 2, 4, …, 2^max_index_bits`.
+    #[must_use]
+    pub fn new(max_index_bits: u32) -> Self {
+        Self { max_index_bits }
+    }
+
+    /// For each depth, simulates associativities `1, 2, 3, …` until the
+    /// avoidable-miss count is at most `budget`, and returns the minimal
+    /// point per depth.
+    ///
+    /// Termination is guaranteed: under LRU, once the associativity reaches
+    /// the largest per-row resident count the avoidable misses are zero.
+    #[must_use]
+    pub fn explore(&self, trace: &Trace, budget: u64) -> Vec<DesignPoint> {
+        let mut points = Vec::with_capacity(self.max_index_bits as usize + 1);
+        for bits in 0..=self.max_index_bits {
+            let depth = 1u32 << bits;
+            let mut assoc = 1u32;
+            loop {
+                let config = CacheConfig::lru(depth, assoc)
+                    .expect("depth is a power of two and associativity nonzero");
+                let stats = simulate(trace, &config);
+                if stats.avoidable_misses() <= budget {
+                    points.push(DesignPoint {
+                        depth,
+                        associativity: assoc,
+                    });
+                    break;
+                }
+                assoc += 1;
+            }
+        }
+        points
+    }
+
+    /// Like [`explore`](Self::explore), but runs each depth as a single
+    /// all-associativity pass — the one-pass baseline (\[16\]\[17\]) rather
+    /// than naive repeated simulation. Produces identical results.
+    #[must_use]
+    pub fn explore_one_pass(&self, trace: &Trace, budget: u64) -> Vec<DesignPoint> {
+        (0..=self.max_index_bits)
+            .map(|bits| {
+                let depth = 1u32 << bits;
+                let profile = DepthProfile::of_trace(trace, depth);
+                DesignPoint {
+                    depth,
+                    associativity: profile.min_associativity(budget),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachedse_trace::generate;
+    use proptest::prelude::*;
+
+    #[test]
+    fn design_point_size() {
+        let p = DesignPoint {
+            depth: 64,
+            associativity: 2,
+        };
+        assert_eq!(p.size_lines(), 128);
+        assert_eq!(p.to_string(), "(D=64, A=2)");
+    }
+
+    #[test]
+    fn paper_example_zero_budget() {
+        let trace = cachedse_trace::paper_running_example();
+        let points = ExhaustiveExplorer::new(3).explore(&trace, 0);
+        let by_depth: Vec<(u32, u32)> =
+            points.iter().map(|p| (p.depth, p.associativity)).collect();
+        // Depth 1: the deepest reuse (Table 4) spans 4 distinct conflicts,
+        // so 5 ways are needed. Depth 2: row {2,3,5} needs 3 (Section 2.3);
+        // depth 4: rows {2,5}/{1,4} need 2; depth 8: 1011/0011 (and
+        // 1100/0100) still share rows, so 2 ways remain necessary.
+        assert_eq!(by_depth, vec![(1, 5), (2, 3), (4, 2), (8, 2)]);
+    }
+
+    #[test]
+    fn one_pass_matches_exhaustive() {
+        let trace = generate::working_set_phases(4, 400, 32, 5);
+        for budget in [0, 3, 10, 100] {
+            let a = ExhaustiveExplorer::new(5).explore(&trace, budget);
+            let b = ExhaustiveExplorer::new(5).explore_one_pass(&trace, budget);
+            assert_eq!(a, b, "budget {budget}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn one_pass_matches_exhaustive_random(
+            addrs in prop::collection::vec(0u32..48, 1..200),
+            budget in 0u64..15,
+        ) {
+            use cachedse_trace::{Address, Record, Trace};
+            let trace: Trace = addrs.iter().map(|&a| Record::read(Address::new(a))).collect();
+            let a = ExhaustiveExplorer::new(4).explore(&trace, budget);
+            let b = ExhaustiveExplorer::new(4).explore_one_pass(&trace, budget);
+            prop_assert_eq!(a, b);
+        }
+
+        /// Deeper caches never need more ways (bit-selection splits rows, so
+        /// per-row conflicts only shrink).
+        #[test]
+        fn associativity_monotone_in_depth(
+            addrs in prop::collection::vec(0u32..64, 1..200),
+            budget in 0u64..10,
+        ) {
+            use cachedse_trace::{Address, Record, Trace};
+            let trace: Trace = addrs.iter().map(|&a| Record::read(Address::new(a))).collect();
+            let points = ExhaustiveExplorer::new(5).explore_one_pass(&trace, budget);
+            for w in points.windows(2) {
+                prop_assert!(w[1].associativity <= w[0].associativity);
+            }
+        }
+    }
+}

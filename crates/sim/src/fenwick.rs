@@ -1,0 +1,149 @@
+//! A Fenwick (binary indexed) tree over trace positions.
+//!
+//! The one-pass profilers ([`crate::stack`], [`crate::onepass`]) and the
+//! depth-first analytical engine in `cachedse-core` all answer the same
+//! query: *how many distinct addresses were touched between two positions of
+//! a trace?* Keeping a `1` at each address's most recent position and
+//! range-summing turns that into two prefix sums.
+
+/// A Fenwick tree of `u32` counters over `0..len` positions.
+///
+/// # Examples
+///
+/// ```
+/// use cachedse_sim::fenwick::Fenwick;
+///
+/// let mut f = Fenwick::new(8);
+/// f.add(2, 1);
+/// f.add(5, 1);
+/// assert_eq!(f.prefix_sum(5), 1);  // positions 0..5
+/// assert_eq!(f.range_sum(2, 6), 2); // positions 2..6
+/// ```
+#[derive(Clone, Debug)]
+pub struct Fenwick {
+    tree: Vec<u32>,
+}
+
+impl Fenwick {
+    /// Creates a tree of `len` zeroed counters.
+    #[must_use]
+    pub fn new(len: usize) -> Self {
+        Self {
+            tree: vec![0; len + 1],
+        }
+    }
+
+    /// Number of positions covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tree.len() - 1
+    }
+
+    /// Returns `true` if the tree covers no positions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Adds `delta` to the counter at `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is out of range or the counter underflows.
+    pub fn add(&mut self, pos: usize, delta: i32) {
+        assert!(pos < self.len(), "fenwick position out of range");
+        let mut i = pos + 1;
+        while i < self.tree.len() {
+            self.tree[i] = self.tree[i]
+                .checked_add_signed(delta)
+                .expect("fenwick counter underflow");
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of counters at positions `0..end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end > len`.
+    #[must_use]
+    pub fn prefix_sum(&self, end: usize) -> u32 {
+        assert!(end <= self.len(), "fenwick prefix out of range");
+        let mut sum = 0;
+        let mut i = end;
+        while i > 0 {
+            sum += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        sum
+    }
+
+    /// Sum of counters at positions `start..end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > len`.
+    #[must_use]
+    pub fn range_sum(&self, start: usize, end: usize) -> u32 {
+        assert!(start <= end, "fenwick range reversed");
+        self.prefix_sum(end) - self.prefix_sum(start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_tree() {
+        let f = Fenwick::new(0);
+        assert!(f.is_empty());
+        assert_eq!(f.prefix_sum(0), 0);
+    }
+
+    #[test]
+    fn point_updates_and_sums() {
+        let mut f = Fenwick::new(10);
+        f.add(0, 3);
+        f.add(9, 2);
+        f.add(4, 1);
+        assert_eq!(f.prefix_sum(0), 0);
+        assert_eq!(f.prefix_sum(1), 3);
+        assert_eq!(f.prefix_sum(5), 4);
+        assert_eq!(f.prefix_sum(10), 6);
+        assert_eq!(f.range_sum(1, 10), 3);
+        f.add(4, -1);
+        assert_eq!(f.range_sum(4, 5), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn add_out_of_range_panics() {
+        Fenwick::new(3).add(3, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_panics() {
+        Fenwick::new(3).add(1, -1);
+    }
+
+    proptest! {
+        #[test]
+        fn matches_naive_array(ops in prop::collection::vec((0usize..64, 1i32..5), 0..100),
+                               queries in prop::collection::vec((0usize..64, 0usize..65), 0..50)) {
+            let mut f = Fenwick::new(64);
+            let mut model = [0u32; 64];
+            for (pos, delta) in ops {
+                f.add(pos, delta);
+                model[pos] += delta as u32;
+            }
+            for (a, b) in queries {
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                let expected: u32 = model[lo..hi].iter().sum();
+                prop_assert_eq!(f.range_sum(lo, hi), expected);
+            }
+        }
+    }
+}

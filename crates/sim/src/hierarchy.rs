@@ -1,0 +1,270 @@
+//! Two-level cache hierarchies.
+//!
+//! The paper analyzes a single cache level, and its future work names "bus
+//! architecture and other system-on-a-chip artifacts" as the next step.
+//! This module supplies the simulation side of that step: an L1 backed by a
+//! unified L2, so the analytically chosen L1 can be evaluated in the
+//! context of a memory-side cache (the common SoC configuration). Each
+//! level keeps its own [`SimStats`]; L2 sees exactly the L1 miss stream
+//! (plus L1 write-backs, counted as L2 writes).
+
+use cachedse_trace::{Record, Trace};
+
+use crate::cache::{AccessOutcome, Cache, SimStats};
+use crate::config::{CacheConfig, ConfigError, WritePolicy};
+
+/// An L1 cache backed by an L2 cache.
+///
+/// # Examples
+///
+/// ```
+/// use cachedse_sim::hierarchy::Hierarchy;
+/// use cachedse_sim::CacheConfig;
+/// use cachedse_trace::generate;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let trace = generate::loop_pattern(0, 256, 20);
+/// let mut h = Hierarchy::new(CacheConfig::lru(32, 1)?, CacheConfig::lru(256, 2)?)?;
+/// h.run(&trace);
+/// // The loop fits in L2 but not in L1: L2 absorbs the L1 misses.
+/// assert!(h.l1().misses > h.l2().misses);
+/// assert_eq!(h.l2().accesses, h.l1().misses);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Hierarchy {
+    l1: Cache,
+    l2: Cache,
+}
+
+impl Hierarchy {
+    /// Builds a two-level hierarchy.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::LevelLinesMismatch`] if the L2 line is narrower than
+    /// the L1 line, which would make refills unrepresentable.
+    pub fn new(l1: CacheConfig, l2: CacheConfig) -> Result<Self, ConfigError> {
+        if l2.line_bits() < l1.line_bits() {
+            return Err(ConfigError::LevelLinesMismatch {
+                l1_line_bits: l1.line_bits(),
+                l2_line_bits: l2.line_bits(),
+            });
+        }
+        Ok(Self {
+            l1: Cache::new(l1),
+            l2: Cache::new(l2),
+        })
+    }
+
+    /// L1 counters.
+    #[must_use]
+    pub fn l1(&self) -> &SimStats {
+        self.l1.stats()
+    }
+
+    /// L2 counters.
+    #[must_use]
+    pub fn l2(&self) -> &SimStats {
+        self.l2.stats()
+    }
+
+    /// Simulates one access: L1 first; on an L1 miss the refill goes to L2
+    /// as a read, and any dirty line the refill displaced is written down to
+    /// L2 at its own (victim) address. With a write-through L1, every store
+    /// is additionally forwarded to L2 immediately.
+    pub fn access(&mut self, record: Record) -> AccessOutcome {
+        let detail = self.l1.access_detailed(record);
+        if detail.outcome.is_miss() {
+            // The refill request: a read of the block, regardless of the
+            // demand access kind (write-allocate fetches the line first).
+            self.l2.access(Record::read(record.addr));
+        }
+        if let Some(victim) = detail.writeback {
+            self.l2.access(Record::write(victim));
+        }
+        let l1_writes_through = self.l1.config().write_policy() != WritePolicy::WriteBack;
+        if l1_writes_through && record.kind == cachedse_trace::AccessKind::Write {
+            self.l2.access(Record::write(record.addr));
+        }
+        detail.outcome
+    }
+
+    /// Simulates a whole trace.
+    pub fn run(&mut self, trace: &Trace) {
+        for r in trace {
+            self.access(*r);
+        }
+    }
+
+    /// Total traffic reaching main memory: L2 misses plus L2 write-backs —
+    /// the "power costly communication over the system bus" the paper's
+    /// introduction motivates minimizing.
+    #[must_use]
+    pub fn memory_traffic(&self) -> u64 {
+        let l2 = self.l2();
+        l2.misses + l2.writebacks + l2.mem_writes
+    }
+}
+
+/// Simulates a trace through an L1/L2 pair and returns `(l1, l2)` counters.
+///
+/// # Errors
+///
+/// As [`Hierarchy::new`].
+pub fn simulate_hierarchy(
+    trace: &Trace,
+    l1: CacheConfig,
+    l2: CacheConfig,
+) -> Result<(SimStats, SimStats), ConfigError> {
+    let mut h = Hierarchy::new(l1, l2)?;
+    h.run(trace);
+    Ok((*h.l1(), *h.l2()))
+}
+
+/// Builds the common embedded WT-L1 / WB-L2 pair: with a write-through L1,
+/// every store is forwarded to L2 as it happens, so L2 holds the dirty
+/// state and absorbs the write traffic.
+///
+/// # Errors
+///
+/// Propagates configuration validation errors.
+pub fn write_through_pair(
+    l1_depth: u32,
+    l1_assoc: u32,
+    l2_depth: u32,
+    l2_assoc: u32,
+) -> Result<(CacheConfig, CacheConfig), ConfigError> {
+    let l1 = CacheConfig::builder()
+        .depth(l1_depth)
+        .associativity(l1_assoc)
+        .write_policy(WritePolicy::WriteThrough)
+        .build()?;
+    let l2 = CacheConfig::builder()
+        .depth(l2_depth)
+        .associativity(l2_assoc)
+        .build()?;
+    Ok((l1, l2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachedse_trace::{generate, Address};
+
+    fn lru(depth: u32, assoc: u32) -> CacheConfig {
+        CacheConfig::lru(depth, assoc).unwrap()
+    }
+
+    #[test]
+    fn l2_sees_only_l1_misses() {
+        let trace = generate::uniform_random(5_000, 512, 7);
+        let (l1, l2) = simulate_hierarchy(&trace, lru(16, 1), lru(512, 4)).unwrap();
+        assert_eq!(l1.accesses, 5_000);
+        // Reads only: L2 accesses = L1 misses exactly.
+        assert_eq!(l2.accesses, l1.misses);
+        assert!(l2.misses <= l1.misses);
+    }
+
+    #[test]
+    fn inclusive_working_set_filters_completely() {
+        // Working set fits in L1: after warmup L2 sees nothing.
+        let trace = generate::loop_pattern(0, 16, 100);
+        let (l1, l2) = simulate_hierarchy(&trace, lru(16, 1), lru(64, 1)).unwrap();
+        assert_eq!(l1.avoidable_misses(), 0);
+        assert_eq!(l2.accesses, 16); // the 16 cold fills
+    }
+
+    #[test]
+    fn bigger_l2_reduces_memory_traffic() {
+        let trace = generate::working_set_phases(6, 2_000, 200, 3);
+        let small = {
+            let mut h = Hierarchy::new(lru(16, 1), lru(64, 1)).unwrap();
+            h.run(&trace);
+            h.memory_traffic()
+        };
+        let big = {
+            let mut h = Hierarchy::new(lru(16, 1), lru(1024, 2)).unwrap();
+            h.run(&trace);
+            h.memory_traffic()
+        };
+        assert!(big < small, "big L2 {big} vs small L2 {small}");
+    }
+
+    #[test]
+    fn writebacks_propagate_to_l2() {
+        // Dirty lines bounced out of a tiny L1 produce L2 write traffic.
+        let mut h = Hierarchy::new(lru(1, 1), lru(4, 2)).unwrap();
+        h.access(Record::write(Address::new(0)));
+        h.access(Record::read(Address::new(1))); // evicts dirty 0
+        assert_eq!(h.l1().writebacks, 1);
+        // L2 saw the refill reads of 0 and 1 plus the write-back.
+        assert_eq!(h.l2().accesses, 3);
+    }
+
+    #[test]
+    fn rejects_narrower_l2_lines() {
+        let l1 = CacheConfig::builder().depth(4).line_bits(2).build().unwrap();
+        let l2 = CacheConfig::builder().depth(64).line_bits(1).build().unwrap();
+        assert!(Hierarchy::new(l1, l2).is_err());
+    }
+
+    proptest::proptest! {
+        /// The L1 of a hierarchy is indistinguishable from a standalone
+        /// cache: the L2 behind it never affects L1 behaviour.
+        #[test]
+        fn l1_is_unaffected_by_l2(
+            ops in proptest::collection::vec((proptest::prelude::any::<bool>(), 0u32..64), 1..300),
+            l1_bits in 0u32..4,
+            l2_bits in 2u32..6,
+        ) {
+            use cachedse_trace::Record;
+            let trace: Trace = ops
+                .iter()
+                .map(|&(w, a)| {
+                    if w {
+                        Record::write(Address::new(a))
+                    } else {
+                        Record::read(Address::new(a))
+                    }
+                })
+                .collect();
+            let l1 = lru(1 << l1_bits, 2);
+            let (h1, _) = simulate_hierarchy(&trace, l1, lru(1 << l2_bits, 4)).unwrap();
+            let standalone = crate::simulate(&trace, &l1);
+            proptest::prop_assert_eq!(h1, standalone);
+        }
+    }
+
+    #[test]
+    fn write_through_l1_forwards_every_store_to_l2() {
+        use cachedse_trace::Record;
+        let (l1, l2) = write_through_pair(4, 1, 64, 2).unwrap();
+        assert_eq!(l1.write_policy(), WritePolicy::WriteThrough);
+        assert_eq!(l2.write_policy(), WritePolicy::WriteBack);
+        let trace: Trace = [
+            Record::write(Address::new(1)),
+            Record::write(Address::new(1)), // hits L1, still written through
+            Record::read(Address::new(1)),
+        ]
+        .into_iter()
+        .collect();
+        let (s1, s2) = simulate_hierarchy(&trace, l1, l2).unwrap();
+        assert_eq!(s1.mem_writes, 2);
+        // L2 sees the refill read of the first miss plus both stores.
+        assert_eq!(s2.accesses, 3);
+        assert_eq!(s2.hits, 2);
+    }
+
+    #[test]
+    fn mismatched_lines_error_is_descriptive() {
+        let l1 = CacheConfig::builder().depth(4).line_bits(2).build().unwrap();
+        let l2 = CacheConfig::builder().depth(64).line_bits(1).build().unwrap();
+        let err = Hierarchy::new(l1, l2).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "L2 line (2^1 words) must be at least as wide as the L1 line (2^2 words)"
+        );
+    }
+}

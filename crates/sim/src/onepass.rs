@@ -1,0 +1,288 @@
+//! All-associativity single-pass simulation.
+//!
+//! The per-set generalization of Mattson stack-distance analysis (the
+//! one-pass family the paper cites as \[16\]\[17\]): for a *fixed* depth `D`,
+//! one sweep of the trace yields the exact non-cold miss count of every
+//! associativity `A` simultaneously. An occurrence misses in a `D`-row,
+//! `A`-way LRU cache iff at least `A` distinct other addresses *mapping to
+//! the same row* were touched since its previous occurrence.
+//!
+//! This is the strongest conventional baseline against the paper's analytical
+//! method: it still needs one pass per depth, where the analytical method
+//! covers all depths at once.
+
+use std::collections::HashMap;
+
+use cachedse_trace::Trace;
+
+use crate::fenwick::Fenwick;
+
+/// Per-associativity miss profile of one cache depth.
+///
+/// # Examples
+///
+/// ```
+/// use cachedse_sim::onepass::DepthProfile;
+/// use cachedse_trace::paper_running_example;
+///
+/// let p = DepthProfile::of_trace(&paper_running_example(), 2);
+/// // Section 2.3 of the paper: at depth 2, associativity 3 gives zero
+/// // misses beyond cold.
+/// assert_eq!(p.misses_at(3), 0);
+/// assert!(p.misses_at(2) > 0);
+/// assert_eq!(p.min_associativity(0), 3);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DepthProfile {
+    depth: u32,
+    /// `histogram[d]` = non-cold occurrences with `d` distinct same-row
+    /// addresses in their reuse window.
+    histogram: Vec<u64>,
+    cold: u64,
+    accesses: u64,
+}
+
+impl DepthProfile {
+    /// Profiles `trace` for a cache of `depth` rows in one pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero or not a power of two.
+    #[must_use]
+    pub fn of_trace(trace: &Trace, depth: u32) -> Self {
+        assert!(
+            depth > 0 && depth.is_power_of_two(),
+            "depth must be a power of two"
+        );
+        // First pass: how many accesses land in each row, so each row gets a
+        // right-sized position index.
+        let mask = depth - 1;
+        let mut row_len = vec![0usize; depth as usize];
+        for addr in trace.addresses() {
+            row_len[(addr.raw() & mask) as usize] += 1;
+        }
+        let mut fenwicks: Vec<Fenwick> = row_len.iter().map(|&n| Fenwick::new(n)).collect();
+        let mut row_pos = vec![0usize; depth as usize];
+        // addr -> its row-local position at last occurrence.
+        let mut last: HashMap<u32, usize> = HashMap::new();
+
+        let mut histogram: Vec<u64> = Vec::new();
+        let mut cold = 0u64;
+        for addr in trace.addresses() {
+            let raw = addr.raw();
+            let row = (raw & mask) as usize;
+            let t = row_pos[row];
+            row_pos[row] += 1;
+            let fenwick = &mut fenwicks[row];
+            match last.insert(raw, t) {
+                Some(prev) => {
+                    let d = fenwick.range_sum(prev + 1, t) as usize;
+                    if histogram.len() <= d {
+                        histogram.resize(d + 1, 0);
+                    }
+                    histogram[d] += 1;
+                    fenwick.add(prev, -1);
+                }
+                None => cold += 1,
+            }
+            fenwick.add(t, 1);
+        }
+        Self {
+            depth,
+            histogram,
+            cold,
+            accesses: trace.len() as u64,
+        }
+    }
+
+    /// Assembles a profile from precomputed parts.
+    ///
+    /// The analytical engines of `cachedse-core` compute the same
+    /// per-distance histograms without simulating; building them into a
+    /// `DepthProfile` makes the two methods directly comparable (they must be
+    /// `==` on every trace).
+    ///
+    /// Trailing zero histogram entries are trimmed so equality is
+    /// representation-independent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero or not a power of two.
+    #[must_use]
+    pub fn from_parts(depth: u32, mut histogram: Vec<u64>, cold: u64, accesses: u64) -> Self {
+        assert!(
+            depth > 0 && depth.is_power_of_two(),
+            "depth must be a power of two"
+        );
+        while histogram.last() == Some(&0) {
+            histogram.pop();
+        }
+        Self {
+            depth,
+            histogram,
+            cold,
+            accesses,
+        }
+    }
+
+    /// The cache depth this profile describes.
+    #[must_use]
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// The per-distance histogram (index `d` = `d` distinct same-row
+    /// conflicts in the reuse window).
+    #[must_use]
+    pub fn histogram(&self) -> &[u64] {
+        &self.histogram
+    }
+
+    /// Cold (first-touch) accesses.
+    #[must_use]
+    pub fn cold(&self) -> u64 {
+        self.cold
+    }
+
+    /// Total accesses profiled.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Non-cold misses of a `depth × assoc` LRU cache.
+    #[must_use]
+    pub fn misses_at(&self, assoc: u32) -> u64 {
+        self.histogram.iter().skip(assoc as usize).sum()
+    }
+
+    /// Smallest associativity whose non-cold miss count is at most `budget`
+    /// — one row of the paper's Tables 7–30.
+    #[must_use]
+    pub fn min_associativity(&self, budget: u64) -> u32 {
+        let mut remaining = self.misses_at(0);
+        if remaining <= budget {
+            return 1;
+        }
+        for (d, &count) in self.histogram.iter().enumerate() {
+            remaining -= count;
+            if remaining <= budget {
+                return d as u32 + 1;
+            }
+        }
+        self.histogram.len() as u32
+    }
+}
+
+/// Profiles every power-of-two depth `1, 2, 4, …, 2^max_index_bits` — the
+/// one-pass-per-depth baseline flow.
+///
+/// # Examples
+///
+/// ```
+/// use cachedse_sim::onepass::profile_depths;
+/// use cachedse_trace::paper_running_example;
+///
+/// let profiles = profile_depths(&paper_running_example(), 4);
+/// assert_eq!(profiles.len(), 5); // depths 1, 2, 4, 8, 16
+/// assert_eq!(profiles[4].misses_at(1), 0); // depth 16: every ref has its own row
+/// ```
+#[must_use]
+pub fn profile_depths(trace: &Trace, max_index_bits: u32) -> Vec<DepthProfile> {
+    (0..=max_index_bits)
+        .map(|bits| DepthProfile::of_trace(trace, 1 << bits))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stack::StackDistanceProfile;
+    use crate::{simulate, CacheConfig};
+    use cachedse_trace::{generate, Address, Record};
+    use proptest::prelude::*;
+
+    fn reads(addrs: &[u32]) -> Trace {
+        addrs
+            .iter()
+            .map(|&a| Record::read(Address::new(a)))
+            .collect()
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_depth() {
+        let _ = DepthProfile::of_trace(&Trace::new(), 3);
+    }
+
+    #[test]
+    fn depth_one_equals_global_stack_distance() {
+        let trace = generate::uniform_random(2_000, 64, 21);
+        let d1 = DepthProfile::of_trace(&trace, 1);
+        let global = StackDistanceProfile::of_trace(&trace);
+        assert_eq!(d1.histogram(), global.histogram());
+        assert_eq!(d1.cold(), global.cold());
+    }
+
+    #[test]
+    fn paper_example_depth_four() {
+        // Figure 3 level 2: rows hold {2,5}, {3}, {}, {1,4} (paper ids).
+        // With A = 2 every row fits its residents -> zero avoidable misses.
+        let trace = cachedse_trace::paper_running_example();
+        let p = DepthProfile::of_trace(&trace, 4);
+        assert_eq!(p.misses_at(2), 0);
+        assert_eq!(p.min_associativity(0), 2);
+    }
+
+    #[test]
+    fn min_associativity_with_budget() {
+        let trace = cachedse_trace::paper_running_example();
+        let p = DepthProfile::of_trace(&trace, 2);
+        // Zero-miss associativity at depth 2 is 3 (Section 2.3).
+        assert_eq!(p.min_associativity(0), 3);
+        // Allowing all misses reduces the requirement to 1.
+        assert_eq!(p.min_associativity(u64::MAX), 1);
+    }
+
+    proptest! {
+        /// The profile must agree with brute-force simulation at every
+        /// geometry.
+        #[test]
+        fn matches_simulator(addrs in prop::collection::vec(0u32..64, 1..250),
+                             index_bits in 0u32..4,
+                             assoc in 1u32..6) {
+            let trace = reads(&addrs);
+            let depth = 1u32 << index_bits;
+            let p = DepthProfile::of_trace(&trace, depth);
+            let stats = simulate(&trace, &CacheConfig::lru(depth, assoc).unwrap());
+            prop_assert_eq!(p.misses_at(assoc), stats.avoidable_misses(),
+                "depth {} assoc {}", depth, assoc);
+            prop_assert_eq!(p.cold(), stats.cold_misses);
+        }
+
+        /// min_associativity really is minimal: it satisfies the budget and
+        /// one way less does not.
+        #[test]
+        fn min_associativity_is_tight(addrs in prop::collection::vec(0u32..40, 1..200),
+                                      index_bits in 0u32..3,
+                                      budget in 0u64..20) {
+            let trace = reads(&addrs);
+            let p = DepthProfile::of_trace(&trace, 1 << index_bits);
+            let a = p.min_associativity(budget);
+            prop_assert!(a >= 1);
+            prop_assert!(p.misses_at(a) <= budget);
+            if a > 1 {
+                prop_assert!(p.misses_at(a - 1) > budget);
+            }
+        }
+    }
+
+    #[test]
+    fn profile_depths_covers_range() {
+        let trace = reads(&[1, 2, 3, 1, 2, 3]);
+        let ps = profile_depths(&trace, 2);
+        assert_eq!(ps.len(), 3);
+        assert_eq!(ps[0].depth(), 1);
+        assert_eq!(ps[2].depth(), 4);
+    }
+}

@@ -1,0 +1,227 @@
+//! Mattson stack-distance profiling.
+//!
+//! Mattson et al.'s classic one-pass technique (the paper's reference \[17\])
+//! evaluates *every* fully-associative LRU capacity in a single sweep of the
+//! trace: an access hits in a cache of capacity `c` iff fewer than `c`
+//! distinct addresses were touched since its previous occurrence. This module
+//! computes the histogram of those *reuse distances* with a Fenwick tree in
+//! `O(N log N)`.
+//!
+//! The distance convention matches the analytical model of `cachedse-core`:
+//! the distance of an occurrence is `|C|`, the number of distinct *other*
+//! addresses touched since the previous occurrence (the cardinality of the
+//! paper's MRCT conflict set), and the access misses at associativity /
+//! capacity `A` iff `|C| ≥ A`.
+
+use std::collections::HashMap;
+
+use cachedse_trace::Trace;
+
+use crate::fenwick::Fenwick;
+
+/// Reuse-distance histogram of a trace under fully-associative LRU.
+///
+/// # Examples
+///
+/// ```
+/// use cachedse_sim::stack::StackDistanceProfile;
+/// use cachedse_trace::paper_running_example;
+///
+/// let profile = StackDistanceProfile::of_trace(&paper_running_example());
+/// assert_eq!(profile.cold(), 5);
+/// // A fully-associative cache of 5 lines holds the whole working set.
+/// assert_eq!(profile.misses_with_capacity(5), 0);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StackDistanceProfile {
+    /// `histogram[d]` = number of non-cold occurrences with `d` distinct
+    /// other addresses touched since the previous occurrence.
+    histogram: Vec<u64>,
+    cold: u64,
+    accesses: u64,
+}
+
+impl StackDistanceProfile {
+    /// Profiles `trace` in one pass.
+    #[must_use]
+    pub fn of_trace(trace: &Trace) -> Self {
+        let n = trace.len();
+        let mut fenwick = Fenwick::new(n);
+        let mut last: HashMap<u32, usize> = HashMap::new();
+        let mut histogram: Vec<u64> = Vec::new();
+        let mut cold = 0u64;
+        for (t, addr) in trace.addresses().enumerate() {
+            match last.insert(addr.raw(), t) {
+                Some(prev) => {
+                    // Addresses touched in (prev, t) have their most recent
+                    // occurrence marker inside the window.
+                    let d = fenwick.range_sum(prev + 1, t) as usize;
+                    if histogram.len() <= d {
+                        histogram.resize(d + 1, 0);
+                    }
+                    histogram[d] += 1;
+                    fenwick.add(prev, -1);
+                }
+                None => cold += 1,
+            }
+            fenwick.add(t, 1);
+        }
+        Self {
+            histogram,
+            cold,
+            accesses: n as u64,
+        }
+    }
+
+    /// The reuse-distance histogram: index `d` counts non-cold occurrences
+    /// with `d` distinct other addresses in their reuse window.
+    #[must_use]
+    pub fn histogram(&self) -> &[u64] {
+        &self.histogram
+    }
+
+    /// Number of cold (first-touch) accesses — the working-set size `N'`.
+    #[must_use]
+    pub fn cold(&self) -> u64 {
+        self.cold
+    }
+
+    /// Total accesses profiled.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Largest observed reuse distance, or `None` if every access was cold.
+    #[must_use]
+    pub fn max_distance(&self) -> Option<usize> {
+        if self.histogram.is_empty() {
+            None
+        } else {
+            Some(self.histogram.len() - 1)
+        }
+    }
+
+    /// Non-cold misses of a fully-associative LRU cache holding `capacity`
+    /// lines: the occurrences whose reuse distance is `≥ capacity`.
+    ///
+    /// `capacity = 0` counts every non-cold occurrence.
+    #[must_use]
+    pub fn misses_with_capacity(&self, capacity: u32) -> u64 {
+        self.histogram
+            .iter()
+            .skip(capacity as usize)
+            .sum()
+    }
+
+    /// Smallest capacity whose non-cold miss count is at most `budget`.
+    #[must_use]
+    pub fn min_capacity_for(&self, budget: u64) -> u32 {
+        let mut remaining = self.misses_with_capacity(0);
+        if remaining <= budget {
+            return 1;
+        }
+        for (d, &count) in self.histogram.iter().enumerate() {
+            remaining -= count;
+            if remaining <= budget {
+                return d as u32 + 1;
+            }
+        }
+        self.histogram.len() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{simulate, CacheConfig};
+    use cachedse_trace::{generate, Address, Record};
+    use proptest::prelude::*;
+
+    fn reads(addrs: &[u32]) -> Trace {
+        addrs
+            .iter()
+            .map(|&a| Record::read(Address::new(a)))
+            .collect()
+    }
+
+    #[test]
+    fn empty_trace() {
+        let p = StackDistanceProfile::of_trace(&Trace::new());
+        assert_eq!(p.cold(), 0);
+        assert_eq!(p.accesses(), 0);
+        assert_eq!(p.max_distance(), None);
+        assert_eq!(p.misses_with_capacity(1), 0);
+    }
+
+    #[test]
+    fn simple_distances() {
+        // a b a: the second `a` has one distinct other address in between.
+        let p = StackDistanceProfile::of_trace(&reads(&[1, 2, 1]));
+        assert_eq!(p.cold(), 2);
+        assert_eq!(p.histogram(), &[0, 1]);
+        assert_eq!(p.misses_with_capacity(1), 1);
+        assert_eq!(p.misses_with_capacity(2), 0);
+    }
+
+    #[test]
+    fn repeats_have_distance_zero() {
+        let p = StackDistanceProfile::of_trace(&reads(&[7, 7, 7]));
+        assert_eq!(p.histogram(), &[2]);
+        assert_eq!(p.misses_with_capacity(1), 0);
+    }
+
+    #[test]
+    fn duplicate_interveners_count_once() {
+        // a b b b a: only one distinct address between the two a's.
+        let p = StackDistanceProfile::of_trace(&reads(&[1, 2, 2, 2, 1]));
+        assert_eq!(p.histogram()[1], 1);
+    }
+
+    #[test]
+    fn min_capacity_for_budgets() {
+        // a b c a b c: both reuses have distance 2.
+        let p = StackDistanceProfile::of_trace(&reads(&[1, 2, 3, 1, 2, 3]));
+        assert_eq!(p.misses_with_capacity(1), 3);
+        assert_eq!(p.misses_with_capacity(2), 3);
+        assert_eq!(p.misses_with_capacity(3), 0);
+        assert_eq!(p.min_capacity_for(0), 3);
+        assert_eq!(p.min_capacity_for(2), 3);
+        assert_eq!(p.min_capacity_for(3), 1);
+    }
+
+    proptest! {
+        /// The profile must agree with brute-force simulation of
+        /// fully-associative LRU caches (depth 1, associativity = capacity).
+        #[test]
+        fn matches_simulator(addrs in prop::collection::vec(0u32..30, 1..300),
+                             capacity in 1u32..12) {
+            let trace = reads(&addrs);
+            let p = StackDistanceProfile::of_trace(&trace);
+            let config = CacheConfig::lru(1, capacity).unwrap();
+            let stats = simulate(&trace, &config);
+            prop_assert_eq!(p.misses_with_capacity(capacity), stats.avoidable_misses());
+            prop_assert_eq!(p.cold(), stats.cold_misses);
+        }
+
+        /// Histogram mass accounting: cold + non-cold = N.
+        #[test]
+        fn mass_conservation(addrs in prop::collection::vec(0u32..50, 0..300)) {
+            let trace = reads(&addrs);
+            let p = StackDistanceProfile::of_trace(&trace);
+            let hist_sum: u64 = p.histogram().iter().sum();
+            prop_assert_eq!(p.cold() + hist_sum, trace.len() as u64);
+        }
+    }
+
+    #[test]
+    fn loop_trace_capacity_threshold() {
+        // A loop over 32 addresses: any capacity >= 32 has zero avoidable
+        // misses, any smaller capacity misses on every reuse.
+        let trace = generate::loop_pattern(0, 32, 10);
+        let p = StackDistanceProfile::of_trace(&trace);
+        assert_eq!(p.misses_with_capacity(32), 0);
+        assert_eq!(p.misses_with_capacity(31), 32 * 9);
+        assert_eq!(p.min_capacity_for(0), 32);
+    }
+}

@@ -1,0 +1,202 @@
+//! Synthetic trace generators.
+//!
+//! Tests, property tests, and the scaling benchmarks (the paper's Figure 4
+//! sweeps trace size `N` against unique references `N'`) need traces whose
+//! `N` and `N'` can be dialled independently and whose locality structure
+//! resembles embedded code: tight loops, strided array walks, and phased
+//! working sets. All generators are deterministic given their seed.
+//!
+//! # Examples
+//!
+//! ```
+//! use cachedse_trace::generate;
+//!
+//! // A loop body of 64 words executed 100 times: N = 6400, N' = 64.
+//! let t = generate::loop_pattern(0x1000, 64, 100);
+//! let stats = cachedse_trace::stats::TraceStats::of(&t);
+//! assert_eq!(stats.total, 6400);
+//! assert_eq!(stats.unique, 64);
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Address, Record, Trace};
+
+/// A sequential sweep over `len` consecutive words starting at `base`,
+/// repeated `iterations` times — the shape of a loop body's instruction
+/// fetches or a repeatedly-scanned array.
+///
+/// `N = len · iterations`, `N' = len`.
+#[must_use]
+pub fn loop_pattern(base: u32, len: u32, iterations: u32) -> Trace {
+    let mut trace = Trace::with_capacity((len as usize) * (iterations as usize));
+    for _ in 0..iterations {
+        for offset in 0..len {
+            trace.push(Record::read(Address::new(base + offset)));
+        }
+    }
+    trace
+}
+
+/// A strided walk: `count` accesses `base, base+stride, base+2·stride, …`,
+/// repeated `iterations` times — the shape of column-major matrix walks that
+/// thrash direct-mapped caches.
+///
+/// `N = count · iterations`, `N' = count` (when strides do not wrap).
+#[must_use]
+pub fn strided(base: u32, stride: u32, count: u32, iterations: u32) -> Trace {
+    let mut trace = Trace::with_capacity((count as usize) * (iterations as usize));
+    for _ in 0..iterations {
+        for i in 0..count {
+            trace.push(Record::read(Address::new(base.wrapping_add(i * stride))));
+        }
+    }
+    trace
+}
+
+/// `n` accesses drawn uniformly from `0..addr_space`. Deterministic for a
+/// given `seed`.
+///
+/// Uniform traffic is the adversarial case for the analytical algorithm
+/// (conflict sets approach the whole working set); it appears in property
+/// tests and the Figure 4 scaling sweep.
+///
+/// # Panics
+///
+/// Panics if `addr_space` is 0.
+#[must_use]
+pub fn uniform_random(n: usize, addr_space: u32, seed: u64) -> Trace {
+    assert!(addr_space > 0, "address space must be non-empty");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Record::read(Address::new(rng.gen_range(0..addr_space))))
+        .collect()
+}
+
+/// Phased working sets: the program alternates between `phases` working sets
+/// of `ws_size` consecutive words, spending `accesses_per_phase` random
+/// accesses in each — the classic model of embedded program phase behaviour.
+///
+/// `N = phases · accesses_per_phase`; `N' ≤ phases · ws_size`.
+///
+/// # Panics
+///
+/// Panics if `ws_size` is 0.
+#[must_use]
+pub fn working_set_phases(
+    phases: u32,
+    accesses_per_phase: u32,
+    ws_size: u32,
+    seed: u64,
+) -> Trace {
+    assert!(ws_size > 0, "working set size must be non-empty");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut trace =
+        Trace::with_capacity((phases as usize) * (accesses_per_phase as usize));
+    for phase in 0..phases {
+        let base = phase * ws_size;
+        for _ in 0..accesses_per_phase {
+            let offset = rng.gen_range(0..ws_size);
+            trace.push(Record::read(Address::new(base + offset)));
+        }
+    }
+    trace
+}
+
+/// A blend of the above: loop traffic with periodic random excursions —
+/// resembles a kernel with a hot loop plus table lookups. Deterministic for a
+/// given `seed`.
+///
+/// Every `excursion_every`-th access is redirected to a uniformly random
+/// address in `0..addr_space`.
+///
+/// # Panics
+///
+/// Panics if `excursion_every` or `addr_space` is 0.
+#[must_use]
+pub fn loop_with_excursions(
+    base: u32,
+    len: u32,
+    iterations: u32,
+    excursion_every: u32,
+    addr_space: u32,
+    seed: u64,
+) -> Trace {
+    assert!(excursion_every > 0, "excursion period must be non-zero");
+    assert!(addr_space > 0, "address space must be non-empty");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut trace = Trace::new();
+    let mut counter = 0u32;
+    for _ in 0..iterations {
+        for offset in 0..len {
+            counter += 1;
+            let addr = if counter.is_multiple_of(excursion_every) {
+                rng.gen_range(0..addr_space)
+            } else {
+                base + offset
+            };
+            trace.push(Record::read(Address::new(addr)));
+        }
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::TraceStats;
+
+    #[test]
+    fn loop_pattern_counts() {
+        let t = loop_pattern(100, 8, 5);
+        let s = TraceStats::of(&t);
+        assert_eq!(s.total, 40);
+        assert_eq!(s.unique, 8);
+        assert_eq!(t.records()[0].addr.raw(), 100);
+    }
+
+    #[test]
+    fn strided_counts() {
+        let t = strided(0, 16, 4, 2);
+        let addrs: Vec<u32> = t.addresses().map(Address::raw).collect();
+        assert_eq!(addrs, vec![0, 16, 32, 48, 0, 16, 32, 48]);
+    }
+
+    #[test]
+    fn uniform_random_is_deterministic() {
+        let a = uniform_random(100, 64, 42);
+        let b = uniform_random(100, 64, 42);
+        let c = uniform_random(100, 64, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.addresses().all(|addr| addr.raw() < 64));
+    }
+
+    #[test]
+    #[should_panic(expected = "address space")]
+    fn uniform_random_rejects_empty_space() {
+        let _ = uniform_random(1, 0, 0);
+    }
+
+    #[test]
+    fn working_sets_stay_in_phase_windows() {
+        let t = working_set_phases(3, 50, 10, 7);
+        assert_eq!(t.len(), 150);
+        for (i, r) in t.iter().enumerate() {
+            let phase = (i / 50) as u32;
+            let a = r.addr.raw();
+            assert!(a >= phase * 10 && a < (phase + 1) * 10);
+        }
+    }
+
+    #[test]
+    fn excursions_leave_loop_occasionally() {
+        let t = loop_with_excursions(0, 10, 10, 7, 1 << 20, 1);
+        assert_eq!(t.len(), 100);
+        let outside = t.addresses().filter(|a| a.raw() >= 10).count();
+        // 100 / 7 ≈ 14 excursions; the random address may land inside the
+        // loop, so only require that *some* left it.
+        assert!(outside > 0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Memory-reference traces for cache studies.
+//!
+//! Everything in the analytical cache-exploration flow of Ghosh & Givargis
+//! (DATE 2003) starts from a *trace*: the sequence of memory addresses a
+//! program touches. This crate is the trace substrate shared by the
+//! analytical explorer (`cachedse-core`), the cache simulator
+//! (`cachedse-sim`), and the instrumented workloads (`cachedse-workloads`):
+//!
+//! * [`Address`], [`AccessKind`], [`Record`], and the [`Trace`] container;
+//! * Dinero-style text I/O ([`io`]);
+//! * trace *stripping* into unique references ([`strip`], the paper's
+//!   Tables 1–2);
+//! * trace statistics ([`stats`], the paper's Tables 5–6 columns: trace size
+//!   `N`, unique references `N'`, and the maximum non-cold miss count);
+//! * synthetic trace generators ([`generate`]);
+//! * the paper's ten-reference running example
+//!   ([`paper_running_example`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use cachedse_trace::{paper_running_example, strip::StrippedTrace};
+//!
+//! let trace = paper_running_example();
+//! let stripped = StrippedTrace::from_trace(&trace);
+//! assert_eq!(trace.len(), 10);          // N  = 10 (Table 1)
+//! assert_eq!(stripped.unique_len(), 5); // N' = 5  (Table 2)
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod address;
+mod record;
+#[allow(clippy::module_inception)]
+mod trace;
+
+pub mod generate;
+pub mod io;
+pub mod stats;
+pub mod strip;
+
+pub use address::Address;
+pub use record::{AccessKind, Record};
+pub use trace::Trace;
+
+/// The running example of the paper (Table 1): ten 4-bit references over five
+/// unique addresses.
+///
+/// The published artifacts pin the example down completely: Table 2 gives the
+/// five unique references and their identifiers, Table 3 the zero/one sets,
+/// Table 4 the conflict table, and Figure 3 the BCAT. The access order below
+/// is the (unique) order consistent with all of them:
+///
+/// ```text
+/// id   1    2    3    4    1    5    2    4    1    3
+/// addr 1011 1100 0110 0011 1011 0100 1100 0011 1011 0110
+/// ```
+///
+/// (identifiers shown 1-based as in the paper; this crate numbers references
+/// from 0 in first-appearance order, so paper id *k* is [`strip::RefId`]
+/// *k − 1*).
+///
+/// # Examples
+///
+/// ```
+/// let t = cachedse_trace::paper_running_example();
+/// assert_eq!(t.len(), 10);
+/// assert_eq!(t.records()[0].addr.raw(), 0b1011);
+/// ```
+#[must_use]
+pub fn paper_running_example() -> Trace {
+    [
+        0b1011, 0b1100, 0b0110, 0b0011, 0b1011, 0b0100, 0b1100, 0b0011, 0b1011, 0b0110,
+    ]
+    .into_iter()
+    .map(|a| Record::read(Address::new(a)))
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strip::{RefId, StrippedTrace};
+
+    #[test]
+    fn running_example_matches_table_2() {
+        let trace = paper_running_example();
+        let stripped = StrippedTrace::from_trace(&trace);
+        assert_eq!(trace.len(), 10);
+        assert_eq!(stripped.unique_len(), 5);
+        // Table 2, in identifier order (paper ids 1..=5 are our 0..=4).
+        let expected = [0b1011u32, 0b1100, 0b0110, 0b0011, 0b0100];
+        for (id, want) in expected.iter().enumerate() {
+            assert_eq!(stripped.address_of(RefId::new(id as u32)).raw(), *want);
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Trace records: an access kind plus an address.
+
+use std::fmt;
+
+use crate::Address;
+
+/// The kind of a memory access, following the classic Dinero trace labels.
+///
+/// The paper's processor simulator is "instrumented to output separate
+/// instruction and data memory reference traces"; [`AccessKind`] lets a single
+/// file carry both, split later with
+/// [`Trace::split_kinds`](crate::Trace::split_kinds).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AccessKind {
+    /// A data load (Dinero label `0`).
+    #[default]
+    Read,
+    /// A data store (Dinero label `1`).
+    Write,
+    /// An instruction fetch (Dinero label `2`).
+    InstrFetch,
+}
+
+impl AccessKind {
+    /// The Dinero text-format label digit.
+    #[must_use]
+    pub const fn label(self) -> u8 {
+        match self {
+            Self::Read => 0,
+            Self::Write => 1,
+            Self::InstrFetch => 2,
+        }
+    }
+
+    /// Parses a Dinero label digit.
+    ///
+    /// Returns `None` for labels other than `0`, `1`, `2`.
+    #[must_use]
+    pub const fn from_label(label: u8) -> Option<Self> {
+        match label {
+            0 => Some(Self::Read),
+            1 => Some(Self::Write),
+            2 => Some(Self::InstrFetch),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for [`Read`](Self::Read) and [`Write`](Self::Write).
+    #[must_use]
+    pub const fn is_data(self) -> bool {
+        matches!(self, Self::Read | Self::Write)
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Self::Read => "read",
+            Self::Write => "write",
+            Self::InstrFetch => "ifetch",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One memory reference: a kind and a word address.
+///
+/// # Examples
+///
+/// ```
+/// use cachedse_trace::{AccessKind, Address, Record};
+///
+/// let r = Record::write(Address::new(0x40));
+/// assert_eq!(r.kind, AccessKind::Write);
+/// assert!(r.kind.is_data());
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Record {
+    /// What kind of access this is.
+    pub kind: AccessKind,
+    /// The word address touched.
+    pub addr: Address,
+}
+
+impl Record {
+    /// Creates a record of the given kind.
+    #[must_use]
+    pub const fn new(kind: AccessKind, addr: Address) -> Self {
+        Self { kind, addr }
+    }
+
+    /// Creates a data-load record.
+    #[must_use]
+    pub const fn read(addr: Address) -> Self {
+        Self::new(AccessKind::Read, addr)
+    }
+
+    /// Creates a data-store record.
+    #[must_use]
+    pub const fn write(addr: Address) -> Self {
+        Self::new(AccessKind::Write, addr)
+    }
+
+    /// Creates an instruction-fetch record.
+    #[must_use]
+    pub const fn fetch(addr: Address) -> Self {
+        Self::new(AccessKind::InstrFetch, addr)
+    }
+}
+
+impl fmt::Display for Record {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {:x}", self.kind.label(), self.addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for kind in [AccessKind::Read, AccessKind::Write, AccessKind::InstrFetch] {
+            assert_eq!(AccessKind::from_label(kind.label()), Some(kind));
+        }
+        assert_eq!(AccessKind::from_label(3), None);
+        assert_eq!(AccessKind::from_label(255), None);
+    }
+
+    #[test]
+    fn data_classification() {
+        assert!(AccessKind::Read.is_data());
+        assert!(AccessKind::Write.is_data());
+        assert!(!AccessKind::InstrFetch.is_data());
+    }
+
+    #[test]
+    fn display_is_dinero_line() {
+        assert_eq!(Record::read(Address::new(0xB)).to_string(), "0 b");
+        assert_eq!(Record::write(Address::new(16)).to_string(), "1 10");
+        assert_eq!(Record::fetch(Address::new(0x100)).to_string(), "2 100");
+    }
+}

@@ -1,0 +1,240 @@
+//! Trace stripping: reducing a trace of `N` references to its `N'` unique
+//! references (the paper's Tables 1–2).
+//!
+//! The prelude phase of the analytical algorithm first assigns each distinct
+//! address a numeric identifier in first-appearance order, then works on the
+//! identifier sequence. Section 2.4 of the paper notes that a hash table
+//! makes this linear; [`StrippedTrace::from_trace`] is that hash-based single
+//! pass.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::{Address, Trace};
+
+/// Identifier of a unique reference, assigned in first-appearance order
+/// starting at 0.
+///
+/// The paper numbers references from 1 (Table 2); this crate numbers from 0,
+/// so paper id *k* is `RefId::new(k - 1)`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RefId(u32);
+
+impl RefId {
+    /// Creates a reference identifier.
+    #[must_use]
+    pub const fn new(index: u32) -> Self {
+        Self(index)
+    }
+
+    /// The identifier as an array index.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The identifier as a `u32`.
+    #[must_use]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<RefId> for usize {
+    fn from(id: RefId) -> Self {
+        id.index()
+    }
+}
+
+impl fmt::Display for RefId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.0, f)
+    }
+}
+
+/// A stripped trace: the unique references of a [`Trace`] plus the original
+/// access order expressed as identifiers.
+///
+/// This is the paper's Table 2 (unique references with identifiers) together
+/// with the identifier-rewritten Table 1 order, which both the MRCT builder
+/// and the cache simulator baselines consume.
+///
+/// # Examples
+///
+/// ```
+/// use cachedse_trace::{paper_running_example, strip::StrippedTrace};
+///
+/// let s = StrippedTrace::from_trace(&paper_running_example());
+/// assert_eq!(s.total_len(), 10);  // N
+/// assert_eq!(s.unique_len(), 5);  // N'
+/// // Reference 0 (paper id 1, address 1011) occurs three times.
+/// assert_eq!(s.occurrences(cachedse_trace::strip::RefId::new(0)), 3);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StrippedTrace {
+    unique: Vec<Address>,
+    ids: Vec<RefId>,
+    counts: Vec<u32>,
+    address_bits: u32,
+}
+
+impl StrippedTrace {
+    /// Strips `trace`: one hash-map pass assigning identifiers in
+    /// first-appearance order.
+    ///
+    /// Access kinds are ignored — the analytical model cares only about which
+    /// addresses conflict, not whether they were read or written (the paper
+    /// fixes a write-back policy out of scope).
+    #[must_use]
+    pub fn from_trace(trace: &Trace) -> Self {
+        let mut table: HashMap<Address, RefId> = HashMap::new();
+        let mut unique = Vec::new();
+        let mut counts: Vec<u32> = Vec::new();
+        let mut ids = Vec::with_capacity(trace.len());
+        for addr in trace.addresses() {
+            let next = RefId::new(unique.len() as u32);
+            let id = *table.entry(addr).or_insert_with(|| {
+                unique.push(addr);
+                counts.push(0);
+                next
+            });
+            counts[id.index()] += 1;
+            ids.push(id);
+        }
+        Self {
+            unique,
+            ids,
+            counts,
+            address_bits: trace.address_bits(),
+        }
+    }
+
+    /// Number of references in the original trace (the paper's `N`).
+    #[must_use]
+    pub fn total_len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Number of unique references (the paper's `N'`).
+    #[must_use]
+    pub fn unique_len(&self) -> usize {
+        self.unique.len()
+    }
+
+    /// Returns `true` if the original trace was empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The unique addresses in identifier order.
+    #[must_use]
+    pub fn unique_addresses(&self) -> &[Address] {
+        &self.unique
+    }
+
+    /// The original access order as identifiers.
+    #[must_use]
+    pub fn id_sequence(&self) -> &[RefId] {
+        &self.ids
+    }
+
+    /// The address of a unique reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn address_of(&self, id: RefId) -> Address {
+        self.unique[id.index()]
+    }
+
+    /// How many times reference `id` occurs in the original trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn occurrences(&self, id: RefId) -> u32 {
+        self.counts[id.index()]
+    }
+
+    /// Number of address bits needed by the unique references (at least 1).
+    #[must_use]
+    pub fn address_bits(&self) -> u32 {
+        self.address_bits
+    }
+
+    /// Iterates over `(RefId, Address)` pairs in identifier order.
+    pub fn iter(&self) -> impl Iterator<Item = (RefId, Address)> + '_ {
+        self.unique
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| (RefId::new(i as u32), a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{paper_running_example, Record};
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_trace() {
+        let s = StrippedTrace::from_trace(&Trace::new());
+        assert!(s.is_empty());
+        assert_eq!(s.total_len(), 0);
+        assert_eq!(s.unique_len(), 0);
+    }
+
+    #[test]
+    fn paper_table_2() {
+        let s = StrippedTrace::from_trace(&paper_running_example());
+        let addrs: Vec<u32> = s.unique_addresses().iter().map(|a| a.raw()).collect();
+        assert_eq!(addrs, vec![0b1011, 0b1100, 0b0110, 0b0011, 0b0100]);
+        let ids: Vec<u32> = s.id_sequence().iter().map(|id| id.raw()).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 0, 4, 1, 3, 0, 2]);
+        assert_eq!(s.occurrences(RefId::new(0)), 3);
+        assert_eq!(s.occurrences(RefId::new(4)), 1);
+        assert_eq!(s.address_bits(), 4);
+    }
+
+    #[test]
+    fn kinds_are_ignored() {
+        let a: Trace = [Record::read(Address::new(7)), Record::write(Address::new(7))]
+            .into_iter()
+            .collect();
+        let s = StrippedTrace::from_trace(&a);
+        assert_eq!(s.unique_len(), 1);
+        assert_eq!(s.occurrences(RefId::new(0)), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn invariants(addrs in prop::collection::vec(0u32..200, 0..500)) {
+            let trace: Trace = addrs.iter().map(|&a| Record::read(Address::new(a))).collect();
+            let s = StrippedTrace::from_trace(&trace);
+
+            // N' <= N; id sequence has length N; counts sum to N.
+            prop_assert!(s.unique_len() <= s.total_len());
+            prop_assert_eq!(s.total_len(), addrs.len());
+            let count_sum: u32 = (0..s.unique_len())
+                .map(|i| s.occurrences(RefId::new(i as u32)))
+                .sum();
+            prop_assert_eq!(count_sum as usize, addrs.len());
+
+            // Rewriting ids back to addresses reproduces the original trace.
+            let rebuilt: Vec<u32> = s.id_sequence().iter()
+                .map(|&id| s.address_of(id).raw())
+                .collect();
+            prop_assert_eq!(rebuilt, addrs);
+
+            // Unique addresses are distinct and in first-appearance order.
+            let mut seen = std::collections::HashSet::new();
+            for &a in s.unique_addresses() {
+                prop_assert!(seen.insert(a));
+            }
+        }
+    }
+}

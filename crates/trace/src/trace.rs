@@ -1,0 +1,335 @@
+//! The [`Trace`] container.
+
+use std::fmt;
+use std::iter::FromIterator;
+
+use crate::{AccessKind, Address, Record};
+
+/// An ordered sequence of memory references.
+///
+/// A `Trace` is the unit of input to both the cache simulator and the
+/// analytical explorer. It is a thin, append-only wrapper around
+/// `Vec<Record>` with the domain operations the algorithms need: address-bit
+/// width, multi-word-line coarsening, and instruction/data splitting.
+///
+/// # Examples
+///
+/// ```
+/// use cachedse_trace::{Address, Record, Trace};
+///
+/// let trace: Trace = [0x10u32, 0x11, 0x10]
+///     .into_iter()
+///     .map(|a| Record::read(Address::new(a)))
+///     .collect();
+/// assert_eq!(trace.len(), 3);
+/// assert_eq!(trace.address_bits(), 5);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Trace {
+    records: Vec<Record>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty trace with room for `n` records.
+    #[must_use]
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            records: Vec::with_capacity(n),
+        }
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, record: Record) {
+        self.records.push(record);
+    }
+
+    /// Number of references in the trace (the paper's `N`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` if the trace has no references.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The records, in access order.
+    #[must_use]
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Iterates over the records in access order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Record> {
+        self.records.iter()
+    }
+
+    /// Iterates over just the addresses, in access order.
+    pub fn addresses(&self) -> impl Iterator<Item = Address> + '_ {
+        self.records.iter().map(|r| r.addr)
+    }
+
+    /// Number of address bits needed to represent every reference (at
+    /// least 1). This bounds the BCAT depth: a cache cannot usefully index
+    /// with more bits than the addresses have.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let t = cachedse_trace::paper_running_example();
+    /// assert_eq!(t.address_bits(), 4);
+    /// ```
+    #[must_use]
+    pub fn address_bits(&self) -> u32 {
+        self.records
+            .iter()
+            .map(|r| r.addr.bits())
+            .max()
+            .unwrap_or(1)
+    }
+
+    /// Returns a copy of the trace with every address shifted right by
+    /// `line_bits`, mapping word addresses to block numbers for a cache line
+    /// of `2^line_bits` words.
+    ///
+    /// The paper keeps the line size fixed at one word; this transform lets a
+    /// user explore a different fixed line size by coarsening the trace
+    /// before analysis.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cachedse_trace::{Address, Record, Trace};
+    /// let t: Trace = [Record::read(Address::new(0b1101))].into_iter().collect();
+    /// let blocks = t.block_aligned(2);
+    /// assert_eq!(blocks.records()[0].addr.raw(), 0b11);
+    /// ```
+    #[must_use]
+    pub fn block_aligned(&self, line_bits: u32) -> Self {
+        self.records
+            .iter()
+            .map(|r| Record::new(r.kind, r.addr.block(line_bits)))
+            .collect()
+    }
+
+    /// Splits the trace into a data trace (reads and writes) and an
+    /// instruction trace (fetches), preserving relative order within each.
+    ///
+    /// Mirrors the paper's setup, where the processor simulator emits
+    /// "separate instruction and data memory reference traces".
+    #[must_use]
+    pub fn split_kinds(&self) -> (Trace, Trace) {
+        let mut data = Trace::new();
+        let mut instr = Trace::new();
+        for r in &self.records {
+            if r.kind.is_data() {
+                data.push(*r);
+            } else {
+                instr.push(*r);
+            }
+        }
+        (data, instr)
+    }
+
+    /// Counts records of the given kind.
+    #[must_use]
+    pub fn count_kind(&self, kind: AccessKind) -> usize {
+        self.records.iter().filter(|r| r.kind == kind).count()
+    }
+
+    /// Returns a reduced trace with consecutive repeats of the same address
+    /// removed — a *provably exact* reduction in the spirit of the
+    /// trace-stripping speedups the paper cites (\[14\]\[15\]).
+    ///
+    /// A repeated access always hits (its reuse window is empty) and,
+    /// because conflict windows are *sets* of distinct references, removing
+    /// it changes no other access's conflict set. Hence for **every** cache
+    /// depth and every associativity ≥ 1, the avoidable-miss count of the
+    /// reduced trace equals the original's — the property the workspace
+    /// test suite asserts.
+    ///
+    /// When a repeat run mixes reads and writes (e.g. read-modify-write),
+    /// the surviving record is a write if any access in the run wrote, so
+    /// write-back dirty state is preserved too.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cachedse_trace::{Address, Record, Trace};
+    /// let t: Trace = [0u32, 0, 1, 1, 1, 0]
+    ///     .into_iter()
+    ///     .map(|a| Record::read(Address::new(a)))
+    ///     .collect();
+    /// assert_eq!(t.dedup_consecutive().len(), 3);
+    /// ```
+    #[must_use]
+    pub fn dedup_consecutive(&self) -> Self {
+        let mut out = Trace::new();
+        for &r in &self.records {
+            match out.records.last_mut() {
+                Some(last) if last.addr == r.addr => {
+                    if r.kind == AccessKind::Write {
+                        last.kind = AccessKind::Write;
+                    }
+                }
+                _ => out.push(r),
+            }
+        }
+        out
+    }
+}
+
+impl FromIterator<Record> for Trace {
+    fn from_iter<I: IntoIterator<Item = Record>>(iter: I) -> Self {
+        Self {
+            records: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Record> for Trace {
+    fn extend<I: IntoIterator<Item = Record>>(&mut self, iter: I) {
+        self.records.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a Record;
+    type IntoIter = std::slice::Iter<'a, Record>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.iter()
+    }
+}
+
+impl IntoIterator for Trace {
+    type Item = Record;
+    type IntoIter = std::vec::IntoIter<Record>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.into_iter()
+    }
+}
+
+impl fmt::Display for Trace {
+    /// Formats the trace in Dinero text format, one record per line.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.records {
+            writeln!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reads(addrs: &[u32]) -> Trace {
+        addrs
+            .iter()
+            .map(|&a| Record::read(Address::new(a)))
+            .collect()
+    }
+
+    #[test]
+    fn push_and_len() {
+        let mut t = Trace::new();
+        assert!(t.is_empty());
+        t.push(Record::read(Address::new(1)));
+        t.push(Record::write(Address::new(2)));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.count_kind(AccessKind::Read), 1);
+        assert_eq!(t.count_kind(AccessKind::Write), 1);
+        assert_eq!(t.count_kind(AccessKind::InstrFetch), 0);
+    }
+
+    #[test]
+    fn address_bits_of_empty_trace_is_one() {
+        assert_eq!(Trace::new().address_bits(), 1);
+    }
+
+    #[test]
+    fn address_bits_covers_max() {
+        assert_eq!(reads(&[0, 1]).address_bits(), 1);
+        assert_eq!(reads(&[0, 255]).address_bits(), 8);
+        assert_eq!(reads(&[256]).address_bits(), 9);
+    }
+
+    #[test]
+    fn block_aligned_collapses_neighbours() {
+        let t = reads(&[0, 1, 2, 3, 4]);
+        let b = t.block_aligned(2);
+        let addrs: Vec<u32> = b.addresses().map(Address::raw).collect();
+        assert_eq!(addrs, vec![0, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn split_kinds_preserves_order() {
+        let t: Trace = [
+            Record::fetch(Address::new(100)),
+            Record::read(Address::new(1)),
+            Record::fetch(Address::new(101)),
+            Record::write(Address::new(2)),
+        ]
+        .into_iter()
+        .collect();
+        let (data, instr) = t.split_kinds();
+        assert_eq!(
+            data.addresses().map(Address::raw).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+        assert_eq!(
+            instr.addresses().map(Address::raw).collect::<Vec<_>>(),
+            vec![100, 101]
+        );
+    }
+
+    #[test]
+    fn display_round_trips_through_io() {
+        let t = reads(&[0xB, 0xC]);
+        assert_eq!(t.to_string(), "0 b\n0 c\n");
+    }
+
+    #[test]
+    fn dedup_keeps_first_and_merges_kind() {
+        let t: Trace = [
+            Record::read(Address::new(5)),
+            Record::write(Address::new(5)),
+            Record::read(Address::new(5)),
+            Record::read(Address::new(6)),
+            Record::read(Address::new(5)),
+        ]
+        .into_iter()
+        .collect();
+        let d = t.dedup_consecutive();
+        assert_eq!(d.len(), 3);
+        // The 5-run wrote once, so the survivor is a write.
+        assert_eq!(d.records()[0], Record::write(Address::new(5)));
+        assert_eq!(d.records()[1].addr, Address::new(6));
+        assert_eq!(d.records()[2].addr, Address::new(5));
+    }
+
+    #[test]
+    fn dedup_of_empty_and_singleton() {
+        assert_eq!(Trace::new().dedup_consecutive(), Trace::new());
+        let one = reads(&[9]);
+        assert_eq!(one.dedup_consecutive(), one);
+    }
+
+    #[test]
+    fn iteration_forms() {
+        let t = reads(&[5, 6]);
+        assert_eq!(t.iter().count(), 2);
+        assert_eq!((&t).into_iter().count(), 2);
+        assert_eq!(t.clone().into_iter().count(), 2);
+    }
+}

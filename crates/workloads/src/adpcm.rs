@@ -1,0 +1,262 @@
+//! `adpcm` — IMA ADPCM speech codec (PowerStone's `adpcm`).
+//!
+//! Encodes 16-bit PCM samples to 4-bit ADPCM codes and decodes them back.
+//! Both directions are driven by the standard 89-entry step-size table and
+//! 16-entry index-adjust table, so the data trace mixes a sequential sample
+//! walk with small, hot table lookups — the archetypal embedded media
+//! kernel.
+
+use rand::Rng;
+
+use crate::kernel::{Kernel, Workbench};
+
+/// The standard IMA ADPCM step-size table.
+pub const STEP_TABLE: [i64; 89] = [
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41, 45, 50, 55, 60, 66,
+    73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408,
+    449, 494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132, 7845, 8630,
+    9493, 10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794,
+    32767,
+];
+
+/// The standard IMA ADPCM index-adjust table.
+pub const INDEX_TABLE: [i64; 16] = [-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8];
+
+/// Codec state shared by encode and decode.
+#[derive(Clone, Copy, Debug, Default)]
+struct CodecState {
+    predicted: i64,
+    index: i64,
+}
+
+/// One IMA encode step (pure arithmetic; table values passed in).
+fn encode_step(state: &mut CodecState, sample: i64, step: i64, index_adjust: impl Fn(i64) -> i64) -> i64 {
+    let mut diff = sample - state.predicted;
+    let mut code = 0i64;
+    if diff < 0 {
+        code = 8;
+        diff = -diff;
+    }
+    let mut step_work = step;
+    let mut vpdiff = step >> 3;
+    for bit in [4i64, 2, 1] {
+        if diff >= step_work {
+            code |= bit;
+            diff -= step_work;
+            vpdiff += step_work;
+        }
+        step_work >>= 1;
+    }
+    state.predicted += if code & 8 != 0 { -vpdiff } else { vpdiff };
+    state.predicted = state.predicted.clamp(-32768, 32767);
+    state.index = (state.index + index_adjust(code)).clamp(0, 88);
+    code
+}
+
+/// One IMA decode step.
+fn decode_step(state: &mut CodecState, code: i64, step: i64, index_adjust: impl Fn(i64) -> i64) -> i64 {
+    let mut vpdiff = step >> 3;
+    if code & 4 != 0 {
+        vpdiff += step;
+    }
+    if code & 2 != 0 {
+        vpdiff += step >> 1;
+    }
+    if code & 1 != 0 {
+        vpdiff += step >> 2;
+    }
+    state.predicted += if code & 8 != 0 { -vpdiff } else { vpdiff };
+    state.predicted = state.predicted.clamp(-32768, 32767);
+    state.index = (state.index + index_adjust(code)).clamp(0, 88);
+    state.predicted
+}
+
+/// Reference (untraced) encode of a PCM buffer.
+#[must_use]
+pub fn encode_reference(samples: &[i64]) -> Vec<i64> {
+    let mut state = CodecState::default();
+    samples
+        .iter()
+        .map(|&s| {
+            let step = STEP_TABLE[state.index as usize];
+            encode_step(&mut state, s, step, |c| INDEX_TABLE[c as usize])
+        })
+        .collect()
+}
+
+/// Reference (untraced) decode of an ADPCM code buffer.
+#[must_use]
+pub fn decode_reference(codes: &[i64]) -> Vec<i64> {
+    let mut state = CodecState::default();
+    codes
+        .iter()
+        .map(|&c| {
+            let step = STEP_TABLE[state.index as usize];
+            decode_step(&mut state, c, step, |code| INDEX_TABLE[code as usize])
+        })
+        .collect()
+}
+
+/// The `adpcm` kernel: encode a synthetic speech-like signal, then decode
+/// it back.
+///
+/// # Examples
+///
+/// ```
+/// use cachedse_workloads::{adpcm::Adpcm, Kernel};
+///
+/// let run = Adpcm { samples: 128 }.capture();
+/// assert_eq!(run.name, "adpcm");
+/// assert!(!run.data.is_empty());
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Adpcm {
+    /// Number of 16-bit PCM samples processed.
+    pub samples: u32,
+}
+
+impl Default for Adpcm {
+    fn default() -> Self {
+        Self { samples: 8192 }
+    }
+}
+
+impl Adpcm {
+    fn run_returning_decoded(&self, bench: &mut Workbench) -> Vec<i64> {
+        let step_table = bench.mem.alloc(89);
+        let index_table = bench.mem.alloc(16);
+        let pcm_in = bench.mem.alloc(self.samples);
+        let codes = bench.mem.alloc(self.samples);
+        let pcm_out = bench.mem.alloc(self.samples);
+        bench.mem.init(step_table, &STEP_TABLE);
+        bench.mem.init(index_table, &INDEX_TABLE);
+
+        let fill_body = bench.instr.block(6);
+        bench.instr.gap(120);
+        let encode_body = bench.instr.block(22);
+        bench.instr.gap(500);
+        let decode_body = bench.instr.block(16);
+
+        // Synthetic speech: a random walk with occasional jumps.
+        let mut level = 0i64;
+        for i in 0..self.samples {
+            bench.instr.execute(fill_body);
+            level += bench.rng.gen_range(-700i64..=700);
+            if bench.rng.gen_range(0..64) == 0 {
+                level = bench.rng.gen_range(-8000i64..=8000);
+            }
+            level = level.clamp(-32768, 32767);
+            bench.mem.store(pcm_in, i, level);
+        }
+
+        let mut state = CodecState::default();
+        for i in 0..self.samples {
+            bench.instr.execute(encode_body);
+            let sample = bench.mem.load(pcm_in, i);
+            let step = bench.mem.load(step_table, state.index as u32);
+            let code = encode_step(&mut state, sample, step, |c| {
+                INDEX_TABLE[c as usize] // adjusted via traced load below
+            });
+            // Re-load the adjustment through memory so the lookup is traced
+            // (encode_step already applied the same value).
+            let _ = bench.mem.load(index_table, code as u32);
+            bench.mem.store(codes, i, code);
+        }
+
+        let mut state = CodecState::default();
+        let mut decoded = Vec::with_capacity(self.samples as usize);
+        for i in 0..self.samples {
+            bench.instr.execute(decode_body);
+            let code = bench.mem.load(codes, i);
+            let step = bench.mem.load(step_table, state.index as u32);
+            let sample = decode_step(&mut state, code, step, |c| INDEX_TABLE[c as usize]);
+            let _ = bench.mem.load(index_table, code as u32);
+            bench.mem.store(pcm_out, i, sample);
+            decoded.push(sample);
+        }
+        decoded
+    }
+}
+
+impl Kernel for Adpcm {
+    fn name(&self) -> &'static str {
+        "adpcm"
+    }
+
+    fn run(&self, bench: &mut Workbench) {
+        let _ = self.run_returning_decoded(bench);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip_tracks_signal() {
+        // ADPCM is lossy, but on a slow ramp the decoder tracks the input.
+        let samples: Vec<i64> = (0..500).map(|i| i * 20 - 5000).collect();
+        let decoded = decode_reference(&encode_reference(&samples));
+        for (s, d) in samples.iter().zip(&decoded).skip(50) {
+            assert!((s - d).abs() < 2000, "sample {s} decoded as {d}");
+        }
+    }
+
+    #[test]
+    fn codes_are_nibbles() {
+        let samples: Vec<i64> = (0..200).map(|i| ((i * 977) % 30000) - 15000).collect();
+        for code in encode_reference(&samples) {
+            assert!((0..16).contains(&code));
+        }
+    }
+
+    #[test]
+    fn kernel_matches_reference_pipeline() {
+        let kernel = Adpcm { samples: 400 };
+        let mut bench = Workbench::new(kernel.seed());
+        let got = kernel.run_returning_decoded(&mut bench);
+
+        // Rebuild the same synthetic input from the RNG stream.
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(kernel.seed());
+        let mut level = 0i64;
+        let samples: Vec<i64> = (0..400)
+            .map(|_| {
+                level += rng.gen_range(-700i64..=700);
+                if rng.gen_range(0..64) == 0 {
+                    level = rng.gen_range(-8000i64..=8000);
+                }
+                level = level.clamp(-32768, 32767);
+                level
+            })
+            .collect();
+        assert_eq!(got, decode_reference(&encode_reference(&samples)));
+    }
+
+    #[test]
+    fn reconstruction_error_is_bounded_on_speech_like_input() {
+        // A 400 Hz-ish sine at 8 kHz sampling, quantized to 16 bits: ADPCM
+        // at 4 bits/sample should track it within a few percent RMS.
+        let samples: Vec<i64> = (0..800)
+            .map(|i| (10_000.0 * f64::sin(i as f64 * 0.3)) as i64)
+            .collect();
+        let decoded = decode_reference(&encode_reference(&samples));
+        let rms_err: f64 = (samples
+            .iter()
+            .zip(&decoded)
+            .skip(100) // allow the predictor to lock on
+            .map(|(s, d)| ((s - d) * (s - d)) as f64)
+            .sum::<f64>()
+            / 700.0)
+            .sqrt();
+        assert!(rms_err < 1_500.0, "rms error {rms_err}");
+    }
+
+    #[test]
+    fn step_table_is_monotonic() {
+        assert!(STEP_TABLE.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(STEP_TABLE.len(), 89);
+        assert_eq!(INDEX_TABLE.len(), 16);
+    }
+}

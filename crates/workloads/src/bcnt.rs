@@ -1,0 +1,129 @@
+//! `bcnt` — table-driven bit counting over a buffer (PowerStone's `bcnt`).
+//!
+//! Counts the set bits of every word in a buffer by splitting each word into
+//! bytes and looking each byte up in a 256-entry popcount table — the
+//! pre-hardware-popcount idiom. The data trace alternates a sequential
+//! buffer walk with data-dependent table hits.
+
+use rand::Rng;
+
+use crate::kernel::{Kernel, Workbench};
+
+/// Reference (untraced) population count of a buffer.
+#[must_use]
+pub fn popcount_reference(words: &[u32]) -> u64 {
+    words.iter().map(|w| u64::from(w.count_ones())).sum()
+}
+
+/// The `bcnt` kernel.
+///
+/// # Examples
+///
+/// ```
+/// use cachedse_workloads::{bcnt::Bcnt, Kernel};
+///
+/// let run = Bcnt { buffer_len: 64, passes: 1 }.capture();
+/// // fill + per word: 1 load + 4 table lookups; final store per pass.
+/// assert_eq!(run.data.len(), 64 + 64 * 5 + 1);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Bcnt {
+    /// Buffer length in 32-bit words.
+    pub buffer_len: u32,
+    /// Number of counting passes over the buffer.
+    pub passes: u32,
+}
+
+impl Default for Bcnt {
+    fn default() -> Self {
+        Self {
+            buffer_len: 2048,
+            passes: 6,
+        }
+    }
+}
+
+impl Bcnt {
+    fn run_returning_count(&self, bench: &mut Workbench) -> u64 {
+        let table = bench.mem.alloc(256);
+        let buffer = bench.mem.alloc(self.buffer_len);
+        let result = bench.mem.alloc(1);
+
+        let popcounts: Vec<i64> = (0..256u32).map(|b| i64::from(b.count_ones())).collect();
+        bench.mem.init(table, &popcounts);
+
+        let fill_body = bench.instr.block(4);
+        bench.instr.gap(160);
+        let count_body = bench.instr.block(12);
+        bench.instr.gap(75);
+        let epilogue = bench.instr.block(3);
+
+        for i in 0..self.buffer_len {
+            bench.instr.execute(fill_body);
+            let word: u32 = bench.rng.gen();
+            bench.mem.store(buffer, i, i64::from(word));
+        }
+
+        let mut total = 0u64;
+        for _ in 0..self.passes {
+            total = 0;
+            for i in 0..self.buffer_len {
+                bench.instr.execute(count_body);
+                let word = bench.mem.load(buffer, i) as u32;
+                for shift in [0u32, 8, 16, 24] {
+                    let byte = (word >> shift) & 0xFF;
+                    total += bench.mem.load(table, byte) as u64;
+                }
+            }
+            bench.instr.execute(epilogue);
+            bench.mem.store(result, 0, total as i64);
+        }
+        total
+    }
+}
+
+impl Kernel for Bcnt {
+    fn name(&self) -> &'static str {
+        "bcnt"
+    }
+
+    fn run(&self, bench: &mut Workbench) {
+        let _ = self.run_returning_count(bench);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn counts_bits_correctly() {
+        let kernel = Bcnt {
+            buffer_len: 300,
+            passes: 2,
+        };
+        let mut bench = Workbench::new(kernel.seed());
+        let got = kernel.run_returning_count(&mut bench);
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(kernel.seed());
+        let words: Vec<u32> = (0..300).map(|_| rng.gen()).collect();
+        assert_eq!(got, popcount_reference(&words));
+    }
+
+    #[test]
+    fn reference_basics() {
+        assert_eq!(popcount_reference(&[]), 0);
+        assert_eq!(popcount_reference(&[0, u32::MAX, 0b1010]), 34);
+    }
+
+    #[test]
+    fn trace_shape() {
+        let run = Bcnt {
+            buffer_len: 50,
+            passes: 3,
+        }
+        .capture();
+        assert_eq!(run.data.len(), 50 + 3 * (50 * 5 + 1));
+    }
+}

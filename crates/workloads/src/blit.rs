@@ -1,0 +1,209 @@
+//! `blit` — bitmap block transfer (PowerStone's "image rendering
+//! algorithm").
+//!
+//! Copies rectangular regions between two bitmaps with a horizontal bit
+//! shift: every destination word is assembled from two neighbouring source
+//! words. The data trace walks two large arrays in lockstep at a fixed
+//! offset — the pattern that makes direct-mapped caches thrash when source
+//! and destination alias to the same rows.
+
+use rand::Rng;
+
+use crate::kernel::{Kernel, Workbench};
+
+/// One blit operation: copy `width_words` words per row for `rows` rows,
+/// reading source words starting at word `src_word` of each row with a
+/// right bit-shift of `shift`, into destination words starting at
+/// `dst_word`.
+#[derive(Clone, Copy, Debug)]
+pub struct BlitOp {
+    /// First source word within each row.
+    pub src_word: u32,
+    /// First destination word within each row.
+    pub dst_word: u32,
+    /// Words copied per row.
+    pub width_words: u32,
+    /// Rows copied.
+    pub rows: u32,
+    /// Right bit-shift applied (0..32).
+    pub shift: u32,
+}
+
+/// Reference (untraced) blit over plain slices; bitmap rows are
+/// `row_words` long.
+pub fn blit_reference(src: &[u32], dst: &mut [u32], row_words: u32, op: &BlitOp) {
+    for row in 0..op.rows {
+        let src_row = (row * row_words) as usize;
+        let dst_row = (row * row_words) as usize;
+        for j in 0..op.width_words {
+            let lo = src[src_row + (op.src_word + j) as usize];
+            let v = if op.shift == 0 {
+                lo
+            } else {
+                let hi = src[src_row + (op.src_word + j + 1) as usize];
+                (lo >> op.shift) | (hi << (32 - op.shift))
+            };
+            dst[dst_row + (op.dst_word + j) as usize] = v;
+        }
+    }
+}
+
+/// The `blit` kernel.
+///
+/// # Examples
+///
+/// ```
+/// use cachedse_workloads::{blit::Blit, Kernel};
+///
+/// let run = Blit::default().capture();
+/// assert_eq!(run.name, "blit");
+/// assert!(run.data.len() > 10_000);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Blit {
+    /// Bitmap width in 32-bit words.
+    pub row_words: u32,
+    /// Bitmap height in rows.
+    pub rows: u32,
+    /// Number of randomized blit operations performed.
+    pub ops: u32,
+}
+
+impl Default for Blit {
+    fn default() -> Self {
+        Self {
+            row_words: 16,
+            rows: 64,
+            ops: 24,
+        }
+    }
+}
+
+impl Blit {
+    fn random_op(&self, rng: &mut impl Rng) -> BlitOp {
+        let shift = rng.gen_range(0..32u32);
+        // A shifted read touches word j+1, so keep one spare source column.
+        let max_width = self.row_words - u32::from(shift != 0);
+        let width_words = rng.gen_range(1..=max_width.min(self.row_words / 2 + 1));
+        let src_word = rng.gen_range(0..=max_width - width_words);
+        let dst_word = rng.gen_range(0..=self.row_words - width_words);
+        let rows = rng.gen_range(1..=self.rows);
+        BlitOp {
+            src_word,
+            dst_word,
+            width_words,
+            rows,
+            shift,
+        }
+    }
+
+    fn run_returning_dst(&self, bench: &mut Workbench) -> Vec<u32> {
+        let words = self.row_words * self.rows;
+        let src = bench.mem.alloc(words);
+        let dst = bench.mem.alloc(words);
+
+        let fill_body = bench.instr.block(4);
+        bench.instr.gap(350);
+        let op_setup = bench.instr.block(8);
+        bench.instr.gap(500);
+        let copy_body = bench.instr.block(10);
+
+        for i in 0..words {
+            bench.instr.execute(fill_body);
+            let v: u32 = bench.rng.gen();
+            bench.mem.store(src, i, i64::from(v));
+        }
+
+        for _ in 0..self.ops {
+            bench.instr.execute(op_setup);
+            let op = self.random_op(&mut bench.rng);
+            for row in 0..op.rows {
+                let src_row = row * self.row_words;
+                let dst_row = row * self.row_words;
+                for j in 0..op.width_words {
+                    bench.instr.execute(copy_body);
+                    let lo = bench.mem.load(src, src_row + op.src_word + j) as u32;
+                    let v = if op.shift == 0 {
+                        lo
+                    } else {
+                        let hi = bench.mem.load(src, src_row + op.src_word + j + 1) as u32;
+                        (lo >> op.shift) | (hi << (32 - op.shift))
+                    };
+                    bench.mem.store(dst, dst_row + op.dst_word + j, i64::from(v));
+                }
+            }
+        }
+
+        (0..words).map(|i| bench.mem.peek(dst, i) as u32).collect()
+    }
+}
+
+impl Kernel for Blit {
+    fn name(&self) -> &'static str {
+        "blit"
+    }
+
+    fn run(&self, bench: &mut Workbench) {
+        let _ = self.run_returning_dst(bench);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matches_reference_blits() {
+        let kernel = Blit {
+            row_words: 8,
+            rows: 16,
+            ops: 10,
+        };
+        let mut bench = Workbench::new(kernel.seed());
+        let got = kernel.run_returning_dst(&mut bench);
+
+        // Replay the same RNG stream against the reference implementation.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(kernel.seed());
+        let words = (8 * 16) as usize;
+        let src: Vec<u32> = (0..words).map(|_| rng.gen()).collect();
+        let mut dst = vec![0u32; words];
+        for _ in 0..10 {
+            let op = kernel.random_op(&mut rng);
+            blit_reference(&src, &mut dst, 8, &op);
+        }
+        assert_eq!(got, dst);
+    }
+
+    #[test]
+    fn reference_shift_semantics() {
+        // Two words 0xAABBCCDD, 0x11223344 shifted right 8: the low byte of
+        // the next word slides in at the top.
+        let src = vec![0xAABB_CCDD, 0x1122_3344];
+        let mut dst = vec![0u32; 2];
+        let op = BlitOp {
+            src_word: 0,
+            dst_word: 0,
+            width_words: 1,
+            rows: 1,
+            shift: 8,
+        };
+        blit_reference(&src, &mut dst, 2, &op);
+        assert_eq!(dst[0], 0x44AA_BBCC);
+    }
+
+    #[test]
+    fn zero_shift_is_a_plain_copy() {
+        let src = vec![7, 8, 9];
+        let mut dst = vec![0u32; 3];
+        let op = BlitOp {
+            src_word: 0,
+            dst_word: 1,
+            width_words: 2,
+            rows: 1,
+            shift: 0,
+        };
+        blit_reference(&src, &mut dst, 3, &op);
+        assert_eq!(dst, vec![0, 7, 8]);
+    }
+}

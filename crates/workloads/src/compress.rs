@@ -1,0 +1,258 @@
+//! `compress` — LZW compression, the core of the Unix `compress` utility
+//! (PowerStone's `compress`).
+//!
+//! A 12-bit-code LZW encoder with the hash-probed dictionary of the original
+//! implementation: every input symbol triggers one or more probes into a
+//! pair of large hash arrays, and dictionary growth steadily widens the
+//! touched footprint. The biggest and most irregular working set of the
+//! suite — in the paper's runtime tables, `compress` was among the slowest
+//! traces to analyze for the same reason.
+
+use rand::Rng;
+
+use crate::kernel::{Kernel, Workbench};
+
+/// Hash table size (power of two for cheap masking).
+const TABLE_SIZE: u32 = 8192;
+/// Maximum dictionary code (12-bit codes, as in `compress -b 12`).
+const MAX_CODE: i64 = 4096;
+
+#[inline]
+fn hash(key: i64) -> u32 {
+    ((key as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 49) as u32 & (TABLE_SIZE - 1)
+}
+
+/// Reference (untraced) LZW compression to 12-bit codes.
+#[must_use]
+pub fn compress_reference(input: &[u8]) -> Vec<i64> {
+    let mut keys = vec![-1i64; TABLE_SIZE as usize];
+    let mut codes = vec![0i64; TABLE_SIZE as usize];
+    let mut next_code = 256i64;
+    let mut out = Vec::new();
+    let mut prefix = i64::from(input[0]);
+    for &c in &input[1..] {
+        let key = (prefix << 8) | i64::from(c);
+        let mut slot = hash(key);
+        let matched = loop {
+            if keys[slot as usize] == key {
+                break Some(codes[slot as usize]);
+            }
+            if keys[slot as usize] == -1 {
+                break None;
+            }
+            slot = (slot + 1) & (TABLE_SIZE - 1);
+        };
+        match matched {
+            Some(code) => prefix = code,
+            None => {
+                out.push(prefix);
+                if next_code < MAX_CODE {
+                    keys[slot as usize] = key;
+                    codes[slot as usize] = next_code;
+                    next_code += 1;
+                }
+                prefix = i64::from(c);
+            }
+        }
+    }
+    out.push(prefix);
+    out
+}
+
+/// Reference LZW decompression, used to prove the encoder lossless.
+///
+/// # Panics
+///
+/// Panics on a code stream the matching encoder cannot have produced.
+#[must_use]
+pub fn decompress_reference(codes: &[i64]) -> Vec<u8> {
+    let mut dict: Vec<Vec<u8>> = (0..256u16).map(|b| vec![b as u8]).collect();
+    let mut out: Vec<u8> = Vec::new();
+    let mut prev: Option<Vec<u8>> = None;
+    for &code in codes {
+        let entry = if (code as usize) < dict.len() {
+            dict[code as usize].clone()
+        } else {
+            // The KwKwK case: the code being defined right now.
+            let p = prev.clone().expect("first code is always literal");
+            let mut e = p.clone();
+            e.push(p[0]);
+            e
+        };
+        if let Some(p) = prev {
+            if (dict.len() as i64) < MAX_CODE {
+                let mut new_entry = p;
+                new_entry.push(entry[0]);
+                dict.push(new_entry);
+            }
+        }
+        out.extend_from_slice(&entry);
+        prev = Some(entry);
+    }
+    out
+}
+
+/// The `compress` kernel.
+///
+/// # Examples
+///
+/// ```
+/// use cachedse_workloads::{compress::Compress, Kernel};
+///
+/// let run = Compress { input_len: 512 }.capture();
+/// assert_eq!(run.name, "compress");
+/// assert!(!run.data.is_empty());
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Compress {
+    /// Input length in bytes.
+    pub input_len: u32,
+}
+
+impl Default for Compress {
+    fn default() -> Self {
+        Self { input_len: 16384 }
+    }
+}
+
+impl Compress {
+    /// Generates compressible text: words drawn from a small vocabulary, so
+    /// the dictionary fills with real repeats (pure random bytes would never
+    /// match and the hash table would only ever be probed once per symbol).
+    fn synthesize_input(&self, rng: &mut impl Rng) -> Vec<u8> {
+        const WORDS: [&[u8]; 12] = [
+            b"the ", b"quick ", b"brown ", b"fox ", b"jumps ", b"over ", b"lazy ", b"dog ",
+            b"pack ", b"my ", b"box ", b"with ",
+        ];
+        let mut text = Vec::with_capacity(self.input_len as usize);
+        while text.len() < self.input_len as usize {
+            text.extend_from_slice(WORDS[rng.gen_range(0..WORDS.len())]);
+        }
+        text.truncate(self.input_len as usize);
+        text
+    }
+
+    fn run_returning_codes(&self, bench: &mut Workbench) -> Vec<i64> {
+        assert!(self.input_len >= 2, "input too short to compress");
+        let keys = bench.mem.alloc(TABLE_SIZE);
+        let codes = bench.mem.alloc(TABLE_SIZE);
+        let input = bench.mem.alloc(self.input_len);
+        let output = bench.mem.alloc(self.input_len); // worst case: no compression
+
+        bench.mem.init(keys, &vec![-1i64; TABLE_SIZE as usize]);
+
+        // The per-symbol head and the hash-probe loop are distinct functions
+        // placed ~512 words apart: they alternate every symbol and alias in
+        // mid-depth instruction caches.
+        let fill_body = bench.instr.block(4);
+        bench.instr.gap(230);
+        let symbol_head = bench.instr.block(8);
+        bench.instr.gap(503);
+        let probe_body = bench.instr.block(7);
+        bench.instr.gap(1010);
+        let emit_body = bench.instr.block(10);
+
+        let text = self.synthesize_input(&mut bench.rng);
+        for (i, &b) in text.iter().enumerate() {
+            bench.instr.execute(fill_body);
+            bench.mem.store(input, i as u32, i64::from(b));
+        }
+
+        let mut next_code = 256i64;
+        let mut out_len = 0u32;
+        let mut out = Vec::new();
+        let mut prefix = bench.mem.load(input, 0);
+        for i in 1..self.input_len {
+            bench.instr.execute(symbol_head);
+            let c = bench.mem.load(input, i);
+            let key = (prefix << 8) | c;
+            let mut slot = hash(key);
+            let matched = loop {
+                bench.instr.execute(probe_body);
+                let k = bench.mem.load(keys, slot);
+                if k == key {
+                    break Some(bench.mem.load(codes, slot));
+                }
+                if k == -1 {
+                    break None;
+                }
+                slot = (slot + 1) & (TABLE_SIZE - 1);
+            };
+            match matched {
+                Some(code) => prefix = code,
+                None => {
+                    bench.instr.execute(emit_body);
+                    bench.mem.store(output, out_len, prefix);
+                    out.push(prefix);
+                    out_len += 1;
+                    if next_code < MAX_CODE {
+                        bench.mem.store(keys, slot, key);
+                        bench.mem.store(codes, slot, next_code);
+                        next_code += 1;
+                    }
+                    prefix = c;
+                }
+            }
+        }
+        bench.instr.execute(emit_body);
+        bench.mem.store(output, out_len, prefix);
+        out.push(prefix);
+        out
+    }
+}
+
+impl Kernel for Compress {
+    fn name(&self) -> &'static str {
+        "compress"
+    }
+
+    fn run(&self, bench: &mut Workbench) {
+        let _ = self.run_returning_codes(bench);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_trips_losslessly() {
+        let text = b"tobeornottobetobeornottobe".repeat(20);
+        let codes = compress_reference(&text);
+        assert_eq!(decompress_reference(&codes), text);
+        // Repetitive input must actually compress.
+        assert!(codes.len() < text.len());
+    }
+
+    #[test]
+    fn handles_kwkwk_case() {
+        // "abababab…" hits the code-defined-right-now decoder path.
+        let text = b"ab".repeat(50);
+        assert_eq!(decompress_reference(&compress_reference(&text)), text);
+    }
+
+    #[test]
+    fn kernel_matches_reference() {
+        let kernel = Compress { input_len: 2000 };
+        let mut bench = Workbench::new(kernel.seed());
+        let got = kernel.run_returning_codes(&mut bench);
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(kernel.seed());
+        let text = kernel.synthesize_input(&mut rng);
+        let expected = compress_reference(&text);
+        assert_eq!(got, expected);
+        // And the kernel's output really decodes back to its input.
+        assert_eq!(decompress_reference(&got), text);
+    }
+
+    #[test]
+    fn dictionary_saturates_gracefully() {
+        let kernel = Compress { input_len: 60_000 };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let text = kernel.synthesize_input(&mut rng);
+        let codes = compress_reference(&text);
+        assert!(codes.iter().all(|&c| c < MAX_CODE));
+        assert_eq!(decompress_reference(&codes), text);
+    }
+}

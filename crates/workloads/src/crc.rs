@@ -1,0 +1,173 @@
+//! `crc` — CRC-32 checksum over a message buffer (PowerStone's "CRC
+//! checksum algorithm").
+//!
+//! The classic table-driven formulation: a 256-entry lookup table baked into
+//! the binary, one message-byte load plus one table load per step. The data
+//! trace is therefore a linear walk interleaved with data-dependent jumps
+//! into a 256-word table — mild conflict pressure with excellent temporal
+//! reuse of the table.
+
+use rand::Rng;
+
+use crate::kernel::{Kernel, Workbench};
+
+/// The reflected CRC-32 polynomial (IEEE 802.3).
+const POLY: u32 = 0xEDB8_8320;
+
+/// Builds the standard 256-entry CRC-32 table.
+fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    for (i, entry) in table.iter_mut().enumerate() {
+        let mut c = i as u32;
+        for _ in 0..8 {
+            c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
+        }
+        *entry = c;
+    }
+    table
+}
+
+/// Reference (untraced) CRC-32 used by the tests.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(cachedse_workloads::crc::crc32_reference(b"123456789"), 0xCBF4_3926);
+/// ```
+#[must_use]
+pub fn crc32_reference(bytes: &[u8]) -> u32 {
+    let table = crc_table();
+    let mut crc = u32::MAX;
+    for &b in bytes {
+        crc = table[((crc ^ u32::from(b)) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// The `crc` kernel.
+///
+/// # Examples
+///
+/// ```
+/// use cachedse_workloads::{crc::Crc, Kernel};
+///
+/// let run = Crc { message_len: 256, passes: 1 }.capture();
+/// assert_eq!(run.name, "crc");
+/// // fill (256 stores) + per byte: 1 message load + 1 table load; plus the
+/// // final checksum store per pass.
+/// assert_eq!(run.data.len(), 256 + 256 * 2 + 1);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Crc {
+    /// Message length in bytes.
+    pub message_len: u32,
+    /// How many times the message is checksummed (models periodic
+    /// re-validation of a buffer).
+    pub passes: u32,
+}
+
+impl Default for Crc {
+    fn default() -> Self {
+        Self {
+            message_len: 4096,
+            passes: 4,
+        }
+    }
+}
+
+impl Crc {
+    /// The kernel body; returns the final checksum so tests can compare it
+    /// against [`crc32_reference`].
+    fn run_returning_crc(&self, bench: &mut Workbench) -> u32 {
+        let table = bench.mem.alloc(256);
+        let message = bench.mem.alloc(self.message_len);
+        let result = bench.mem.alloc(1);
+        let table_values: Vec<i64> = crc_table().iter().map(|&v| i64::from(v)).collect();
+        bench.mem.init(table, &table_values);
+
+        // Basic blocks: buffer fill loop, checksum loop body, epilogue.
+        let fill_body = bench.instr.block(5);
+        bench.instr.gap(140);
+        let crc_body = bench.instr.block(9);
+        bench.instr.gap(90);
+        let epilogue = bench.instr.block(4);
+
+        // Receive the message into the buffer (one byte per word).
+        for i in 0..self.message_len {
+            bench.instr.execute(fill_body);
+            let byte = bench.rng.gen_range(0..256u32);
+            bench.mem.store(message, i, i64::from(byte));
+        }
+
+        let mut checksum = 0u32;
+        for _ in 0..self.passes {
+            let mut crc = u32::MAX;
+            for i in 0..self.message_len {
+                bench.instr.execute(crc_body);
+                let byte = bench.mem.load(message, i) as u32;
+                let idx = (crc ^ byte) & 0xFF;
+                let entry = bench.mem.load(table, idx) as u32;
+                crc = entry ^ (crc >> 8);
+            }
+            bench.instr.execute(epilogue);
+            checksum = !crc;
+            bench.mem.store(result, 0, i64::from(checksum));
+        }
+        checksum
+    }
+}
+
+impl Kernel for Crc {
+    fn name(&self) -> &'static str {
+        "crc"
+    }
+
+    fn run(&self, bench: &mut Workbench) {
+        let _ = self.run_returning_crc(bench);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn computes_the_real_crc32() {
+        let kernel = Crc {
+            message_len: 512,
+            passes: 1,
+        };
+        let mut bench = Workbench::new(kernel.seed());
+        let got = kernel.run_returning_crc(&mut bench);
+
+        // The message bytes come from the same deterministic RNG stream.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(kernel.seed());
+        let bytes: Vec<u8> = (0..512).map(|_| rng.gen_range(0..256u32) as u8).collect();
+        assert_eq!(got, crc32_reference(&bytes));
+    }
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32_reference(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32_reference(b""), 0);
+        assert_eq!(crc32_reference(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn trace_shape() {
+        use crate::kernel::{CRT0_WORDS, EXIT_WORDS};
+        let run = Crc {
+            message_len: 100,
+            passes: 2,
+        }
+        .capture();
+        assert_eq!(run.data.len(), 100 + 2 * (100 * 2 + 1));
+        // Tight loops: instruction N' is the executed static code size
+        // (kernel blocks plus the one-shot startup and exit stubs).
+        let s = cachedse_trace::strip::StrippedTrace::from_trace(&run.instr);
+        let stubs = (CRT0_WORDS + EXIT_WORDS) as usize;
+        assert_eq!(s.unique_len(), stubs + 5 + 9 + 4);
+        assert_eq!(s.total_len(), stubs + 100 * 5 + 2 * (100 * 9 + 4));
+    }
+}

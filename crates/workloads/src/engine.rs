@@ -1,0 +1,231 @@
+//! `engine` — engine controller (PowerStone's `engine`).
+//!
+//! The control loop of a spark-ignition engine controller: every tick it
+//! samples RPM and manifold load, bilinearly interpolates spark advance and
+//! fuel pulse width out of two 16×16 calibration maps, applies a first-order
+//! smoothing filter, and logs the commands into ring buffers. The data trace
+//! interleaves hot scalar state with data-dependent 2-D table walks — the
+//! canonical control-code pattern.
+
+use rand::Rng;
+
+use crate::kernel::{Kernel, Workbench};
+
+/// Map dimensions (cells per axis).
+pub const MAP_DIM: u32 = 16;
+
+/// Builds the spark-advance calibration map (degrees × 16, fixed point).
+fn spark_map() -> Vec<i64> {
+    (0..MAP_DIM * MAP_DIM)
+        .map(|i| {
+            let (r, l) = (i64::from(i / MAP_DIM), i64::from(i % MAP_DIM));
+            // Advance grows with RPM, retards with load.
+            10 * 16 + r * 32 - l * 12
+        })
+        .collect()
+}
+
+/// Builds the fuel pulse-width map (microseconds).
+fn fuel_map() -> Vec<i64> {
+    (0..MAP_DIM * MAP_DIM)
+        .map(|i| {
+            let (r, l) = (i64::from(i / MAP_DIM), i64::from(i % MAP_DIM));
+            1500 + r * 120 + l * 340 + r * l * 7
+        })
+        .collect()
+}
+
+/// Bilinear interpolation over a `MAP_DIM × MAP_DIM` map with 8.8 fixed
+/// point cell coordinates, reading cells through `cell`.
+fn interpolate(mut cell: impl FnMut(u32, u32) -> i64, x_fp: u32, y_fp: u32) -> i64 {
+    let xi = (x_fp >> 8).min(MAP_DIM - 2);
+    let yi = (y_fp >> 8).min(MAP_DIM - 2);
+    let xf = i64::from(x_fp & 0xFF);
+    let yf = i64::from(y_fp & 0xFF);
+    let c00 = cell(xi, yi);
+    let c10 = cell(xi + 1, yi);
+    let c01 = cell(xi, yi + 1);
+    let c11 = cell(xi + 1, yi + 1);
+    let top = c00 * (256 - xf) + c10 * xf;
+    let bottom = c01 * (256 - xf) + c11 * xf;
+    (top * (256 - yf) + bottom * yf) >> 16
+}
+
+/// One reference (untraced) controller step; returns (spark, fuel) after
+/// smoothing.
+#[cfg(test)]
+fn step_reference(
+    spark: &[i64],
+    fuel: &[i64],
+    rpm_fp: u32,
+    load_fp: u32,
+    prev_spark: i64,
+    prev_fuel: i64,
+) -> (i64, i64) {
+    let s = interpolate(|x, y| spark[(y * MAP_DIM + x) as usize], rpm_fp, load_fp);
+    let f = interpolate(|x, y| fuel[(y * MAP_DIM + x) as usize], rpm_fp, load_fp);
+    // First-order IIR smoothing: out += (target - out) / 4.
+    (
+        prev_spark + (s - prev_spark) / 4,
+        prev_fuel + (f - prev_fuel) / 4,
+    )
+}
+
+/// The `engine` kernel.
+///
+/// # Examples
+///
+/// ```
+/// use cachedse_workloads::{engine::Engine, Kernel};
+///
+/// let run = Engine { ticks: 64 }.capture();
+/// assert_eq!(run.name, "engine");
+/// assert!(!run.data.is_empty());
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Engine {
+    /// Number of control-loop iterations.
+    pub ticks: u32,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self { ticks: 3000 }
+    }
+}
+
+impl Engine {
+    const LOG_LEN: u32 = 64;
+
+    fn run_returning_log(&self, bench: &mut Workbench) -> Vec<(i64, i64)> {
+        let spark = bench.mem.alloc(MAP_DIM * MAP_DIM);
+        let fuel = bench.mem.alloc(MAP_DIM * MAP_DIM);
+        let state = bench.mem.alloc(4); // rpm, load, spark_out, fuel_out
+        let spark_log = bench.mem.alloc(Self::LOG_LEN);
+        let fuel_log = bench.mem.alloc(Self::LOG_LEN);
+        bench.mem.init(spark, &spark_map());
+        bench.mem.init(fuel, &fuel_map());
+
+        // Controller phases are separate functions; sampling and
+        // interpolation alias at depth 256, alternating every tick.
+        let tick_head = bench.instr.block(9);
+        bench.instr.gap(247);
+        let interp_body = bench.instr.block(18);
+        bench.instr.gap(761);
+        let tick_tail = bench.instr.block(11);
+
+        let mut out = Vec::with_capacity(self.ticks as usize);
+        let mut rpm_fp = 4u32 << 8;
+        let mut load_fp = 4u32 << 8;
+        for tick in 0..self.ticks {
+            bench.instr.execute(tick_head);
+            // Sensor drift: bounded random walk over the map plane.
+            rpm_fp = rpm_fp
+                .saturating_add_signed(bench.rng.gen_range(-96i32..=96))
+                .clamp(0, (MAP_DIM - 1) << 8);
+            load_fp = load_fp
+                .saturating_add_signed(bench.rng.gen_range(-96i32..=96))
+                .clamp(0, (MAP_DIM - 1) << 8);
+            bench.mem.store(state, 0, i64::from(rpm_fp));
+            bench.mem.store(state, 1, i64::from(load_fp));
+
+            bench.instr.execute(interp_body);
+            let rpm = bench.mem.load(state, 0) as u32;
+            let load = bench.mem.load(state, 1) as u32;
+            let mem = &mut bench.mem;
+            let s_target = interpolate(|x, y| mem.load(spark, y * MAP_DIM + x), rpm, load);
+            let f_target = interpolate(|x, y| mem.load(fuel, y * MAP_DIM + x), rpm, load);
+
+            bench.instr.execute(tick_tail);
+            let prev_s = bench.mem.load(state, 2);
+            let prev_f = bench.mem.load(state, 3);
+            let s_out = prev_s + (s_target - prev_s) / 4;
+            let f_out = prev_f + (f_target - prev_f) / 4;
+            bench.mem.store(state, 2, s_out);
+            bench.mem.store(state, 3, f_out);
+            bench.mem.store(spark_log, tick % Self::LOG_LEN, s_out);
+            bench.mem.store(fuel_log, tick % Self::LOG_LEN, f_out);
+            out.push((s_out, f_out));
+        }
+        out
+    }
+}
+
+impl Kernel for Engine {
+    fn name(&self) -> &'static str {
+        "engine"
+    }
+
+    fn run(&self, bench: &mut Workbench) {
+        let _ = self.run_returning_log(bench);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpolation_is_exact_on_cell_corners() {
+        let map = fuel_map();
+        let at = |x: u32, y: u32| map[(y * MAP_DIM + x) as usize];
+        for (x, y) in [(0u32, 0u32), (3, 7), (14, 14)] {
+            assert_eq!(interpolate(at, x << 8, y << 8), at(x, y));
+        }
+    }
+
+    #[test]
+    fn interpolation_is_between_corners() {
+        let map = fuel_map();
+        let at = |x: u32, y: u32| map[(y * MAP_DIM + x) as usize];
+        let mid = interpolate(at, (5 << 8) | 128, (9 << 8) | 128);
+        let corners = [at(5, 9), at(6, 9), at(5, 10), at(6, 10)];
+        assert!(mid >= *corners.iter().min().unwrap());
+        assert!(mid <= *corners.iter().max().unwrap());
+    }
+
+    #[test]
+    fn kernel_matches_reference_controller() {
+        let kernel = Engine { ticks: 300 };
+        let mut bench = Workbench::new(kernel.seed());
+        let got = kernel.run_returning_log(&mut bench);
+
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(kernel.seed());
+        let spark = spark_map();
+        let fuel = fuel_map();
+        let mut rpm_fp = 4u32 << 8;
+        let mut load_fp = 4u32 << 8;
+        let (mut s, mut f) = (0i64, 0i64);
+        let expected: Vec<(i64, i64)> = (0..300)
+            .map(|_| {
+                rpm_fp = rpm_fp
+                    .saturating_add_signed(rng.gen_range(-96i32..=96))
+                    .clamp(0, (MAP_DIM - 1) << 8);
+                load_fp = load_fp
+                    .saturating_add_signed(rng.gen_range(-96i32..=96))
+                    .clamp(0, (MAP_DIM - 1) << 8);
+                let (ns, nf) = step_reference(&spark, &fuel, rpm_fp, load_fp, s, f);
+                s = ns;
+                f = nf;
+                (s, f)
+            })
+            .collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn smoothing_converges_to_target() {
+        // Fixed sensors: output approaches the interpolated target.
+        let spark = spark_map();
+        let fuel = fuel_map();
+        let (mut s, mut f) = (0i64, 0i64);
+        for _ in 0..100 {
+            let (ns, nf) = step_reference(&spark, &fuel, 8 << 8, 8 << 8, s, f);
+            s = ns;
+            f = nf;
+        }
+        let target_f = interpolate(|x, y| fuel[(y * MAP_DIM + x) as usize], 8 << 8, 8 << 8);
+        assert!((f - target_f).abs() <= 4, "f={f} target={target_f}");
+    }
+}

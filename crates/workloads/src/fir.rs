@@ -1,0 +1,170 @@
+//! `fir` — integer finite impulse response filter (PowerStone's "FIR
+//! filter").
+//!
+//! A direct-form FIR: for every output sample, a dot product of the
+//! coefficient vector with a sliding window of the input. The data trace is
+//! the canonical DSP pattern — a small, perfectly reused coefficient array
+//! against a sliding-stride signal buffer — which is exactly the workload
+//! shape that rewards low associativity at sufficient depth.
+
+use rand::Rng;
+
+use crate::kernel::{Kernel, Workbench};
+
+/// Reference (untraced) FIR used by the tests: `y[n] = Σ h[k]·x[n−k] >> 15`.
+#[must_use]
+pub fn fir_reference(coeffs: &[i64], input: &[i64]) -> Vec<i64> {
+    let taps = coeffs.len();
+    (taps - 1..input.len())
+        .map(|n| {
+            let acc: i64 = coeffs
+                .iter()
+                .enumerate()
+                .map(|(k, &h)| h * input[n - k])
+                .sum();
+            acc >> 15
+        })
+        .collect()
+}
+
+/// The `fir` kernel.
+///
+/// # Examples
+///
+/// ```
+/// use cachedse_workloads::{fir::Fir, Kernel};
+///
+/// let run = Fir { taps: 8, samples: 32 }.capture();
+/// // fill (32 stores) + (32-7) outputs x (8 coeff + 8 sample loads + store).
+/// assert_eq!(run.data.len(), 32 + 25 * 17);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Fir {
+    /// Number of filter taps (coefficients).
+    pub taps: u32,
+    /// Number of input samples.
+    pub samples: u32,
+}
+
+impl Default for Fir {
+    fn default() -> Self {
+        Self {
+            taps: 32,
+            samples: 4096,
+        }
+    }
+}
+
+impl Fir {
+    fn run_returning_output(&self, bench: &mut Workbench) -> Vec<i64> {
+        assert!(self.taps >= 1 && self.samples >= self.taps, "degenerate filter");
+        let coeffs = bench.mem.alloc(self.taps);
+        let input = bench.mem.alloc(self.samples);
+        let output = bench.mem.alloc(self.samples - self.taps + 1);
+
+        // A symmetric low-pass-ish coefficient set in Q15, baked into the
+        // binary (untraced init; traced loads during filtering).
+        let coeff_values: Vec<i64> = (0..self.taps)
+            .map(|k| {
+                let center = (self.taps as i64 - 1) / 2;
+                let d = (i64::from(k) - center).abs();
+                (1 << 12) / (1 + d)
+            })
+            .collect();
+        bench.mem.init(coeffs, &coeff_values);
+
+        // The filter's three hot blocks live in different functions; the
+        // gaps are the cold code between them, sized so the MAC inner loop
+        // aliases the outer loop at depth 512 and the writeback at 256.
+        let fill_body = bench.instr.block(4);
+        bench.instr.gap(121);
+        let outer = bench.instr.block(3);
+        bench.instr.gap(509);
+        let mac = bench.instr.block(6);
+        bench.instr.gap(247);
+        let store_out = bench.instr.block(3);
+
+        for i in 0..self.samples {
+            bench.instr.execute(fill_body);
+            let sample = bench.rng.gen_range(-32768i64..32768);
+            bench.mem.store(input, i, sample);
+        }
+
+        let mut result = Vec::new();
+        for n in self.taps - 1..self.samples {
+            bench.instr.execute(outer);
+            let mut acc = 0i64;
+            for k in 0..self.taps {
+                bench.instr.execute(mac);
+                let h = bench.mem.load(coeffs, k);
+                let x = bench.mem.load(input, n - k);
+                acc += h * x;
+            }
+            bench.instr.execute(store_out);
+            let y = acc >> 15;
+            bench.mem.store(output, n - (self.taps - 1), y);
+            result.push(y);
+        }
+        result
+    }
+}
+
+impl Kernel for Fir {
+    fn name(&self) -> &'static str {
+        "fir"
+    }
+
+    fn run(&self, bench: &mut Workbench) {
+        let _ = self.run_returning_output(bench);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matches_reference_filter() {
+        let kernel = Fir {
+            taps: 16,
+            samples: 200,
+        };
+        let mut bench = Workbench::new(kernel.seed());
+        let got = kernel.run_returning_output(&mut bench);
+
+        let coeffs: Vec<i64> = (0..16)
+            .map(|k: i64| {
+                let d = (k - 7).abs();
+                (1 << 12) / (1 + d)
+            })
+            .collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(kernel.seed());
+        let input: Vec<i64> = (0..200).map(|_| rng.gen_range(-32768i64..32768)).collect();
+        assert_eq!(got, fir_reference(&coeffs, &input));
+    }
+
+    #[test]
+    fn impulse_response_reproduces_coefficients() {
+        // x = [1<<15, 0, 0, ...] -> y[k] recovers h[k] (shifted window).
+        let coeffs = vec![100, 200, 300];
+        let mut input = vec![0i64; 10];
+        input[2] = 1 << 15;
+        let y = fir_reference(&coeffs, &input);
+        assert_eq!(&y[..3], &[100, 200, 300]);
+        assert!(y[3..].iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate filter")]
+    fn rejects_fewer_samples_than_taps() {
+        let mut bench = Workbench::new(0);
+        let _ = Fir { taps: 8, samples: 4 }.run_returning_output(&mut bench);
+    }
+
+    #[test]
+    fn trace_shape() {
+        let run = Fir { taps: 8, samples: 32 }.capture();
+        assert_eq!(run.data.len(), 32 + 25 * (8 * 2 + 1));
+    }
+}

@@ -1,0 +1,248 @@
+//! `g3fax` — Group-3 facsimile one-dimensional decoding (PowerStone's
+//! "group three fax decoder").
+//!
+//! CCITT Group 3 1-D coding represents each scan line as alternating white
+//! and black *runs*; each run length is coded as an optional *make-up* code
+//! (multiples of 64) plus a *terminating* code (0–63). This kernel decodes
+//! such a stream back into bitmap lines, translating code indices through
+//! the terminating and make-up tables held in memory and packing pixels into
+//! words. It produces the largest traces of the suite, matching its role in
+//! the paper (g3fax had the longest analysis times).
+
+use rand::Rng;
+
+use crate::kernel::{Kernel, Workbench};
+
+/// Standard fax line width in pixels.
+pub const LINE_PIXELS: u32 = 1728;
+const LINE_WORDS: u32 = LINE_PIXELS / 32;
+
+/// A coded fax document: one `(makeup_count, terminating)` pair per run,
+/// flattened with white/black alternation starting at white.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CodedDocument {
+    /// Run codes: each entry is `makeup_index · 64 + terminating_length`.
+    pub codes: Vec<u32>,
+    /// Number of scan lines.
+    pub lines: u32,
+}
+
+/// Synthesizes a typical fax page: long white runs separated by short black
+/// runs, each line's runs summing to exactly [`LINE_PIXELS`].
+#[must_use]
+pub fn synthesize_document(lines: u32, rng: &mut impl Rng) -> CodedDocument {
+    let mut codes = Vec::new();
+    for _ in 0..lines {
+        let mut remaining = LINE_PIXELS;
+        let mut white = true;
+        while remaining > 0 {
+            let run = if white {
+                rng.gen_range(1..=remaining.min(700))
+            } else {
+                rng.gen_range(1..=remaining.min(40))
+            };
+            codes.push(run); // run = makeup·64 + terminating, encoded as-is
+            remaining -= run;
+            white = !white;
+        }
+        // Terminate the line: a zero-length run marks end-of-line (EOL).
+        codes.push(u32::MAX);
+    }
+    CodedDocument { codes, lines }
+}
+
+/// Reference (untraced) decode: returns the packed bitmap (one `u32` word
+/// per 32 pixels, MSB first; black = 1).
+#[must_use]
+pub fn decode_reference(doc: &CodedDocument) -> Vec<u32> {
+    let mut bitmap = vec![0u32; (doc.lines * LINE_WORDS) as usize];
+    let mut line = 0u32;
+    let mut x = 0u32;
+    let mut black = false;
+    for &code in &doc.codes {
+        if code == u32::MAX {
+            line += 1;
+            x = 0;
+            black = false;
+            continue;
+        }
+        let makeup = code / 64;
+        let term = code % 64;
+        let run = makeup * 64 + term;
+        if black {
+            for p in x..x + run {
+                let idx = (line * LINE_WORDS + p / 32) as usize;
+                bitmap[idx] |= 1 << (31 - (p % 32));
+            }
+        }
+        x += run;
+        black = !black;
+    }
+    bitmap
+}
+
+/// The `g3fax` kernel.
+///
+/// # Examples
+///
+/// ```
+/// use cachedse_workloads::{g3fax::G3fax, Kernel};
+///
+/// let run = G3fax { lines: 8 }.capture();
+/// assert_eq!(run.name, "g3fax");
+/// assert!(!run.data.is_empty());
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct G3fax {
+    /// Number of scan lines decoded.
+    pub lines: u32,
+}
+
+impl Default for G3fax {
+    fn default() -> Self {
+        Self { lines: 768 }
+    }
+}
+
+impl G3fax {
+    fn run_returning_bitmap(&self, bench: &mut Workbench) -> Vec<u32> {
+        let term_table = bench.mem.alloc(64);
+        let makeup_table = bench.mem.alloc(28);
+        // Tables map code index -> pixel count (identity·64 for make-ups),
+        // exactly the role of the CCITT tables.
+        bench
+            .mem
+            .init(term_table, &(0..64i64).collect::<Vec<_>>());
+        bench.mem.init(
+            makeup_table,
+            &(0..28i64).map(|i| i * 64).collect::<Vec<_>>(),
+        );
+
+        let doc = synthesize_document(self.lines, &mut bench.rng);
+        let stream = bench.mem.alloc(doc.codes.len() as u32);
+        let bitmap = bench.mem.alloc(self.lines * LINE_WORDS);
+
+        // Decoder layout: run decoding and pixel filling are separate
+        // functions ~512 words apart, alternating per black run.
+        let recv_body = bench.instr.block(4);
+        bench.instr.gap(380);
+        let line_start = bench.instr.block(6);
+        bench.instr.gap(122);
+        let run_decode = bench.instr.block(13);
+        bench.instr.gap(499);
+        let pixel_fill = bench.instr.block(5);
+
+        // Receive the coded stream into memory (the modem buffer).
+        for (i, &c) in doc.codes.iter().enumerate() {
+            bench.instr.execute(recv_body);
+            bench.mem.store(stream, i as u32, i64::from(c as i32));
+        }
+
+        let mut line = 0u32;
+        let mut x = 0u32;
+        let mut black = false;
+        bench.instr.execute(line_start);
+        for i in 0..doc.codes.len() as u32 {
+            bench.instr.execute(run_decode);
+            let code = bench.mem.load(stream, i) as i32;
+            if code == -1 {
+                line += 1;
+                x = 0;
+                black = false;
+                bench.instr.execute(line_start);
+                continue;
+            }
+            let code = code as u32;
+            let makeup = bench.mem.load(makeup_table, code / 64) as u32;
+            let term = bench.mem.load(term_table, code % 64) as u32;
+            let run = makeup + term;
+            if black && run > 0 {
+                // Set pixels word by word (read-modify-write, as the real
+                // decoder does when runs straddle word boundaries).
+                let mut p = x;
+                while p < x + run {
+                    bench.instr.execute(pixel_fill);
+                    let word_idx = line * LINE_WORDS + p / 32;
+                    let hi = (x + run).min((p / 32 + 1) * 32);
+                    let mut word = bench.mem.load(bitmap, word_idx) as u32;
+                    for bit in p..hi {
+                        word |= 1 << (31 - (bit % 32));
+                    }
+                    bench.mem.store(bitmap, word_idx, i64::from(word));
+                    p = hi;
+                }
+            }
+            x += run;
+            black = !black;
+        }
+
+        (0..self.lines * LINE_WORDS)
+            .map(|i| bench.mem.peek(bitmap, i) as u32)
+            .collect()
+    }
+}
+
+impl Kernel for G3fax {
+    fn name(&self) -> &'static str {
+        "g3fax"
+    }
+
+    fn run(&self, bench: &mut Workbench) {
+        let _ = self.run_returning_bitmap(bench);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lines_sum_to_width() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let doc = synthesize_document(20, &mut rng);
+        let mut sum = 0u32;
+        for &c in &doc.codes {
+            if c == u32::MAX {
+                assert_eq!(sum, LINE_PIXELS);
+                sum = 0;
+            } else {
+                sum += c;
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_matches_reference_decoder() {
+        let kernel = G3fax { lines: 12 };
+        let mut bench = Workbench::new(kernel.seed());
+        let got = kernel.run_returning_bitmap(&mut bench);
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(kernel.seed());
+        let doc = synthesize_document(12, &mut rng);
+        assert_eq!(got, decode_reference(&doc));
+    }
+
+    #[test]
+    fn known_tiny_line() {
+        // One line: 30 white, 10 black, rest white.
+        let doc = CodedDocument {
+            codes: vec![30, 10, LINE_PIXELS - 40, u32::MAX],
+            lines: 1,
+        };
+        let bitmap = decode_reference(&doc);
+        // Pixels 30..40 are black: bits 30,31 of word 0 and 0..8 of word 1.
+        assert_eq!(bitmap[0], 0b11);
+        assert_eq!(bitmap[1], 0xFF00_0000);
+        assert!(bitmap[2..].iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    fn all_white_page_is_blank() {
+        let doc = CodedDocument {
+            codes: vec![LINE_PIXELS, u32::MAX, LINE_PIXELS, u32::MAX],
+            lines: 2,
+        };
+        assert!(decode_reference(&doc).iter().all(|&w| w == 0));
+    }
+}

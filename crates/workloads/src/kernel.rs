@@ -1,0 +1,198 @@
+//! The [`Kernel`] abstraction and the benchmark registry.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use cachedse_trace::Trace;
+
+use crate::fetch::InstrEmitter;
+use crate::memory::TracedMemory;
+
+/// Words of startup code (crt0 + runtime initialization) fetched once
+/// before each kernel's `run` in [`Kernel::capture`].
+pub const CRT0_WORDS: u32 = 256;
+
+/// Words of exit-stub code fetched once after each kernel's `run`.
+pub const EXIT_WORDS: u32 = 32;
+
+/// Everything a kernel runs against: instrumented data memory, the
+/// basic-block instruction emitter, and a deterministic RNG for synthesizing
+/// input data.
+#[derive(Debug)]
+pub struct Workbench {
+    /// Instrumented data memory — every load/store lands in the data trace.
+    pub mem: TracedMemory,
+    /// Basic-block instruction-fetch recorder — the instruction trace.
+    pub instr: InstrEmitter,
+    /// Deterministic RNG for synthetic inputs (seeded per kernel).
+    pub rng: StdRng,
+}
+
+impl Workbench {
+    /// Creates a workbench with the given RNG seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            mem: TracedMemory::new(),
+            instr: InstrEmitter::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+/// The captured traces of one kernel execution.
+#[derive(Clone, Debug)]
+pub struct KernelRun {
+    /// The kernel's name (as in the paper's benchmark tables).
+    pub name: &'static str,
+    /// The data memory-reference trace (loads and stores).
+    pub data: Trace,
+    /// The instruction memory-reference trace (fetches).
+    pub instr: Trace,
+}
+
+/// An instrumented embedded benchmark kernel.
+///
+/// Each of the twelve PowerStone-style kernels implements this trait: it
+/// performs its real computation through a [`Workbench`], producing a data
+/// trace and an instruction trace with the genuine access structure of the
+/// algorithm.
+///
+/// # Examples
+///
+/// ```
+/// use cachedse_workloads::{fir::Fir, Kernel};
+///
+/// let run = Fir::default().capture();
+/// assert_eq!(run.name, "fir");
+/// assert!(!run.data.is_empty());
+/// assert!(!run.instr.is_empty());
+/// ```
+pub trait Kernel {
+    /// The benchmark's name, matching the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// The RNG seed used for this kernel's synthetic inputs. Fixed per
+    /// kernel so traces are reproducible run to run.
+    fn seed(&self) -> u64 {
+        0xCEC5_2002
+    }
+
+    /// Executes the kernel against `bench`.
+    fn run(&self, bench: &mut Workbench);
+
+    /// Runs the kernel on a fresh workbench and returns its traces.
+    ///
+    /// The instruction trace is bracketed by a one-shot startup block
+    /// ([`CRT0_WORDS`] of crt0/libc initialization) and an exit stub
+    /// ([`EXIT_WORDS`]), as a real binary's would be.
+    fn capture(&self) -> KernelRun {
+        self.capture_with_seed(self.seed())
+    }
+
+    /// Like [`capture`](Self::capture), but with a caller-chosen RNG seed —
+    /// different synthetic inputs for the same kernel, e.g. to check that a
+    /// chosen cache configuration is robust across input variations.
+    fn capture_with_seed(&self, seed: u64) -> KernelRun {
+        let mut bench = Workbench::new(seed);
+        let crt0 = bench.instr.block(CRT0_WORDS);
+        bench.instr.execute(crt0);
+        bench.instr.gap(57);
+        self.run(&mut bench);
+        let exit = bench.instr.block(EXIT_WORDS);
+        bench.instr.execute(exit);
+        KernelRun {
+            name: self.name(),
+            data: bench.mem.into_trace(),
+            instr: bench.instr.into_trace(),
+        }
+    }
+}
+
+/// All twelve kernels with their default parameters, in the paper's table
+/// order (adpcm, bcnt, blit, compress, crc, des, engine, fir, g3fax, pocsag,
+/// qurt, ucbqsort).
+///
+/// # Examples
+///
+/// ```
+/// let kernels = cachedse_workloads::all();
+/// assert_eq!(kernels.len(), 12);
+/// assert_eq!(kernels[0].name(), "adpcm");
+/// ```
+#[must_use]
+pub fn all() -> Vec<Box<dyn Kernel>> {
+    vec![
+        Box::new(crate::adpcm::Adpcm::default()),
+        Box::new(crate::bcnt::Bcnt::default()),
+        Box::new(crate::blit::Blit::default()),
+        Box::new(crate::compress::Compress::default()),
+        Box::new(crate::crc::Crc::default()),
+        Box::new(crate::des::Des::default()),
+        Box::new(crate::engine::Engine::default()),
+        Box::new(crate::fir::Fir::default()),
+        Box::new(crate::g3fax::G3fax::default()),
+        Box::new(crate::pocsag::Pocsag::default()),
+        Box::new(crate::qurt::Qurt::default()),
+        Box::new(crate::ucbqsort::Ucbqsort::default()),
+    ]
+}
+
+/// Looks a kernel up by name.
+///
+/// # Examples
+///
+/// ```
+/// assert!(cachedse_workloads::by_name("crc").is_some());
+/// assert!(cachedse_workloads::by_name("doom").is_none());
+/// ```
+#[must_use]
+pub fn by_name(name: &str) -> Option<Box<dyn Kernel>> {
+    all().into_iter().find(|k| k.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete_and_ordered() {
+        let names: Vec<&str> = all().iter().map(|k| k.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "adpcm", "bcnt", "blit", "compress", "crc", "des", "engine", "fir", "g3fax",
+                "pocsag", "qurt", "ucbqsort"
+            ]
+        );
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(by_name("g3fax").unwrap().name(), "g3fax");
+        assert!(by_name("").is_none());
+    }
+
+    #[test]
+    fn captures_are_deterministic() {
+        let a = by_name("bcnt").unwrap().capture();
+        let b = by_name("bcnt").unwrap().capture();
+        assert_eq!(a.data, b.data);
+        assert_eq!(a.instr, b.instr);
+    }
+
+    #[test]
+    fn seeds_change_data_but_not_code_layout() {
+        let kernel = by_name("crc").unwrap();
+        let a = kernel.capture_with_seed(1);
+        let b = kernel.capture_with_seed(2);
+        assert_ne!(a.data, b.data, "different inputs, different data trace");
+        // The static code layout is seed-independent, so the instruction
+        // traces differ at most in loop trip counts — same unique fetches.
+        use cachedse_trace::strip::StrippedTrace;
+        assert_eq!(
+            StrippedTrace::from_trace(&a.instr).unique_addresses(),
+            StrippedTrace::from_trace(&b.instr).unique_addresses()
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! PowerStone-style embedded benchmark kernels, instrumented to emit memory
+//! reference traces.
+//!
+//! The paper evaluates its analytical cache explorer on twelve applications
+//! from the PowerStone suite (Malik, Moyer & Cermak), compiled for a MIPS
+//! R3000 simulator that dumps separate instruction and data traces. The
+//! original binaries and traces are not distributable, so this crate rebuilds
+//! the *workloads themselves*: each of the twelve algorithms is implemented
+//! in Rust and executed through an instrumented [`memory::TracedMemory`]
+//! (loads/stores → data trace) and a basic-block
+//! [`fetch::InstrEmitter`] (control flow → instruction trace). What the
+//! explorer consumes — the address streams' loop reuse, strides, table
+//! lookups, and working-set sizes — is produced by the genuine algorithms on
+//! synthetic inputs.
+//!
+//! The kernels, in the paper's table order:
+//!
+//! | kernel | what it does |
+//! |---|---|
+//! | [`adpcm`] | IMA ADPCM speech encode/decode |
+//! | [`bcnt`] | bit counting over a buffer, table-driven |
+//! | [`blit`] | bitmap block transfer with shifts and masks |
+//! | [`compress`] | LZW compression (the Unix `compress` core) |
+//! | [`crc`] | CRC-32 checksum, 256-entry table |
+//! | [`des`] | DES block encryption, S-box driven |
+//! | [`engine`] | engine controller: 2-D map lookups + interpolation |
+//! | [`fir`] | integer FIR filter |
+//! | [`g3fax`] | Group-3 fax 1-D run-length decode |
+//! | [`pocsag`] | POCSAG pager protocol decode (BCH check) |
+//! | [`qurt`] | quadratic equation roots, fixed-point sqrt |
+//! | [`ucbqsort`] | Berkeley quicksort |
+//!
+//! # Examples
+//!
+//! ```
+//! use cachedse_workloads::{by_name, Kernel};
+//! use cachedse_trace::stats::TraceStats;
+//!
+//! let run = by_name("crc").expect("registered kernel").capture();
+//! let stats = TraceStats::of(&run.data);
+//! // Table-driven checksum: far more accesses than unique addresses.
+//! assert!(stats.total > 5 * stats.unique);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fetch;
+pub mod kernel;
+pub mod memory;
+
+pub mod adpcm;
+pub mod bcnt;
+pub mod blit;
+pub mod compress;
+pub mod crc;
+pub mod des;
+pub mod engine;
+pub mod fir;
+pub mod g3fax;
+pub mod pocsag;
+pub mod qurt;
+pub mod ucbqsort;
+
+pub use kernel::{all, by_name, Kernel, KernelRun, Workbench};

@@ -1,0 +1,226 @@
+//! Instrumented data memory.
+//!
+//! The paper obtains its traces from a MIPS R3000 simulator "instrumented to
+//! output separate instruction and data memory reference traces". This module
+//! is the data half of that substitution: a word-addressed memory whose every
+//! load and store is appended to a [`Trace`]. Kernels allocate named regions
+//! (their arrays, tables, and scalars) and perform their real computation
+//! through it, so the resulting trace has the genuine access structure of the
+//! algorithm — strides, reuse, and table lookups included.
+
+use cachedse_trace::{Address, Record, Trace};
+
+/// Base word address of the simulated data segment. Nonzero so data and
+/// instruction addresses (see [`crate::fetch`]) occupy distinct ranges, as on
+/// a real embedded memory map.
+pub const DATA_BASE: u32 = 0x0000_4000;
+
+/// A handle to an allocated region of [`TracedMemory`].
+///
+/// Obtained from [`TracedMemory::alloc`]; all accesses are bounds-checked
+/// against it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Region {
+    base: u32,
+    len: u32,
+}
+
+impl Region {
+    /// First word address of the region.
+    #[must_use]
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Length in words.
+    #[must_use]
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// Returns `true` for zero-length regions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// A word-addressed data memory that records every access.
+///
+/// # Examples
+///
+/// ```
+/// use cachedse_workloads::memory::TracedMemory;
+///
+/// let mut mem = TracedMemory::new();
+/// let buf = mem.alloc(4);
+/// mem.store(buf, 0, 42);
+/// assert_eq!(mem.load(buf, 0), 42);
+/// let trace = mem.into_trace();
+/// assert_eq!(trace.len(), 2); // one store, one load
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TracedMemory {
+    words: Vec<i64>,
+    trace: Trace,
+}
+
+impl TracedMemory {
+    /// Creates an empty memory with no allocations.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a zero-initialized region of `len` words.
+    ///
+    /// Regions are laid out sequentially from [`DATA_BASE`], each aligned to
+    /// 16 words so distinct data structures start on distinct cache rows of
+    /// shallow caches — mirroring linker section alignment.
+    pub fn alloc(&mut self, len: u32) -> Region {
+        let aligned = self.words.len().next_multiple_of(16);
+        self.words.resize(aligned + len as usize, 0);
+        Region {
+            base: DATA_BASE + aligned as u32,
+            len,
+        }
+    }
+
+    /// Loads the word at `region[idx]`, recording a read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is outside the region.
+    pub fn load(&mut self, region: Region, idx: u32) -> i64 {
+        let addr = self.addr_of(region, idx);
+        self.trace.push(Record::read(Address::new(addr)));
+        self.words[(addr - DATA_BASE) as usize]
+    }
+
+    /// Stores `value` at `region[idx]`, recording a write.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is outside the region.
+    pub fn store(&mut self, region: Region, idx: u32, value: i64) {
+        let addr = self.addr_of(region, idx);
+        self.trace.push(Record::write(Address::new(addr)));
+        self.words[(addr - DATA_BASE) as usize] = value;
+    }
+
+    /// Initializes `region` from a slice **without tracing** — models data
+    /// baked into the binary (lookup tables, constants), which costs no
+    /// runtime memory traffic to create.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is longer than the region.
+    pub fn init(&mut self, region: Region, values: &[i64]) {
+        assert!(
+            values.len() <= region.len as usize,
+            "initializer longer than region"
+        );
+        let start = (region.base - DATA_BASE) as usize;
+        self.words[start..start + values.len()].copy_from_slice(values);
+    }
+
+    /// Reads a word **without tracing** — for test assertions on final
+    /// memory contents, not for kernel use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is outside the region.
+    #[must_use]
+    pub fn peek(&self, region: Region, idx: u32) -> i64 {
+        assert!(idx < region.len, "region index out of bounds");
+        self.words[(region.base - DATA_BASE + idx) as usize]
+    }
+
+    /// Number of accesses recorded so far.
+    #[must_use]
+    pub fn access_count(&self) -> usize {
+        self.trace.len()
+    }
+
+    /// Consumes the memory and returns the recorded data trace.
+    #[must_use]
+    pub fn into_trace(self) -> Trace {
+        self.trace
+    }
+
+    fn addr_of(&self, region: Region, idx: u32) -> u32 {
+        assert!(idx < region.len, "region index out of bounds");
+        region.base + idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachedse_trace::AccessKind;
+
+    #[test]
+    fn regions_do_not_overlap() {
+        let mut mem = TracedMemory::new();
+        let a = mem.alloc(10);
+        let b = mem.alloc(5);
+        assert!(a.base() + a.len() <= b.base());
+        assert_eq!(a.base() % 16, 0);
+        assert_eq!(b.base() % 16, 0);
+    }
+
+    #[test]
+    fn loads_and_stores_round_trip() {
+        let mut mem = TracedMemory::new();
+        let r = mem.alloc(3);
+        mem.store(r, 2, -7);
+        assert_eq!(mem.load(r, 2), -7);
+        assert_eq!(mem.load(r, 0), 0);
+        assert_eq!(mem.peek(r, 2), -7);
+    }
+
+    #[test]
+    fn trace_records_kinds_and_addresses() {
+        let mut mem = TracedMemory::new();
+        let r = mem.alloc(2);
+        mem.store(r, 1, 9);
+        mem.load(r, 1);
+        let trace = mem.into_trace();
+        assert_eq!(trace.records()[0].kind, AccessKind::Write);
+        assert_eq!(trace.records()[1].kind, AccessKind::Read);
+        assert_eq!(trace.records()[0].addr.raw(), r.base() + 1);
+    }
+
+    #[test]
+    fn init_is_untraced() {
+        let mut mem = TracedMemory::new();
+        let r = mem.alloc(4);
+        mem.init(r, &[1, 2, 3]);
+        assert_eq!(mem.access_count(), 0);
+        assert_eq!(mem.peek(r, 1), 2);
+        assert_eq!(mem.peek(r, 3), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_load_panics() {
+        let mut mem = TracedMemory::new();
+        let r = mem.alloc(2);
+        let _ = mem.load(r, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "longer than region")]
+    fn oversized_init_panics() {
+        let mut mem = TracedMemory::new();
+        let r = mem.alloc(1);
+        mem.init(r, &[1, 2]);
+    }
+
+    #[test]
+    fn addresses_start_at_data_base() {
+        let mut mem = TracedMemory::new();
+        let r = mem.alloc(1);
+        assert_eq!(r.base(), DATA_BASE);
+    }
+}

@@ -1,0 +1,239 @@
+//! `pocsag` — POCSAG paging protocol decoding (PowerStone's `pocsag`).
+//!
+//! POCSAG codewords are 32 bits: 21 data bits protected by a BCH(31,21)
+//! code plus an even-parity bit. The receiver recomputes the BCH syndrome
+//! of every codeword, looks the syndrome up in an error-pattern table to
+//! correct single-bit channel errors, checks parity, and extracts address
+//! and message fields batch by batch. The data trace alternates a streaming
+//! codeword walk with hits into a 1024-entry syndrome table — a classic
+//! telecom decode loop.
+
+use rand::Rng;
+
+use crate::kernel::{Kernel, Workbench};
+
+/// The POCSAG BCH(31,21) generator polynomial, `x¹⁰+x⁹+x⁸+x⁶+x⁵+x³+1`
+/// (coefficients 1 1101 0100 1 → 0x769).
+pub const GENERATOR: u32 = 0x769;
+
+/// Codewords per POCSAG batch.
+pub const BATCH_WORDS: u32 = 16;
+
+/// Computes the 10-bit BCH remainder of the 21 data bits.
+#[must_use]
+pub fn bch_remainder(data21: u32) -> u32 {
+    // Polynomial division of data·x^10 by the generator.
+    let mut reg = data21 << 10;
+    for bit in (10..31).rev() {
+        if reg & (1 << bit) != 0 {
+            reg ^= GENERATOR << (bit - 10);
+        }
+    }
+    reg & 0x3FF
+}
+
+/// Encodes 21 data bits into a 32-bit POCSAG codeword (BCH check bits plus
+/// even parity).
+#[must_use]
+pub fn encode_codeword(data21: u32) -> u32 {
+    let without_parity = ((data21 & 0x1F_FFFF) << 10) | bch_remainder(data21 & 0x1F_FFFF);
+    let parity = without_parity.count_ones() & 1;
+    (without_parity << 1) | parity
+}
+
+/// The syndrome of a received 31-bit word (data+check, no parity bit):
+/// zero iff the word is a valid codeword.
+#[must_use]
+pub fn syndrome(word31: u32) -> u32 {
+    let mut reg = word31;
+    for bit in (10..31).rev() {
+        if reg & (1 << bit) != 0 {
+            reg ^= GENERATOR << (bit - 10);
+        }
+    }
+    reg & 0x3FF
+}
+
+/// Builds the syndrome → flipped-bit-position table for all single-bit
+/// errors (1024 entries; `-1` = uncorrectable, `32` = no error).
+#[must_use]
+pub fn syndrome_table() -> Vec<i64> {
+    let mut table = vec![-1i64; 1024];
+    table[0] = 32; // zero syndrome: nothing to fix
+    for pos in 0..31u32 {
+        let s = syndrome(1 << pos) as usize;
+        table[s] = i64::from(pos);
+    }
+    table
+}
+
+/// Reference (untraced) decode of one received codeword: returns the
+/// corrected 21 data bits, or `None` if uncorrectable.
+#[must_use]
+pub fn decode_reference(received: u32) -> Option<u32> {
+    let table = syndrome_table();
+    let word31 = received >> 1;
+    let s = syndrome(word31) as usize;
+    let corrected31 = match table[s] {
+        -1 => return None,
+        32 => word31,
+        pos => word31 ^ (1 << pos),
+    };
+    // Parity over the corrected word including the (possibly wrong) parity
+    // bit is not checked further here: single-error correction already
+    // consumed the error budget. Extract the data field.
+    Some(corrected31 >> 10)
+}
+
+/// The `pocsag` kernel: encode batches, inject channel errors, decode and
+/// correct.
+///
+/// # Examples
+///
+/// ```
+/// use cachedse_workloads::{pocsag::Pocsag, Kernel};
+///
+/// let run = Pocsag { batches: 4 }.capture();
+/// assert_eq!(run.name, "pocsag");
+/// assert!(!run.data.is_empty());
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Pocsag {
+    /// Number of 16-codeword batches processed.
+    pub batches: u32,
+}
+
+impl Default for Pocsag {
+    fn default() -> Self {
+        Self { batches: 192 }
+    }
+}
+
+impl Pocsag {
+    fn run_returning_messages(&self, bench: &mut Workbench) -> Vec<i64> {
+        let table = bench.mem.alloc(1024);
+        let rx_buffer = bench.mem.alloc(BATCH_WORDS);
+        let messages = bench.mem.alloc(self.batches * BATCH_WORDS);
+        bench.mem.init(table, &syndrome_table());
+
+        // Receive, decode, and correction helpers spread across the text
+        // segment; decode and correct alias at depth 256.
+        let rx_body = bench.instr.block(5);
+        bench.instr.gap(250);
+        let decode_body = bench.instr.block(20);
+        bench.instr.gap(249);
+        let correct_body = bench.instr.block(7);
+
+        let mut out = Vec::new();
+        let mut msg_idx = 0u32;
+        for _ in 0..self.batches {
+            // Receive one batch with occasional single-bit channel errors.
+            for w in 0..BATCH_WORDS {
+                bench.instr.execute(rx_body);
+                let data: u32 = bench.rng.gen_range(0..1 << 21);
+                let mut cw = encode_codeword(data);
+                if bench.rng.gen_range(0..4) == 0 {
+                    cw ^= 1 << bench.rng.gen_range(1..32u32); // flip a BCH-covered bit
+                }
+                bench.mem.store(rx_buffer, w, i64::from(cw));
+            }
+            // Decode the batch.
+            for w in 0..BATCH_WORDS {
+                bench.instr.execute(decode_body);
+                let received = bench.mem.load(rx_buffer, w) as u32;
+                let word31 = received >> 1;
+                let s = syndrome(word31);
+                let fix = bench.mem.load(table, s);
+                let corrected = match fix {
+                    -1 => {
+                        bench.mem.store(messages, msg_idx, -1);
+                        out.push(-1);
+                        msg_idx += 1;
+                        continue;
+                    }
+                    32 => word31,
+                    pos => {
+                        bench.instr.execute(correct_body);
+                        word31 ^ (1 << pos as u32)
+                    }
+                };
+                let data = i64::from(corrected >> 10);
+                bench.mem.store(messages, msg_idx, data);
+                out.push(data);
+                msg_idx += 1;
+            }
+        }
+        out
+    }
+}
+
+impl Kernel for Pocsag {
+    fn name(&self) -> &'static str {
+        "pocsag"
+    }
+
+    fn run(&self, bench: &mut Workbench) {
+        let _ = self.run_returning_messages(bench);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_codewords_have_zero_syndrome() {
+        for data in [0u32, 1, 0x15_5555, 0x1F_FFFF, 0x12_3456] {
+            let cw = encode_codeword(data);
+            assert_eq!(syndrome(cw >> 1), 0, "data {data:#x}");
+            assert_eq!(decode_reference(cw), Some(data));
+        }
+    }
+
+    #[test]
+    fn every_single_bit_error_is_corrected() {
+        let data = 0x0A_BCDE;
+        let cw = encode_codeword(data);
+        for pos in 1..32u32 {
+            // Flip any bit except the parity bit (position 0).
+            let corrupted = cw ^ (1 << pos);
+            assert_eq!(decode_reference(corrupted), Some(data), "bit {pos}");
+        }
+    }
+
+    #[test]
+    fn syndrome_table_is_injective_for_single_errors() {
+        let table = syndrome_table();
+        let patterns: Vec<i64> = table.iter().copied().filter(|&v| v >= 0).collect();
+        // 31 single-bit positions + the no-error entry.
+        assert_eq!(patterns.len(), 32);
+    }
+
+    #[test]
+    fn kernel_corrects_its_own_channel() {
+        let kernel = Pocsag { batches: 8 };
+        let mut bench = Workbench::new(kernel.seed());
+        let got = kernel.run_returning_messages(&mut bench);
+
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(kernel.seed());
+        let mut expected = Vec::new();
+        for _ in 0..8 {
+            let mut batch = Vec::new();
+            for _ in 0..BATCH_WORDS {
+                let data: u32 = rng.gen_range(0..1 << 21);
+                let mut cw = encode_codeword(data);
+                if rng.gen_range(0..4) == 0 {
+                    cw ^= 1 << rng.gen_range(1..32u32);
+                }
+                batch.push((data, cw));
+            }
+            for (data, _) in &batch {
+                // Single-bit errors are always corrected, so every message
+                // decodes to its original data.
+                expected.push(i64::from(*data));
+            }
+        }
+        assert_eq!(got, expected);
+    }
+}

@@ -1,0 +1,170 @@
+//! `qurt` — quadratic equation root computation in fixed point
+//! (PowerStone's `qurt`).
+//!
+//! Solves batches of `ax² + bx + c = 0` over Q16 fixed-point arithmetic,
+//! with an integer Newton square root seeded from a small lookup table. The
+//! smallest kernel of the suite (as in the paper, where its traces were the
+//! quickest to analyze): a compact working set of coefficients, roots, and a
+//! 16-entry sqrt-seed table.
+
+use rand::Rng;
+
+use crate::kernel::{Kernel, Workbench};
+
+/// Integer square root by Newton's method (reference and kernel share it;
+/// the kernel's memory traffic is in the tables and buffers, not here).
+#[must_use]
+pub fn isqrt(v: u64) -> u64 {
+    if v < 2 {
+        return v;
+    }
+    let mut x = 1u64 << (v.ilog2() / 2 + 1);
+    loop {
+        let next = (x + v / x) / 2;
+        if next >= x {
+            return x;
+        }
+        x = next;
+    }
+}
+
+/// The roots of one equation, in Q16: `None` for complex-root cases.
+#[must_use]
+pub fn roots_reference(a: i64, b: i64, c: i64) -> Option<(i64, i64)> {
+    // Discriminant in Q32, computed exactly in i128 to avoid overflow.
+    let disc = i128::from(b) * i128::from(b) - 4 * i128::from(a) * i128::from(c);
+    if disc < 0 || a == 0 {
+        return None;
+    }
+    let sqrt_disc = isqrt(disc as u64) as i64; // Q16 again
+    let x1 = ((-b + sqrt_disc) << 16) / (2 * a);
+    let x2 = ((-b - sqrt_disc) << 16) / (2 * a);
+    Some((x1, x2))
+}
+
+/// The `qurt` kernel.
+///
+/// # Examples
+///
+/// ```
+/// use cachedse_workloads::{qurt::Qurt, Kernel};
+///
+/// let run = Qurt { equations: 32 }.capture();
+/// assert_eq!(run.name, "qurt");
+/// assert!(!run.data.is_empty());
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Qurt {
+    /// Number of equations solved.
+    pub equations: u32,
+}
+
+impl Default for Qurt {
+    fn default() -> Self {
+        Self { equations: 512 }
+    }
+}
+
+impl Qurt {
+    fn run_returning_roots(&self, bench: &mut Workbench) -> Vec<Option<(i64, i64)>> {
+        let coeffs = bench.mem.alloc(self.equations * 3);
+        let roots = bench.mem.alloc(self.equations * 2);
+        let flags = bench.mem.alloc(self.equations);
+
+        // The solver and the fixed-point sqrt are separate functions that
+        // alternate every equation, aliasing at depth 512.
+        let fill_body = bench.instr.block(7);
+        bench.instr.gap(150);
+        let solve_body = bench.instr.block(26);
+        bench.instr.gap(505);
+        let newton_body = bench.instr.block(8);
+
+        for i in 0..self.equations {
+            bench.instr.execute(fill_body);
+            // Coefficients in Q16, kept small enough that b² and 4ac fit.
+            let a = bench.rng.gen_range(1i64..=64) << 16;
+            let b = bench.rng.gen_range(-512i64..=512) << 12;
+            let c = bench.rng.gen_range(-64i64..=64) << 16;
+            bench.mem.store(coeffs, i * 3, a);
+            bench.mem.store(coeffs, i * 3 + 1, b);
+            bench.mem.store(coeffs, i * 3 + 2, c);
+        }
+
+        let mut out = Vec::with_capacity(self.equations as usize);
+        for i in 0..self.equations {
+            bench.instr.execute(solve_body);
+            let a = bench.mem.load(coeffs, i * 3);
+            let b = bench.mem.load(coeffs, i * 3 + 1);
+            let c = bench.mem.load(coeffs, i * 3 + 2);
+            let disc = i128::from(b) * i128::from(b) - 4 * i128::from(a) * i128::from(c);
+            if disc < 0 {
+                bench.mem.store(flags, i, 0);
+                out.push(None);
+                continue;
+            }
+            // Newton iterations cost instruction fetches proportional to the
+            // convergence length, like the original fixed-point sqrt loop.
+            let v = disc as u64;
+            let iterations = if v < 2 { 0 } else { v.ilog2() / 2 + 2 };
+            bench.instr.execute_n(newton_body, iterations);
+            let sqrt_disc = isqrt(v) as i64;
+            let x1 = ((-b + sqrt_disc) << 16) / (2 * a);
+            let x2 = ((-b - sqrt_disc) << 16) / (2 * a);
+            bench.mem.store(roots, i * 2, x1);
+            bench.mem.store(roots, i * 2 + 1, x2);
+            bench.mem.store(flags, i, 1);
+            out.push(Some((x1, x2)));
+        }
+        out
+    }
+}
+
+impl Kernel for Qurt {
+    fn name(&self) -> &'static str {
+        "qurt"
+    }
+
+    fn run(&self, bench: &mut Workbench) {
+        let _ = self.run_returning_roots(bench);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isqrt_is_exact_floor() {
+        for v in 0..2000u64 {
+            let r = isqrt(v);
+            assert!(r * r <= v && (r + 1) * (r + 1) > v, "isqrt({v}) = {r}");
+        }
+        assert_eq!(isqrt(u64::from(u32::MAX)) , 65535);
+    }
+
+    #[test]
+    fn known_roots() {
+        // x² - 3x + 2 = 0 -> x ∈ {1, 2}; in Q16: a=1<<16, b=-3<<16, c=2<<16.
+        let (x1, x2) = roots_reference(1 << 16, -3 << 16, 2 << 16).unwrap();
+        assert_eq!(x1, 2 << 16);
+        assert_eq!(x2, 1 << 16);
+        // x² + 1 = 0 has complex roots.
+        assert!(roots_reference(1 << 16, 0, 1 << 16).is_none());
+    }
+
+    #[test]
+    fn kernel_matches_reference() {
+        let kernel = Qurt { equations: 200 };
+        let mut bench = Workbench::new(kernel.seed());
+        let got = kernel.run_returning_roots(&mut bench);
+
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(kernel.seed());
+        for result in got {
+            let a = rng.gen_range(1i64..=64) << 16;
+            let b = rng.gen_range(-512i64..=512) << 12;
+            let c = rng.gen_range(-64i64..=64) << 16;
+            assert_eq!(result, roots_reference(a, b, c));
+        }
+    }
+}

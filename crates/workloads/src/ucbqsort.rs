@@ -1,0 +1,212 @@
+//! `ucbqsort` — the Berkeley quicksort (PowerStone's "sorting algorithm").
+//!
+//! An iterative quicksort with median-of-three pivot selection, an explicit
+//! stack held in memory, and an insertion-sort finish for small partitions —
+//! the structure of the 4.4BSD `qsort`. The data trace is dominated by
+//! partition sweeps from both ends of shrinking sub-arrays, a
+//! locality-over-time pattern very different from the streaming kernels.
+
+use rand::Rng;
+
+use crate::kernel::{Kernel, Workbench};
+
+/// Partitions smaller than this are finished by insertion sort, as in the
+/// BSD implementation.
+const INSERTION_CUTOFF: u32 = 8;
+
+/// The `ucbqsort` kernel.
+///
+/// # Examples
+///
+/// ```
+/// use cachedse_workloads::{ucbqsort::Ucbqsort, Kernel};
+///
+/// let run = Ucbqsort { elements: 64 }.capture();
+/// assert_eq!(run.name, "ucbqsort");
+/// assert!(!run.data.is_empty());
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Ucbqsort {
+    /// Number of elements sorted.
+    pub elements: u32,
+}
+
+impl Default for Ucbqsort {
+    fn default() -> Self {
+        Self { elements: 4096 }
+    }
+}
+
+impl Ucbqsort {
+    fn run_returning_sorted(&self, bench: &mut Workbench) -> Vec<i64> {
+        assert!(self.elements >= 2, "nothing to sort");
+        let data = bench.mem.alloc(self.elements);
+        // Explicit recursion stack: pairs of (lo, hi). 2·log2(n) frames
+        // suffice for sort-smaller-first, but size generously.
+        let stack = bench.mem.alloc(64 * 2);
+
+        // qsort's helpers (partition, swap, insertion sort, stack handling)
+        // are separate functions spread across the text segment; the gaps
+        // make the alternating partition/swap pair alias at depth 512.
+        let fill_body = bench.instr.block(4);
+        bench.instr.gap(123);
+        let partition_body = bench.instr.block(14);
+        bench.instr.gap(508);
+        let swap_body = bench.instr.block(6);
+        bench.instr.gap(115);
+        let insertion_body = bench.instr.block(9);
+        bench.instr.gap(251);
+        let stack_op = bench.instr.block(5);
+
+        for i in 0..self.elements {
+            bench.instr.execute(fill_body);
+            let v = bench.rng.gen_range(-1_000_000i64..=1_000_000);
+            bench.mem.store(data, i, v);
+        }
+
+        let mut sp = 0u32;
+        bench.instr.execute(stack_op);
+        bench.mem.store(stack, 0, 0);
+        bench.mem.store(stack, 1, i64::from(self.elements - 1));
+        sp += 1;
+
+        while sp > 0 {
+            sp -= 1;
+            bench.instr.execute(stack_op);
+            let lo = bench.mem.load(stack, sp * 2) as u32;
+            let hi = bench.mem.load(stack, sp * 2 + 1) as u32;
+            if hi <= lo {
+                continue;
+            }
+            if hi - lo < INSERTION_CUTOFF {
+                // Insertion sort the run.
+                for i in lo + 1..=hi {
+                    bench.instr.execute(insertion_body);
+                    let v = bench.mem.load(data, i);
+                    let mut j = i;
+                    while j > lo {
+                        let prev = bench.mem.load(data, j - 1);
+                        if prev <= v {
+                            break;
+                        }
+                        bench.mem.store(data, j, prev);
+                        j -= 1;
+                    }
+                    bench.mem.store(data, j, v);
+                }
+                continue;
+            }
+
+            // Median-of-three pivot: order data[lo], data[mid], data[hi].
+            let mid = lo + (hi - lo) / 2;
+            bench.instr.execute(partition_body);
+            let mut a = bench.mem.load(data, lo);
+            let mut b = bench.mem.load(data, mid);
+            let mut c = bench.mem.load(data, hi);
+            if a > b {
+                std::mem::swap(&mut a, &mut b);
+            }
+            if b > c {
+                std::mem::swap(&mut b, &mut c);
+            }
+            if a > b {
+                std::mem::swap(&mut a, &mut b);
+            }
+            bench.mem.store(data, lo, a);
+            bench.mem.store(data, mid, b);
+            bench.mem.store(data, hi, c);
+            let pivot = b;
+
+            // Hoare partition from both ends.
+            let mut i = lo;
+            let mut j = hi;
+            loop {
+                bench.instr.execute(partition_body);
+                loop {
+                    i += 1;
+                    if bench.mem.load(data, i) >= pivot {
+                        break;
+                    }
+                }
+                loop {
+                    j -= 1;
+                    if bench.mem.load(data, j) <= pivot {
+                        break;
+                    }
+                }
+                if i >= j {
+                    break;
+                }
+                bench.instr.execute(swap_body);
+                let vi = bench.mem.load(data, i);
+                let vj = bench.mem.load(data, j);
+                bench.mem.store(data, i, vj);
+                bench.mem.store(data, j, vi);
+            }
+
+            // Push the larger half first so the smaller is processed next:
+            // bounds the stack to O(log n) frames, as in the BSD code.
+            bench.instr.execute(stack_op);
+            let halves = if j - lo >= hi - j {
+                [(lo, j), (j + 1, hi)]
+            } else {
+                [(j + 1, hi), (lo, j)]
+            };
+            for (a, b) in halves {
+                bench.mem.store(stack, sp * 2, i64::from(a));
+                bench.mem.store(stack, sp * 2 + 1, i64::from(b));
+                sp += 1;
+            }
+        }
+
+        (0..self.elements).map(|i| bench.mem.peek(data, i)).collect()
+    }
+}
+
+impl Kernel for Ucbqsort {
+    fn name(&self) -> &'static str {
+        "ucbqsort"
+    }
+
+    fn run(&self, bench: &mut Workbench) {
+        let _ = self.run_returning_sorted(bench);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sorts_correctly() {
+        let kernel = Ucbqsort { elements: 1000 };
+        let mut bench = Workbench::new(kernel.seed());
+        let got = kernel.run_returning_sorted(&mut bench);
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(kernel.seed());
+        let mut expected: Vec<i64> = (0..1000)
+            .map(|_| rng.gen_range(-1_000_000i64..=1_000_000))
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn sorts_tiny_arrays() {
+        for n in [2u32, 3, 7, 8, 9, 17] {
+            let kernel = Ucbqsort { elements: n };
+            let mut bench = Workbench::new(1);
+            let got = kernel.run_returning_sorted(&mut bench);
+            assert!(got.windows(2).all(|w| w[0] <= w[1]), "n = {n}: {got:?}");
+            assert_eq!(got.len(), n as usize);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing to sort")]
+    fn rejects_degenerate_input() {
+        let mut bench = Workbench::new(0);
+        let _ = Ucbqsort { elements: 1 }.run_returning_sorted(&mut bench);
+    }
+}

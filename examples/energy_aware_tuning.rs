@@ -1,0 +1,74 @@
+//! Energy-aware cache selection — the paper's future-work axes (line size,
+//! energy as the objective) layered on top of the analytical explorer.
+//!
+//! For the ADPCM codec workload this picks, without a single simulation:
+//! 1. the lowest-energy cache meeting a 10% miss budget at one-word lines;
+//! 2. the globally energy-optimal (depth, associativity, line size) triple.
+//!
+//! ```sh
+//! cargo run --release --example energy_aware_tuning
+//! ```
+
+use cachedse::core::{DesignSpaceExplorer, MissBudget};
+use cachedse::cost::{select, CostModel};
+use cachedse::workloads::{adpcm::Adpcm, Kernel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let run = Adpcm { samples: 4096 }.capture();
+    let model = CostModel::default_180nm();
+
+    // 1. Energy ranking of the miss-budget-satisfying configurations.
+    let exploration = DesignSpaceExplorer::new(&run.data).prepare()?;
+    let ranked = select::rank_within_budget(
+        &exploration,
+        MissBudget::FractionOfMax(0.10),
+        0,
+        &model,
+    )?;
+    println!("configurations meeting K = 10% of max misses, cheapest energy first:");
+    println!(
+        "{:>10} {:>6} {:>12} {:>12} {:>12} {:>10}",
+        "depth", "ways", "misses", "energy nJ", "cycles", "area um2"
+    );
+    for p in ranked.iter().take(8) {
+        println!(
+            "{:>10} {:>6} {:>12} {:>12.1} {:>12} {:>10.0}",
+            p.point.depth,
+            p.point.associativity,
+            p.avoidable_misses,
+            p.report.dynamic_nj,
+            p.report.cycles,
+            p.report.area_um2
+        );
+    }
+
+    // 2. Line-size sweep: longer lines amortize miss latency on streaming
+    //    codecs but burn more bus energy per fill.
+    println!("\nper-line-size unconstrained energy optimum:");
+    println!(
+        "{:>10} {:>10} {:>6} {:>12} {:>12}",
+        "line words", "depth", "ways", "energy nJ", "cycles"
+    );
+    let sweep = select::line_size_sweep(&run.data, 3, &model)?;
+    for p in &sweep {
+        println!(
+            "{:>10} {:>10} {:>6} {:>12.1} {:>12}",
+            1u32 << p.line_bits,
+            p.point.depth,
+            p.point.associativity,
+            p.report.dynamic_nj,
+            p.report.cycles
+        );
+    }
+    let best = sweep
+        .iter()
+        .min_by(|a, b| a.report.dynamic_nj.total_cmp(&b.report.dynamic_nj))
+        .expect("sweep is non-empty");
+    println!(
+        "\nglobal optimum: {} with {}-word lines ({:.1} nJ)",
+        best.point,
+        1u32 << best.line_bits,
+        best.report.dynamic_nj
+    );
+    Ok(())
+}

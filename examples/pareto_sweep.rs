@@ -1,0 +1,35 @@
+//! Sweep the miss budget across every PowerStone-style workload and print,
+//! per benchmark, the cheapest data-cache instance at each budget — the
+//! size/miss trade-off a system-on-chip designer actually reads off the
+//! paper's Tables 7–18.
+//!
+//! ```sh
+//! cargo run --release --example pareto_sweep
+//! ```
+
+use cachedse::core::{DesignSpaceExplorer, MissBudget};
+use cachedse::workloads;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fractions = [0.05, 0.10, 0.15, 0.20];
+    println!(
+        "{:<10} {:>16} {:>16} {:>16} {:>16}",
+        "benchmark", "K=5%", "K=10%", "K=15%", "K=20%"
+    );
+    for kernel in workloads::all() {
+        let run = kernel.capture();
+        let exploration = DesignSpaceExplorer::new(&run.data).prepare()?;
+        print!("{:<10}", run.name);
+        for f in fractions {
+            let result = exploration.result(MissBudget::FractionOfMax(f))?;
+            let best = result.smallest().expect("non-empty design space");
+            print!(
+                " {:>16}",
+                format!("{}x{} ({})", best.depth, best.associativity, best.size_lines())
+            );
+        }
+        println!();
+    }
+    println!("\ncells are depth x ways (total lines) of the smallest cache meeting the budget");
+    Ok(())
+}

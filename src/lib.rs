@@ -1,0 +1,41 @@
+//! Façade crate for the `cachedse` workspace — analytical design space
+//! exploration of caches for embedded systems (Ghosh & Givargis, DATE 2003).
+//!
+//! Re-exports the public APIs of the workspace crates so downstream users can
+//! depend on one crate:
+//!
+//! * [`bitset`] — dense bitsets ([`cachedse_bitset`]);
+//! * [`trace`] — memory-reference traces ([`cachedse_trace`]);
+//! * [`sim`] — the trace-driven cache simulator ([`cachedse_sim`]);
+//! * [`core`] — the analytical explorer, the paper's contribution
+//!   ([`cachedse_core`]);
+//! * [`cost`] — energy/area/timing models and energy-aware selection
+//!   ([`cachedse_cost`]);
+//! * [`workloads`] — PowerStone-style embedded kernels ([`cachedse_workloads`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cachedse::core::{DesignSpaceExplorer, MissBudget};
+//! use cachedse::workloads::{self, Kernel};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Generate the FIR filter workload's data trace and find, for every cache
+//! // depth, the minimum associativity keeping non-cold misses under 10% of
+//! // the worst case.
+//! let run = workloads::fir::Fir { taps: 16, samples: 512 }.capture();
+//! let result = DesignSpaceExplorer::new(&run.data)
+//!     .explore(MissBudget::FractionOfMax(0.10))?;
+//! for pair in result.pairs() {
+//!     println!("depth {:5} rows -> {}-way", pair.depth, pair.associativity);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+pub use cachedse_bitset as bitset;
+pub use cachedse_core as core;
+pub use cachedse_cost as cost;
+pub use cachedse_sim as sim;
+pub use cachedse_trace as trace;
+pub use cachedse_workloads as workloads;

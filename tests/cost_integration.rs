@@ -1,0 +1,70 @@
+//! Integration of the cost models with the analytical explorer: selections
+//! are consistent with simulation-derived costs, and the verification layer
+//! catches deliberately wrong claims.
+
+use cachedse::core::{verify, DesignSpaceExplorer, MissBudget};
+use cachedse::cost::{select, CacheGeometry, CostModel};
+use cachedse::sim::{simulate, CacheConfig};
+use cachedse::trace::generate;
+use cachedse::workloads::{engine::Engine as EngineKernel, Kernel};
+
+#[test]
+fn analytic_costs_equal_simulated_costs() {
+    let run = EngineKernel { ticks: 500 }.capture();
+    let model = CostModel::default_180nm();
+    let exploration = DesignSpaceExplorer::new(&run.data).prepare().expect("non-empty");
+    let ranked = select::rank_within_budget(
+        &exploration,
+        MissBudget::FractionOfMax(0.15),
+        0,
+        &model,
+    )
+    .expect("valid budget");
+    for p in ranked {
+        let config = CacheConfig::lru(p.point.depth, p.point.associativity).expect("valid");
+        let stats = simulate(&run.data, &config);
+        let simulated = model.evaluate_stats(&CacheGeometry::from(&config), &stats);
+        assert_eq!(p.report, simulated, "analytic and simulated costs diverge");
+    }
+}
+
+#[test]
+fn energy_optimal_is_actually_minimal_among_candidates() {
+    let trace = generate::working_set_phases(5, 400, 40, 31);
+    let model = CostModel::default_180nm();
+    let exploration = DesignSpaceExplorer::new(&trace).prepare().expect("non-empty");
+    let budget = MissBudget::Absolute(50);
+    let best = select::energy_optimal(&exploration, budget, 0, &model).expect("valid");
+    for p in select::rank_within_budget(&exploration, budget, 0, &model).expect("valid") {
+        assert!(best.report.dynamic_nj <= p.report.dynamic_nj + 1e-9);
+    }
+}
+
+#[test]
+fn verification_rejects_claims_about_a_different_trace() {
+    // Explore trace A, then try to pass the result off as valid for a far
+    // more conflict-heavy trace B: the replay must catch it.
+    let gentle = generate::loop_pattern(0, 32, 40);
+    let hostile = generate::strided(0, 64, 64, 60); // 64 addresses sharing rows
+    let result = DesignSpaceExplorer::new(&gentle)
+        .explore(MissBudget::Absolute(0))
+        .expect("non-empty");
+    let outcome = verify::check_result(&hostile, &result);
+    assert!(outcome.is_err(), "mismatched trace must fail verification");
+}
+
+#[test]
+fn line_sweep_agrees_with_direct_simulation_at_each_line_size() {
+    let run = EngineKernel { ticks: 300 }.capture();
+    let model = CostModel::default_180nm();
+    for p in select::line_size_sweep(&run.data, 2, &model).expect("non-empty") {
+        let coarse = run.data.block_aligned(p.line_bits);
+        let config = CacheConfig::builder()
+            .depth(p.point.depth)
+            .associativity(p.point.associativity)
+            .build()
+            .expect("valid");
+        let stats = simulate(&coarse, &config);
+        assert_eq!(p.avoidable_misses, stats.avoidable_misses(), "line {}", p.line_bits);
+    }
+}

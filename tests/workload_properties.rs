@@ -1,0 +1,98 @@
+//! Cross-cutting properties of the instrumented workload suite.
+
+use std::collections::HashSet;
+
+use cachedse::trace::stats::TraceStats;
+use cachedse::trace::AccessKind;
+use cachedse::workloads::{all, fetch::TEXT_BASE, memory::DATA_BASE};
+
+#[test]
+fn all_twelve_kernels_produce_both_traces() {
+    let kernels = all();
+    assert_eq!(kernels.len(), 12);
+    for kernel in &kernels {
+        let run = kernel.capture();
+        assert!(!run.data.is_empty(), "{}: empty data trace", run.name);
+        assert!(!run.instr.is_empty(), "{}: empty instruction trace", run.name);
+        assert!(
+            run.data.iter().all(|r| r.kind.is_data()),
+            "{}: non-data record in data trace",
+            run.name
+        );
+        assert!(
+            run.instr.iter().all(|r| r.kind == AccessKind::InstrFetch),
+            "{}: non-fetch record in instruction trace",
+            run.name
+        );
+    }
+}
+
+#[test]
+fn data_and_text_segments_are_disjoint() {
+    for kernel in all() {
+        let run = kernel.capture();
+        assert!(
+            run.data
+                .addresses()
+                .all(|a| a.raw() >= DATA_BASE && a.raw() < TEXT_BASE),
+            "{}: data address outside the data segment",
+            run.name
+        );
+        assert!(
+            run.instr.addresses().all(|a| a.raw() >= TEXT_BASE),
+            "{}: fetch address below the text segment",
+            run.name
+        );
+    }
+}
+
+#[test]
+fn captures_are_deterministic_across_calls() {
+    for kernel in all() {
+        let a = kernel.capture();
+        let b = kernel.capture();
+        assert_eq!(a.data, b.data, "{}", a.name);
+        assert_eq!(a.instr, b.instr, "{}", a.name);
+    }
+}
+
+#[test]
+fn names_are_unique_and_sorted_like_the_paper() {
+    let names: Vec<&str> = all().iter().map(|k| k.name()).collect();
+    let unique: HashSet<&&str> = names.iter().collect();
+    assert_eq!(unique.len(), 12);
+    let mut sorted = names.clone();
+    sorted.sort_unstable();
+    assert_eq!(names, sorted, "paper lists benchmarks alphabetically");
+}
+
+#[test]
+fn instruction_traces_are_loop_dominated() {
+    // The defining property of embedded instruction traces: total fetches
+    // vastly exceed the static code footprint.
+    for kernel in all() {
+        let run = kernel.capture();
+        let stats = TraceStats::of(&run.instr);
+        assert!(
+            stats.total > 20 * stats.unique,
+            "{}: N = {} vs N' = {}",
+            run.name,
+            stats.total,
+            stats.unique
+        );
+    }
+}
+
+#[test]
+fn data_traces_exhibit_reuse() {
+    for kernel in all() {
+        let run = kernel.capture();
+        let stats = TraceStats::of(&run.data);
+        assert!(
+            stats.total > stats.unique,
+            "{}: no reuse at all would make cache exploration moot",
+            run.name
+        );
+        assert!(stats.max_misses > 0, "{}: trivial trace", run.name);
+    }
+}
