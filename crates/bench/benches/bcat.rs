@@ -1,6 +1,6 @@
 //! BCAT construction (Algorithm 1): zero/one sets plus the tree build.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cachedse_bench::crit::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use cachedse_core::{Bcat, ZeroOneSets};
 use cachedse_trace::generate;

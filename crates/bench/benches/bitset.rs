@@ -3,23 +3,22 @@
 //! conflict-set representation ablation of DESIGN.md (sorted-slice
 //! membership probes vs materialized bitset intersection counts).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cachedse_bench::crit::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cachedse_trace::rng::SplitMix64;
 
 use cachedse_bitset::DenseBitSet;
 
 fn bench_bitset(c: &mut Criterion) {
-    let mut rng = StdRng::seed_from_u64(11);
+    let mut rng = SplitMix64::seed_from_u64(11);
     let universe = 32_768usize;
 
     let mut group = c.benchmark_group("bitset");
     for density in [0.05f64, 0.5] {
         let a: DenseBitSet = (0..universe)
-            .filter(|_| rng.gen_bool(density))
+            .filter(|_| rng.gen_range(0u32..1000) < (density * 1000.0) as u32)
             .collect();
         let b: DenseBitSet = (0..universe)
-            .filter(|_| rng.gen_bool(density))
+            .filter(|_| rng.gen_range(0u32..1000) < (density * 1000.0) as u32)
             .collect();
         group.bench_with_input(
             BenchmarkId::new("intersection_count", format!("{density}")),
@@ -39,7 +38,9 @@ fn bench_bitset(c: &mut Criterion) {
 
     // The postlude's actual inner loop shape: a sorted conflict slice probed
     // against a row bitset, vs converting the slice to a bitset first.
-    let row: DenseBitSet = (0..universe).filter(|_| rng.gen_bool(0.1)).collect();
+    let row: DenseBitSet = (0..universe)
+        .filter(|_| rng.gen_range(0u32..10) == 0)
+        .collect();
     for conflict_len in [16usize, 256, 4096] {
         let conflict: Vec<u32> = {
             let mut v: Vec<u32> = (0..conflict_len)
@@ -66,8 +67,7 @@ fn bench_bitset(c: &mut Criterion) {
             &conflict,
             |bch, conflict| {
                 bch.iter(|| {
-                    let as_set: DenseBitSet =
-                        conflict.iter().map(|&x| x as usize).collect();
+                    let as_set: DenseBitSet = conflict.iter().map(|&x| x as usize).collect();
                     std::hint::black_box(&row).intersection_count(&as_set)
                 });
             },

@@ -2,7 +2,7 @@
 //! design space by the traditional exhaustive loop, the one-pass-per-depth
 //! simulation baseline, and the analytical method (both engines).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use cachedse_bench::crit::{criterion_group, criterion_main, Criterion};
 
 use cachedse_core::{DesignSpaceExplorer, Engine, MissBudget};
 use cachedse_sim::explore::ExhaustiveExplorer;

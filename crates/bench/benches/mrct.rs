@@ -2,7 +2,7 @@
 //! the hash/recency-list single pass §2.4 recommends — the first ablation
 //! called out in DESIGN.md.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cachedse_bench::crit::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use cachedse_core::Mrct;
 use cachedse_trace::generate;

@@ -1,7 +1,7 @@
 //! The postlude phase (Algorithm 3): tree+table evaluation against the
 //! depth-first combined engine — the engine ablation of DESIGN.md.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cachedse_bench::crit::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use cachedse_core::{dfs, postlude, Bcat, Mrct};
 use cachedse_trace::generate;

@@ -1,7 +1,7 @@
 //! Raw cache-simulator throughput across replacement policies — the cost
 //! the traditional flow pays per configuration per iteration.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cachedse_bench::crit::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use cachedse_sim::{simulate, CacheConfig, Replacement};
 use cachedse_trace::generate;
@@ -23,13 +23,9 @@ fn bench_simulator(c: &mut Criterion) {
             .replacement(policy)
             .build()
             .expect("valid config");
-        group.bench_with_input(
-            BenchmarkId::from_parameter(policy),
-            &config,
-            |b, config| {
-                b.iter(|| simulate(std::hint::black_box(&trace), config));
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(policy), &config, |b, config| {
+            b.iter(|| simulate(std::hint::black_box(&trace), config));
+        });
     }
     group.finish();
 }

@@ -1,6 +1,6 @@
 //! Trace stripping throughput (the first prelude step, Tables 1–2).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cachedse_bench::crit::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use cachedse_trace::generate;
 use cachedse_trace::strip::StrippedTrace;

@@ -14,8 +14,8 @@ fn main() {
     );
     for kernel in cachedse_workloads::all() {
         let run = kernel.capture();
-        let sweep = select::line_size_sweep(&run.data, 3, &model)
-            .expect("kernel traces are non-empty");
+        let sweep =
+            select::line_size_sweep(&run.data, 3, &model).expect("kernel traces are non-empty");
         let best = sweep
             .iter()
             .min_by(|a, b| a.report.dynamic_nj.total_cmp(&b.report.dynamic_nj))

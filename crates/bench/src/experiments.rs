@@ -25,8 +25,10 @@ fn explored_bits(trace: &Trace) -> u32 {
 #[must_use]
 pub fn tables_5_6(traces: &[NamedTrace]) -> String {
     let mut out = String::new();
-    for (side, title) in [("data", "Table 5: Data trace statistics"),
-                          ("instr", "Table 6: Instruction trace statistics")] {
+    for (side, title) in [
+        ("data", "Table 5: Data trace statistics"),
+        ("instr", "Table 6: Instruction trace statistics"),
+    ] {
         let _ = writeln!(out, "{title}");
         let _ = writeln!(
             out,
@@ -51,7 +53,11 @@ pub fn tables_7_30(traces: &[NamedTrace]) -> String {
     let mut table_no = 7;
     for side in ["data", "instr"] {
         for nt in traces.iter().filter(|nt| nt.side == side) {
-            let kind = if side == "data" { "data" } else { "instruction" };
+            let kind = if side == "data" {
+                "data"
+            } else {
+                "instruction"
+            };
             let _ = writeln!(
                 out,
                 "Table {table_no}: Optimal {kind} cache instances for {}.",
@@ -76,8 +82,10 @@ pub fn tables_7_30(traces: &[NamedTrace]) -> String {
 #[must_use]
 pub fn tables_31_32(traces: &[NamedTrace]) -> String {
     let mut out = String::new();
-    for (side, title) in [("data", "Table 31: Algorithm run time: data traces"),
-                          ("instr", "Table 32: Algorithm run time: instruction traces")] {
+    for (side, title) in [
+        ("data", "Table 31: Algorithm run time: data traces"),
+        ("instr", "Table 32: Algorithm run time: instruction traces"),
+    ] {
         let _ = writeln!(out, "{title}");
         let _ = writeln!(out, "{:<10} {:>12}", "Benchmark", "Time (s)");
         for nt in traces.iter().filter(|nt| nt.side == side) {
@@ -107,8 +115,8 @@ pub fn tables_31_32(traces: &[NamedTrace]) -> String {
 pub fn figure_4_traces() -> Vec<NamedTrace> {
     use cachedse_workloads::{
         adpcm::Adpcm, bcnt::Bcnt, blit::Blit, compress::Compress, crc::Crc, des::Des,
-        engine::Engine, fir::Fir, g3fax::G3fax, pocsag::Pocsag, qurt::Qurt,
-        ucbqsort::Ucbqsort, Kernel,
+        engine::Engine, fir::Fir, g3fax::G3fax, pocsag::Pocsag, qurt::Qurt, ucbqsort::Ucbqsort,
+        Kernel,
     };
     let kernels: Vec<Box<dyn Kernel>> = vec![
         Box::new(Adpcm { samples: 768 }),
@@ -251,8 +259,7 @@ pub fn flow_comparison(trace: &Trace, fraction: f64) -> String {
         fraction * 100.0
     );
 
-    let (exhaustive, t_exhaustive) =
-        timed(|| ExhaustiveExplorer::new(bits).explore(trace, budget));
+    let (exhaustive, t_exhaustive) = timed(|| ExhaustiveExplorer::new(bits).explore(trace, budget));
     let (onepass, t_onepass) =
         timed(|| ExhaustiveExplorer::new(bits).explore_one_pass(trace, budget));
     let (analytical, t_analytical) = timed(|| {
@@ -323,7 +330,12 @@ pub fn validate_exactness(traces: &[NamedTrace]) -> String {
                     );
                 }
                 Err(e) => {
-                    let _ = writeln!(out, "  {:<16} K={:>3.0}%  FAILED: {e}", nt.label(), f * 100.0);
+                    let _ = writeln!(
+                        out,
+                        "  {:<16} K={:>3.0}%  FAILED: {e}",
+                        nt.label(),
+                        f * 100.0
+                    );
                 }
             }
         }

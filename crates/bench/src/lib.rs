@@ -19,6 +19,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod crit;
 pub mod experiments;
 pub mod plot;
 
@@ -109,7 +110,11 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
         .map(|(x, y)| (y - (slope * x + intercept)).powi(2))
         .sum();
     let ss_tot: f64 = ys.iter().map(|y| (y - mean_y).powi(2)).sum();
-    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    let r2 = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
     (slope, intercept, r2)
 }
 

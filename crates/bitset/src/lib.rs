@@ -464,8 +464,36 @@ impl Iterator for Ones<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
     use std::collections::BTreeSet;
+
+    /// Local SplitMix64 (this crate is dependency-free by design, so the
+    /// shared `cachedse_trace::rng` is out of reach; same algorithm, same
+    /// constants).
+    struct Rng(u64);
+
+    impl Rng {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        fn below(&mut self, bound: usize) -> usize {
+            ((u128::from(self.next_u64()) * bound as u128) >> 64) as usize
+        }
+
+        fn coin(&mut self) -> bool {
+            self.next_u64() & 1 == 1
+        }
+
+        fn random_set(&mut self, universe: usize, max_len: usize) -> BTreeSet<usize> {
+            (0..self.below(max_len))
+                .map(|_| self.below(universe))
+                .collect()
+        }
+    }
 
     fn set_of(values: &[usize]) -> DenseBitSet {
         values.iter().copied().collect()
@@ -618,25 +646,37 @@ mod tests {
         assert_send_sync::<DenseBitSet>();
     }
 
-    proptest! {
-        #[test]
-        fn model_insert_remove(ops in prop::collection::vec((any::<bool>(), 0usize..500), 0..200)) {
+    // The three sweeps below are deterministic randomized versions of what
+    // were proptest properties, checked against std's BTreeSet as the model.
+
+    #[test]
+    fn model_insert_remove() {
+        let mut rng = Rng(0x11537);
+        for _ in 0..64 {
             let mut s = DenseBitSet::new();
             let mut model = BTreeSet::new();
-            for (ins, v) in ops {
-                if ins {
-                    prop_assert_eq!(s.insert(v), model.insert(v));
+            for _ in 0..rng.below(200) {
+                let v = rng.below(500);
+                if rng.coin() {
+                    assert_eq!(s.insert(v), model.insert(v));
                 } else {
-                    prop_assert_eq!(s.remove(v), model.remove(&v));
+                    assert_eq!(s.remove(v), model.remove(&v));
                 }
-                prop_assert_eq!(s.len(), model.len());
+                assert_eq!(s.len(), model.len());
             }
-            prop_assert_eq!(s.ones().collect::<Vec<_>>(), model.into_iter().collect::<Vec<_>>());
+            assert_eq!(
+                s.ones().collect::<Vec<_>>(),
+                model.into_iter().collect::<Vec<_>>()
+            );
         }
+    }
 
-        #[test]
-        fn model_set_ops(a in prop::collection::btree_set(0usize..300, 0..100),
-                         b in prop::collection::btree_set(0usize..300, 0..100)) {
+    #[test]
+    fn model_set_ops() {
+        let mut rng = Rng(0x5E7);
+        for _ in 0..64 {
+            let a = rng.random_set(300, 100);
+            let b = rng.random_set(300, 100);
             let sa: DenseBitSet = a.iter().copied().collect();
             let sb: DenseBitSet = b.iter().copied().collect();
 
@@ -644,25 +684,37 @@ mod tests {
             let uni: BTreeSet<_> = a.union(&b).copied().collect();
             let diff: BTreeSet<_> = a.difference(&b).copied().collect();
 
-            prop_assert_eq!(sa.intersection(&sb).ones().collect::<Vec<_>>(),
-                            inter.iter().copied().collect::<Vec<_>>());
-            prop_assert_eq!(sa.union(&sb).ones().collect::<Vec<_>>(),
-                            uni.iter().copied().collect::<Vec<_>>());
-            prop_assert_eq!(sa.difference(&sb).ones().collect::<Vec<_>>(),
-                            diff.iter().copied().collect::<Vec<_>>());
-            prop_assert_eq!(sa.intersection_count(&sb), inter.len());
-            prop_assert_eq!(sa.is_disjoint(&sb), inter.is_empty());
-            prop_assert_eq!(sa.is_subset(&sb), a.is_subset(&b));
+            assert_eq!(
+                sa.intersection(&sb).ones().collect::<Vec<_>>(),
+                inter.iter().copied().collect::<Vec<_>>()
+            );
+            assert_eq!(
+                sa.union(&sb).ones().collect::<Vec<_>>(),
+                uni.iter().copied().collect::<Vec<_>>()
+            );
+            assert_eq!(
+                sa.difference(&sb).ones().collect::<Vec<_>>(),
+                diff.iter().copied().collect::<Vec<_>>()
+            );
+            assert_eq!(sa.intersection_count(&sb), inter.len());
+            assert_eq!(sa.is_disjoint(&sb), inter.is_empty());
+            assert_eq!(sa.is_subset(&sb), a.is_subset(&b));
         }
+    }
 
-        #[test]
-        fn roundtrip_from_iterator(values in prop::collection::btree_set(0usize..2000, 0..300)) {
+    #[test]
+    fn roundtrip_from_iterator() {
+        let mut rng = Rng(0x2007);
+        for _ in 0..64 {
+            let values = rng.random_set(2000, 300);
             let s: DenseBitSet = values.iter().copied().collect();
-            prop_assert_eq!(s.len(), values.len());
-            prop_assert_eq!(s.ones().collect::<Vec<_>>(),
-                            values.iter().copied().collect::<Vec<_>>());
-            prop_assert_eq!(s.first(), values.iter().next().copied());
-            prop_assert_eq!(s.last(), values.iter().next_back().copied());
+            assert_eq!(s.len(), values.len());
+            assert_eq!(
+                s.ones().collect::<Vec<_>>(),
+                values.iter().copied().collect::<Vec<_>>()
+            );
+            assert_eq!(s.first(), values.iter().next().copied());
+            assert_eq!(s.last(), values.iter().next_back().copied());
         }
     }
 }

@@ -1,0 +1,294 @@
+//! BCAT partition-soundness checks (the paper's Algorithm 1, Figure 3).
+//!
+//! Level `l` of a well-formed Binary Cache Allocation Tree describes the
+//! row map of a depth-`2^l` cache, so three structural claims must hold:
+//!
+//! 1. **Partition** — the nodes materialized at level `l`, together with the
+//!    leaves frozen at shallower levels, carry every unique reference
+//!    exactly once, and no two nodes of a level describe the same row.
+//! 2. **Row selection** — a node's members all have low `level` address
+//!    bits equal to the node's row (the path from the root spells the row
+//!    index).
+//! 3. **Growth stop** — Algorithm 1 stops splitting exactly below
+//!    cardinality 2: a singleton or empty node must be a leaf, and a node
+//!    with ≥ 2 members may only be a leaf at the deepest materialized level
+//!    (where the index-bit budget ran out).
+//!
+//! Checks run on a [`BcatSnapshot`] — a plain-data copy of the tree — so the
+//! fault-injection tests (and the CLI's `--inject-fault`) can corrupt a
+//! snapshot without needing mutable access to `cachedse-core` internals.
+
+use cachedse_core::Bcat;
+use cachedse_trace::strip::{RefId, StrippedTrace};
+
+use crate::report::{Invariant, Location, Violation};
+
+/// Plain-data copy of one BCAT node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BcatNodeSnapshot {
+    /// Tree level (the node describes a row of a depth-`2^level` cache).
+    pub level: u32,
+    /// Row index: the low `level` address bits of every member.
+    pub row: u32,
+    /// Member unique-reference identifiers, ascending.
+    pub refs: Vec<u32>,
+    /// Whether the tree stopped growing at this node.
+    pub is_leaf: bool,
+}
+
+/// Plain-data copy of a whole [`Bcat`], the unit the checker consumes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BcatSnapshot {
+    /// Number of unique references the tree partitions.
+    pub unique_len: usize,
+    /// Number of materialized levels (level indices `0..levels`).
+    pub levels: u32,
+    /// Every node, in level order.
+    pub nodes: Vec<BcatNodeSnapshot>,
+}
+
+impl BcatSnapshot {
+    /// Extracts a snapshot from a live tree.
+    #[must_use]
+    pub fn of(bcat: &Bcat) -> Self {
+        let mut nodes = Vec::with_capacity(bcat.node_count());
+        for level in 0..bcat.levels() {
+            for node in bcat.nodes_at(level) {
+                nodes.push(BcatNodeSnapshot {
+                    level,
+                    row: node.row(),
+                    refs: node.refs().ones().map(|r| r as u32).collect(),
+                    is_leaf: node.is_leaf(),
+                });
+            }
+        }
+        Self {
+            unique_len: bcat.unique_len(),
+            levels: bcat.levels(),
+            nodes,
+        }
+    }
+}
+
+/// Verifies the three BCAT invariants of a snapshot against the stripped
+/// trace it was built from.
+#[must_use]
+pub fn check_bcat(snapshot: &BcatSnapshot, stripped: &StrippedTrace) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let n = stripped.unique_len();
+
+    if snapshot.unique_len != n {
+        violations.push(Violation::new(
+            Invariant::BcatPartition,
+            Location::Global,
+            format!(
+                "tree covers {} unique refs, trace has {n}",
+                snapshot.unique_len
+            ),
+        ));
+    }
+
+    // Row selection + growth stop are per-node.
+    for node in &snapshot.nodes {
+        let here = Location::Node {
+            level: node.level,
+            row: node.row,
+        };
+        let mask = (1u64 << node.level) - 1;
+        for &r in &node.refs {
+            if (r as usize) >= n {
+                violations.push(Violation::new(
+                    Invariant::BcatPartition,
+                    here,
+                    format!("member {r} is not a valid unique-reference id"),
+                ));
+                continue;
+            }
+            let addr = u64::from(stripped.address_of(RefId::new(r)).raw());
+            if addr & mask != u64::from(node.row) {
+                violations.push(Violation::new(
+                    Invariant::BcatRowSelection,
+                    here,
+                    format!(
+                        "ref {r} (address {addr:#x}) indexes row {}, not {}",
+                        addr & mask,
+                        node.row
+                    ),
+                ));
+            }
+        }
+        if node.refs.len() >= 2 && node.is_leaf && node.level + 1 < snapshot.levels {
+            violations.push(Violation::new(
+                Invariant::BcatGrowthStop,
+                here,
+                format!(
+                    "node with {} members stopped growing before the bit budget",
+                    node.refs.len()
+                ),
+            ));
+        }
+        if node.refs.len() < 2 && !node.is_leaf {
+            violations.push(Violation::new(
+                Invariant::BcatGrowthStop,
+                here,
+                format!("node with {} member(s) was split", node.refs.len()),
+            ));
+        }
+    }
+
+    // Partition per level: nodes at level `l` ⊎ leaves frozen above = all
+    // unique references, and rows within a level are distinct.
+    for level in 0..snapshot.levels {
+        let mut owner: Vec<Option<(u32, u32)>> = vec![None; n]; // ref -> (level, row)
+        let mut rows_seen = std::collections::HashSet::new();
+        for node in &snapshot.nodes {
+            let participates = node.level == level || (node.is_leaf && node.level < level);
+            if !participates {
+                continue;
+            }
+            if node.level == level && !rows_seen.insert(node.row) {
+                violations.push(Violation::new(
+                    Invariant::BcatPartition,
+                    Location::Node {
+                        level,
+                        row: node.row,
+                    },
+                    "two nodes of the level describe the same row".to_owned(),
+                ));
+            }
+            for &r in &node.refs {
+                let Some(slot) = owner.get_mut(r as usize) else {
+                    continue; // already reported as an invalid id above
+                };
+                if let Some((other_level, other_row)) = *slot {
+                    violations.push(Violation::new(
+                        Invariant::BcatPartition,
+                        Location::Node {
+                            level: node.level,
+                            row: node.row,
+                        },
+                        format!(
+                            "ref {r} already assigned at level {other_level} row {other_row} \
+                             in the depth-2^{level} partition"
+                        ),
+                    ));
+                } else {
+                    *slot = Some((node.level, node.row));
+                }
+            }
+        }
+        let missing: Vec<usize> = owner
+            .iter()
+            .enumerate()
+            .filter_map(|(r, o)| o.is_none().then_some(r))
+            .collect();
+        if !missing.is_empty() {
+            violations.push(Violation::new(
+                Invariant::BcatPartition,
+                Location::Global,
+                format!("refs {missing:?} unassigned in the depth-2^{level} partition"),
+            ));
+        }
+    }
+
+    violations
+}
+
+/// Convenience: snapshot a live tree and check it.
+#[must_use]
+pub fn check_bcat_live(bcat: &Bcat, stripped: &StrippedTrace) -> Vec<Violation> {
+    check_bcat(&BcatSnapshot::of(bcat), stripped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachedse_trace::rng::SplitMix64;
+    use cachedse_trace::{generate, paper_running_example, Address, Record, Trace};
+
+    fn snapshot_of(trace: &Trace, bits: u32) -> (StrippedTrace, BcatSnapshot) {
+        let stripped = StrippedTrace::from_trace(trace);
+        let bcat = Bcat::from_stripped(&stripped, bits);
+        let snap = BcatSnapshot::of(&bcat);
+        (stripped, snap)
+    }
+
+    #[test]
+    fn paper_example_is_clean() {
+        let (stripped, snap) = snapshot_of(&paper_running_example(), 4);
+        assert!(check_bcat(&snap, &stripped).is_empty());
+    }
+
+    #[test]
+    fn random_trees_are_clean() {
+        let mut rng = SplitMix64::seed_from_u64(0xB0A7);
+        for _ in 0..32 {
+            let len = rng.gen_range(1usize..120);
+            let trace: Trace = (0..len)
+                .map(|_| Record::read(Address::new(rng.gen_range(0u32..512))))
+                .collect();
+            let bits = rng.gen_range(1u32..10);
+            let (stripped, snap) = snapshot_of(&trace, bits);
+            let violations = check_bcat(&snap, &stripped);
+            assert!(violations.is_empty(), "{violations:?}");
+        }
+    }
+
+    #[test]
+    fn dropped_ref_is_detected() {
+        let (stripped, mut snap) = snapshot_of(&paper_running_example(), 4);
+        // Remove ref 0 from every node that carries it.
+        for node in &mut snap.nodes {
+            node.refs.retain(|&r| r != 0);
+        }
+        let violations = check_bcat(&snap, &stripped);
+        assert!(violations
+            .iter()
+            .any(|v| v.invariant == Invariant::BcatPartition));
+    }
+
+    #[test]
+    fn duplicated_ref_is_detected() {
+        let (stripped, mut snap) = snapshot_of(&paper_running_example(), 4);
+        // Copy ref 0 into a sibling node at level 1 (row 0 holds {1,2,4}).
+        let node = snap
+            .nodes
+            .iter_mut()
+            .find(|nd| nd.level == 1 && nd.row == 0)
+            .unwrap();
+        node.refs.push(0);
+        let violations = check_bcat(&snap, &stripped);
+        // Ref 0 has address 0b1011: row mismatch at row 0, and a duplicate
+        // assignment within the level.
+        assert!(violations
+            .iter()
+            .any(|v| v.invariant == Invariant::BcatRowSelection));
+        assert!(violations
+            .iter()
+            .any(|v| v.invariant == Invariant::BcatPartition));
+    }
+
+    #[test]
+    fn premature_leaf_is_detected() {
+        let (stripped, mut snap) = snapshot_of(&paper_running_example(), 4);
+        // Freeze the root ({0..4}, 5 members) as a leaf and drop its
+        // descendants: growth stopped before the bit budget ran out.
+        snap.nodes.retain(|nd| nd.level == 0);
+        snap.nodes[0].is_leaf = true;
+        let violations = check_bcat(&snap, &stripped);
+        assert!(violations
+            .iter()
+            .any(|v| v.invariant == Invariant::BcatGrowthStop));
+    }
+
+    #[test]
+    fn clean_on_boundary_shapes() {
+        for trace in [
+            generate::loop_pattern(0, 1, 3), // single unique ref
+            generate::loop_pattern(0, 2, 1), // two refs, no reuse
+        ] {
+            let (stripped, snap) = snapshot_of(&trace, 8);
+            assert!(check_bcat(&snap, &stripped).is_empty());
+        }
+    }
+}

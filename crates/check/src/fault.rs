@@ -1,0 +1,238 @@
+//! Deterministic fault injection for exercising the checkers' detection
+//! paths.
+//!
+//! The checkers are only trustworthy if they demonstrably *fire*: a checker
+//! that returns "clean" on a corrupted artifact is worse than none. Each
+//! [`FaultKind`] corrupts a snapshot in one precisely-scoped way (always the
+//! first eligible site, so runs are reproducible), and the test suites — and
+//! the CLI's `cachedse check --inject-fault` — assert that the matching
+//! invariant class reports it.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::bcat::BcatSnapshot;
+use crate::mrct::MrctSnapshot;
+
+/// One way of corrupting a pipeline artifact.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Remove one reference from every BCAT node carrying it (breaks level
+    /// coverage).
+    BcatDropRef,
+    /// Add a reference to a sibling BCAT node (breaks disjointness and row
+    /// selection).
+    BcatDuplicateRef,
+    /// Freeze a splittable BCAT node as a leaf (breaks the growth-stop
+    /// rule).
+    BcatPrematureLeaf,
+    /// Insert a reference into one of its own conflict sets.
+    MrctSelfConflict,
+    /// Drop the last conflict set of a recurring reference (breaks the
+    /// one-set-per-non-first-occurrence count).
+    MrctDropSet,
+    /// Reverse a multi-element conflict set (breaks sortedness).
+    MrctUnsortedSet,
+}
+
+impl FaultKind {
+    /// Every fault kind, for exhaustive detection tests and CLI help.
+    pub const ALL: [Self; 6] = [
+        Self::BcatDropRef,
+        Self::BcatDuplicateRef,
+        Self::BcatPrematureLeaf,
+        Self::MrctSelfConflict,
+        Self::MrctDropSet,
+        Self::MrctUnsortedSet,
+    ];
+
+    /// `true` if the fault targets the BCAT (otherwise it targets the MRCT).
+    #[must_use]
+    pub fn targets_bcat(self) -> bool {
+        matches!(
+            self,
+            Self::BcatDropRef | Self::BcatDuplicateRef | Self::BcatPrematureLeaf
+        )
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Self::BcatDropRef => "bcat-drop-ref",
+            Self::BcatDuplicateRef => "bcat-duplicate-ref",
+            Self::BcatPrematureLeaf => "bcat-premature-leaf",
+            Self::MrctSelfConflict => "mrct-self-conflict",
+            Self::MrctDropSet => "mrct-drop-set",
+            Self::MrctUnsortedSet => "mrct-unsorted-set",
+        };
+        f.write_str(name)
+    }
+}
+
+impl FromStr for FaultKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        FaultKind::ALL
+            .into_iter()
+            .find(|k| k.to_string() == s)
+            .ok_or_else(|| {
+                let names: Vec<String> = FaultKind::ALL.iter().map(ToString::to_string).collect();
+                format!(
+                    "unknown fault '{s}' (expected one of: {})",
+                    names.join(", ")
+                )
+            })
+    }
+}
+
+/// Applies a BCAT fault to the snapshot. Returns `false` when the snapshot
+/// has no eligible site (e.g. a single-reference tree) or the fault targets
+/// the MRCT.
+pub fn inject_bcat(snapshot: &mut BcatSnapshot, kind: FaultKind) -> bool {
+    match kind {
+        FaultKind::BcatDropRef => {
+            let Some(&victim) = snapshot.nodes.first().and_then(|n| n.refs.first()) else {
+                return false;
+            };
+            for node in &mut snapshot.nodes {
+                node.refs.retain(|&r| r != victim);
+            }
+            true
+        }
+        FaultKind::BcatDuplicateRef => {
+            // Copy the first reference of some level-1 node into its sibling.
+            let Some(&victim) = snapshot
+                .nodes
+                .iter()
+                .find(|n| n.level == 1 && !n.refs.is_empty())
+                .and_then(|n| n.refs.first())
+            else {
+                return false;
+            };
+            let Some(sibling) = snapshot
+                .nodes
+                .iter_mut()
+                .find(|n| n.level == 1 && !n.refs.contains(&victim))
+            else {
+                return false;
+            };
+            sibling.refs.push(victim);
+            sibling.refs.sort_unstable();
+            true
+        }
+        FaultKind::BcatPrematureLeaf => {
+            let levels = snapshot.levels;
+            let Some(victim) = snapshot
+                .nodes
+                .iter()
+                .position(|n| !n.is_leaf && n.refs.len() >= 2 && n.level + 1 < levels)
+            else {
+                return false;
+            };
+            let (level, row) = (snapshot.nodes[victim].level, snapshot.nodes[victim].row);
+            snapshot.nodes[victim].is_leaf = true;
+            // Drop the victim's whole subtree so the corruption is
+            // structurally consistent (children gone, not orphaned).
+            snapshot
+                .nodes
+                .retain(|n| n.level <= level || (n.row & ((1 << level) - 1)) != row);
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Applies an MRCT fault to the snapshot. Returns `false` when the snapshot
+/// has no eligible site (e.g. no reference recurs) or the fault targets the
+/// BCAT.
+pub fn inject_mrct(snapshot: &mut MrctSnapshot, kind: FaultKind) -> bool {
+    match kind {
+        FaultKind::MrctSelfConflict => {
+            for (id, sets) in snapshot.sets.iter_mut().enumerate() {
+                if let Some(set) = sets.first_mut() {
+                    set.push(id as u32);
+                    set.sort_unstable();
+                    set.dedup();
+                    return true;
+                }
+            }
+            false
+        }
+        FaultKind::MrctDropSet => {
+            for sets in &mut snapshot.sets {
+                if !sets.is_empty() {
+                    sets.pop();
+                    return true;
+                }
+            }
+            false
+        }
+        FaultKind::MrctUnsortedSet => {
+            for sets in &mut snapshot.sets {
+                for set in sets.iter_mut() {
+                    if set.len() >= 2 {
+                        set.reverse();
+                        return true;
+                    }
+                }
+            }
+            false
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bcat::check_bcat;
+    use crate::mrct::check_mrct;
+    use cachedse_core::{Bcat, Mrct};
+    use cachedse_trace::paper_running_example;
+    use cachedse_trace::strip::StrippedTrace;
+
+    #[test]
+    fn round_trips_through_names() {
+        for kind in FaultKind::ALL {
+            assert_eq!(kind.to_string().parse::<FaultKind>().unwrap(), kind);
+        }
+        assert!("no-such-fault".parse::<FaultKind>().is_err());
+    }
+
+    /// The detection contract: every fault kind, injected into the paper's
+    /// running example, is caught by the matching checker.
+    #[test]
+    fn every_fault_is_detected() {
+        let stripped = StrippedTrace::from_trace(&paper_running_example());
+        for kind in FaultKind::ALL {
+            if kind.targets_bcat() {
+                let bcat = Bcat::from_stripped(&stripped, 4);
+                let mut snap = BcatSnapshot::of(&bcat);
+                assert!(inject_bcat(&mut snap, kind), "{kind} found no site");
+                assert!(
+                    !check_bcat(&snap, &stripped).is_empty(),
+                    "{kind} went undetected"
+                );
+            } else {
+                let mrct = Mrct::build(&stripped);
+                let mut snap = MrctSnapshot::of(&mrct);
+                assert!(inject_mrct(&mut snap, kind), "{kind} found no site");
+                assert!(
+                    !check_mrct(&snap, &stripped).is_empty(),
+                    "{kind} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_target_is_a_noop() {
+        let stripped = StrippedTrace::from_trace(&paper_running_example());
+        let mut bcat_snap = BcatSnapshot::of(&Bcat::from_stripped(&stripped, 4));
+        let mut mrct_snap = MrctSnapshot::of(&Mrct::build(&stripped));
+        assert!(!inject_bcat(&mut bcat_snap, FaultKind::MrctDropSet));
+        assert!(!inject_mrct(&mut mrct_snap, FaultKind::BcatDropRef));
+    }
+}

@@ -1,0 +1,154 @@
+//! Frontier minimality and monotonicity checks.
+//!
+//! The explorer's output — for each depth `D`, the minimum associativity
+//! `A` meeting the miss budget `K` — makes three checkable claims:
+//!
+//! 1. **Replay** — each `(D, A)` meets the budget when the trace is actually
+//!    simulated, and `(D, A − 1)` does not (delegated to
+//!    [`cachedse_core::verify::check_result_exhaustive`], the paper's
+//!    Figure 1a ground truth).
+//! 2. **Depth monotonicity** — doubling the depth splits every row, so the
+//!    per-row conflict sets only shrink and the required `A` never grows.
+//! 3. **Budget monotonicity** — a looser `K` can only lower the required
+//!    `A` at every depth.
+
+use cachedse_core::verify::{check_result_exhaustive, VerifyError};
+use cachedse_core::ExplorationResult;
+use cachedse_trace::Trace;
+
+use crate::report::{Invariant, Location, Violation};
+
+fn point_location(point: cachedse_core::DesignPoint) -> Location {
+    Location::Point {
+        depth: point.depth,
+        associativity: point.associativity,
+    }
+}
+
+/// Verifies one exploration result: simulator replay of every point plus
+/// depth monotonicity.
+#[must_use]
+pub fn check_frontier(trace: &Trace, result: &ExplorationResult) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let (_, errors) = check_result_exhaustive(trace, result);
+    for error in errors {
+        let violation = match error {
+            VerifyError::OverBudget {
+                point,
+                misses,
+                budget,
+            } => Violation::new(
+                Invariant::FrontierOverBudget,
+                point_location(point),
+                format!("simulated {misses} avoidable misses, budget is {budget}"),
+            ),
+            VerifyError::NotMinimal {
+                point,
+                misses_below,
+                budget,
+            } => Violation::new(
+                Invariant::FrontierNotMinimal,
+                point_location(point),
+                format!(
+                    "{} way(s) already meet the budget ({misses_below} <= {budget})",
+                    point.associativity - 1
+                ),
+            ),
+        };
+        violations.push(violation);
+    }
+    for pair in result.pairs().windows(2) {
+        if pair[1].associativity > pair[0].associativity {
+            violations.push(Violation::new(
+                Invariant::FrontierNonMonotoneDepth,
+                point_location(pair[1]),
+                format!(
+                    "needs {} ways but the shallower depth {} needs only {}",
+                    pair[1].associativity, pair[0].depth, pair[0].associativity
+                ),
+            ));
+        }
+    }
+    violations
+}
+
+/// Verifies that, across results ordered by their resolved budgets, looser
+/// budgets never demand more ways at any depth.
+#[must_use]
+pub fn check_budget_monotonicity(results: &[&ExplorationResult]) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let mut ordered: Vec<&ExplorationResult> = results.to_vec();
+    ordered.sort_by_key(|r| r.budget());
+    for pair in ordered.windows(2) {
+        let (tight, loose) = (pair[0], pair[1]);
+        for point in loose.pairs() {
+            let Some(tight_assoc) = tight.associativity_of(point.depth) else {
+                continue;
+            };
+            if point.associativity > tight_assoc {
+                violations.push(Violation::new(
+                    Invariant::FrontierNonMonotoneBudget,
+                    point_location(*point),
+                    format!(
+                        "budget {} needs {} ways where budget {} needed {tight_assoc}",
+                        loose.budget(),
+                        point.associativity,
+                        tight.budget()
+                    ),
+                ));
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachedse_core::{DesignSpaceExplorer, MissBudget};
+    use cachedse_trace::rng::SplitMix64;
+    use cachedse_trace::{generate, paper_running_example, Address, Record, Trace};
+
+    #[test]
+    fn paper_example_frontiers_are_clean() {
+        let trace = paper_running_example();
+        let exploration = DesignSpaceExplorer::new(&trace).prepare().unwrap();
+        let mut results = Vec::new();
+        for budget in 0..=5 {
+            let result = exploration.result(MissBudget::Absolute(budget)).unwrap();
+            assert!(check_frontier(&trace, &result).is_empty());
+            results.push(result);
+        }
+        let refs: Vec<&ExplorationResult> = results.iter().collect();
+        assert!(check_budget_monotonicity(&refs).is_empty());
+    }
+
+    #[test]
+    fn random_frontiers_are_clean() {
+        let mut rng = SplitMix64::seed_from_u64(0xF207);
+        for _ in 0..16 {
+            let len = rng.gen_range(1usize..200);
+            let trace: Trace = (0..len)
+                .map(|_| Record::read(Address::new(rng.gen_range(0u32..64))))
+                .collect();
+            let budget = rng.gen_range(0u64..25);
+            let result = DesignSpaceExplorer::new(&trace)
+                .explore(MissBudget::Absolute(budget))
+                .unwrap();
+            let violations = check_frontier(&trace, &result);
+            assert!(violations.is_empty(), "{violations:?}");
+        }
+    }
+
+    #[test]
+    fn fractional_budget_sweep_is_monotone() {
+        let trace = generate::working_set_phases(4, 300, 32, 11);
+        let exploration = DesignSpaceExplorer::new(&trace).prepare().unwrap();
+        let results: Vec<ExplorationResult> = [0.05, 0.10, 0.15, 0.20]
+            .iter()
+            .map(|&f| exploration.result(MissBudget::FractionOfMax(f)).unwrap())
+            .collect();
+        let refs: Vec<&ExplorationResult> = results.iter().collect();
+        assert!(check_budget_monotonicity(&refs).is_empty());
+    }
+}

@@ -1,0 +1,248 @@
+//! MRCT well-formedness checks (the paper's Algorithm 2, Table 4).
+//!
+//! A well-formed Memory Reference Conflict Table has, for each unique
+//! reference, exactly one conflict set per non-first occurrence; each set is
+//! sorted, duplicate-free, in identifier range, never contains the reference
+//! it belongs to, and equals the distinct *other* references touched in the
+//! occurrence's reuse window. The window semantics are recomputed here with
+//! an independent single-pass scan, so the checker does not trust either of
+//! `cachedse-core`'s two builders.
+
+use cachedse_core::Mrct;
+use cachedse_trace::strip::StrippedTrace;
+
+use crate::report::{Invariant, Location, Violation};
+
+/// Plain-data copy of an [`Mrct`], the unit the checker consumes.
+///
+/// `sets[id]` holds reference `id`'s conflict sets in trace order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MrctSnapshot {
+    /// `sets[id]` = the conflict sets of unique reference `id`.
+    pub sets: Vec<Vec<Vec<u32>>>,
+}
+
+impl MrctSnapshot {
+    /// Extracts a snapshot from a live table.
+    #[must_use]
+    pub fn of(mrct: &Mrct) -> Self {
+        Self {
+            sets: mrct
+                .iter()
+                .map(|(_, sets)| sets.iter().map(|s| s.to_vec()).collect())
+                .collect(),
+        }
+    }
+}
+
+/// Renders a conflict set for a violation message, truncating long sets so
+/// a corrupted multi-thousand-element set stays readable.
+fn fmt_set(set: &[u32]) -> String {
+    const SHOWN: usize = 8;
+    if set.len() <= SHOWN {
+        format!("{set:?}")
+    } else {
+        let head: Vec<String> = set[..SHOWN].iter().map(ToString::to_string).collect();
+        format!("[{}, … {} more]", head.join(", "), set.len() - SHOWN)
+    }
+}
+
+/// Independently recomputed reuse windows: for every non-first occurrence
+/// of each reference, the sorted distinct other references touched since
+/// its previous occurrence.
+fn reuse_windows(stripped: &StrippedTrace) -> Vec<Vec<Vec<u32>>> {
+    let n = stripped.unique_len();
+    let mut windows: Vec<Vec<Vec<u32>>> = vec![Vec::new(); n];
+    let mut last_seen: Vec<Option<usize>> = vec![None; n];
+    let ids = stripped.id_sequence();
+    for (t, &id) in ids.iter().enumerate() {
+        if let Some(prev) = last_seen[id.index()] {
+            let mut window: Vec<u32> = ids[prev + 1..t]
+                .iter()
+                .map(|r| r.raw())
+                .filter(|&x| x != id.raw())
+                .collect();
+            window.sort_unstable();
+            window.dedup();
+            windows[id.index()].push(window);
+        }
+        last_seen[id.index()] = Some(t);
+    }
+    windows
+}
+
+/// Verifies the MRCT invariants of a snapshot against the stripped trace it
+/// was built from.
+#[must_use]
+pub fn check_mrct(snapshot: &MrctSnapshot, stripped: &StrippedTrace) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let n = stripped.unique_len();
+
+    if snapshot.sets.len() != n {
+        violations.push(Violation::new(
+            Invariant::MrctSetCount,
+            Location::Global,
+            format!(
+                "table covers {} unique refs, trace has {n}",
+                snapshot.sets.len()
+            ),
+        ));
+    }
+
+    let windows = reuse_windows(stripped);
+    for (id, sets) in snapshot.sets.iter().enumerate() {
+        let id = id as u32;
+        let expected_count = windows.get(id as usize).map_or(0, Vec::len);
+        if sets.len() != expected_count {
+            violations.push(Violation::new(
+                Invariant::MrctSetCount,
+                Location::Occurrence {
+                    reference: id,
+                    occurrence: sets.len().min(expected_count),
+                },
+                format!(
+                    "ref {id} has {} conflict set(s), expected {expected_count} \
+                     (occurrences − 1)",
+                    sets.len()
+                ),
+            ));
+        }
+        for (k, set) in sets.iter().enumerate() {
+            let here = Location::Occurrence {
+                reference: id,
+                occurrence: k,
+            };
+            if !set.windows(2).all(|w| w[0] < w[1]) {
+                violations.push(Violation::new(
+                    Invariant::MrctSetMalformed,
+                    here,
+                    format!("set {} is not sorted and duplicate-free", fmt_set(set)),
+                ));
+            }
+            if let Some(&bad) = set.iter().find(|&&x| (x as usize) >= n) {
+                violations.push(Violation::new(
+                    Invariant::MrctSetMalformed,
+                    here,
+                    format!("set contains out-of-range id {bad}"),
+                ));
+            }
+            if set.contains(&id) {
+                violations.push(Violation::new(
+                    Invariant::MrctSelfConflict,
+                    here,
+                    format!("conflict set of ref {id} contains ref {id} itself"),
+                ));
+            }
+            if let Some(window) = windows.get(id as usize).and_then(|w| w.get(k)) {
+                if window != set {
+                    violations.push(Violation::new(
+                        Invariant::MrctWindowMismatch,
+                        here,
+                        format!(
+                            "set {} but the reuse window holds {}",
+                            fmt_set(set),
+                            fmt_set(window)
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    violations
+}
+
+/// Convenience: snapshot a live table and check it.
+#[must_use]
+pub fn check_mrct_live(mrct: &Mrct, stripped: &StrippedTrace) -> Vec<Violation> {
+    check_mrct(&MrctSnapshot::of(mrct), stripped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachedse_trace::rng::SplitMix64;
+    use cachedse_trace::{generate, paper_running_example, Address, Record, Trace};
+
+    fn snapshot_of(trace: &Trace) -> (StrippedTrace, MrctSnapshot) {
+        let stripped = StrippedTrace::from_trace(trace);
+        let mrct = Mrct::build(&stripped);
+        let snap = MrctSnapshot::of(&mrct);
+        (stripped, snap)
+    }
+
+    #[test]
+    fn paper_example_is_clean() {
+        let (stripped, snap) = snapshot_of(&paper_running_example());
+        assert!(check_mrct(&snap, &stripped).is_empty());
+    }
+
+    #[test]
+    fn random_tables_are_clean() {
+        let mut rng = SplitMix64::seed_from_u64(0x44C7);
+        for _ in 0..32 {
+            let len = rng.gen_range(0usize..200);
+            let trace: Trace = (0..len)
+                .map(|_| Record::read(Address::new(rng.gen_range(0u32..40))))
+                .collect();
+            let (stripped, snap) = snapshot_of(&trace);
+            let violations = check_mrct(&snap, &stripped);
+            assert!(violations.is_empty(), "{violations:?}");
+        }
+    }
+
+    #[test]
+    fn both_builders_are_clean_on_workloads() {
+        for trace in [
+            generate::loop_pattern(0, 16, 8),
+            generate::uniform_random(300, 32, 5),
+        ] {
+            let stripped = StrippedTrace::from_trace(&trace);
+            for mrct in [Mrct::build(&stripped), Mrct::build_naive(&stripped)] {
+                assert!(check_mrct_live(&mrct, &stripped).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn self_conflict_is_detected() {
+        let (stripped, mut snap) = snapshot_of(&paper_running_example());
+        snap.sets[0][0].insert(0, 0); // ref 0's first set now contains 0
+        let violations = check_mrct(&snap, &stripped);
+        assert!(violations
+            .iter()
+            .any(|v| v.invariant == Invariant::MrctSelfConflict));
+    }
+
+    #[test]
+    fn dropped_set_is_detected() {
+        let (stripped, mut snap) = snapshot_of(&paper_running_example());
+        snap.sets[0].pop(); // ref 0 occurs 3 times: 2 sets expected
+        let violations = check_mrct(&snap, &stripped);
+        assert!(violations
+            .iter()
+            .any(|v| v.invariant == Invariant::MrctSetCount));
+    }
+
+    #[test]
+    fn unsorted_set_is_detected() {
+        let (stripped, mut snap) = snapshot_of(&paper_running_example());
+        snap.sets[0][0].reverse(); // {1,2,3} -> {3,2,1}
+        let violations = check_mrct(&snap, &stripped);
+        assert!(violations
+            .iter()
+            .any(|v| v.invariant == Invariant::MrctSetMalformed));
+    }
+
+    #[test]
+    fn wrong_window_contents_are_detected() {
+        let (stripped, mut snap) = snapshot_of(&paper_running_example());
+        // Swap a legitimate member for another valid-but-wrong id, keeping
+        // the set sorted and self-free so only the semantic check can fire.
+        snap.sets[0][0] = vec![1, 2, 4]; // true window is {1,2,3}
+        let violations = check_mrct(&snap, &stripped);
+        assert!(violations
+            .iter()
+            .any(|v| v.invariant == Invariant::MrctWindowMismatch));
+    }
+}

@@ -1,0 +1,97 @@
+//! Zero/one-set complementarity checks (the paper's Table 3).
+//!
+//! For every address bit `B_i`, the prelude partitions the unique references
+//! into `Z_i` (bit clear) and `O_i` (bit set). Three things must hold:
+//! disjointness, joint coverage of all `N'` references, and membership
+//! agreement with the actual address bits.
+
+use cachedse_core::ZeroOneSets;
+use cachedse_trace::strip::StrippedTrace;
+
+use crate::report::{Invariant, Location, Violation};
+
+/// Verifies `Z_i ⊎ O_i = {0, …, N'−1}` for every bit, and that membership
+/// matches the address bits recorded in `stripped`.
+#[must_use]
+pub fn check_zero_one(zo: &ZeroOneSets, stripped: &StrippedTrace) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let n = stripped.unique_len();
+    for bit in 0..zo.bits() {
+        let zero = zo.zero(bit);
+        let one = zo.one(bit);
+        if !zero.is_disjoint(one) {
+            let overlap: Vec<usize> = zero.intersection(one).ones().collect();
+            violations.push(Violation::new(
+                Invariant::ZeroOneDisjoint,
+                Location::Bit(bit),
+                format!("Z and O share refs {overlap:?}"),
+            ));
+        }
+        let covered = zero.union(one);
+        if covered.len() != n || covered.ones().any(|r| r >= n) {
+            let missing: Vec<usize> = (0..n).filter(|&r| !covered.contains(r)).collect();
+            let foreign: Vec<usize> = covered.ones().filter(|&r| r >= n).collect();
+            violations.push(Violation::new(
+                Invariant::ZeroOneCoverage,
+                Location::Bit(bit),
+                format!("missing refs {missing:?}, out-of-range refs {foreign:?}"),
+            ));
+        }
+        for (id, addr) in stripped.iter() {
+            let is_set = addr.bit(bit);
+            if one.contains(id.index()) != is_set || zero.contains(id.index()) == is_set {
+                violations.push(Violation::new(
+                    Invariant::ZeroOneMembership,
+                    Location::Bit(bit),
+                    format!(
+                        "ref {} (address {:#x}) has bit {} = {}, but Z/O membership disagrees",
+                        id.raw(),
+                        addr.raw(),
+                        bit,
+                        u32::from(is_set)
+                    ),
+                ));
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachedse_trace::{generate, paper_running_example};
+
+    #[test]
+    fn paper_example_is_clean() {
+        let stripped = StrippedTrace::from_trace(&paper_running_example());
+        let zo = ZeroOneSets::from_stripped(&stripped);
+        assert!(check_zero_one(&zo, &stripped).is_empty());
+    }
+
+    #[test]
+    fn workload_shapes_are_clean() {
+        for trace in [
+            generate::uniform_random(400, 256, 3),
+            generate::working_set_phases(3, 120, 16, 7),
+        ] {
+            let stripped = StrippedTrace::from_trace(&trace);
+            let zo = ZeroOneSets::from_stripped(&stripped);
+            assert!(check_zero_one(&zo, &stripped).is_empty());
+        }
+    }
+
+    #[test]
+    fn mismatched_stripped_trace_is_flagged() {
+        // Build the sets from one trace and check against a different one:
+        // membership must disagree somewhere.
+        let a = StrippedTrace::from_trace(&paper_running_example());
+        let b = StrippedTrace::from_trace(&generate::loop_pattern(0, 5, 2));
+        let zo = ZeroOneSets::from_stripped(&a);
+        let violations = check_zero_one(&zo, &b);
+        assert!(!violations.is_empty());
+        assert!(violations
+            .iter()
+            .any(|v| v.invariant == Invariant::ZeroOneMembership));
+    }
+}

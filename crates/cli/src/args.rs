@@ -131,7 +131,8 @@ impl Args {
     /// [`ArgError::Required`] if absent, [`ArgError::Invalid`] if
     /// unparsable.
     pub fn required<T: std::str::FromStr>(&self, name: &str) -> Result<T, ArgError> {
-        self.opt(name)?.ok_or_else(|| ArgError::Required(name.to_owned()))
+        self.opt(name)?
+            .ok_or_else(|| ArgError::Required(name.to_owned()))
     }
 }
 

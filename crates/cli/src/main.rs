@@ -9,8 +9,13 @@
 //! cachedse explore trace.din (--misses K | --fraction F) [--max-bits B]
 //!                            [--engine dfs|tree] [--verify]
 //! cachedse sweep trace.din [--max-bits B]        # the paper's K-grid table
+//! cachedse check trace.din [--misses K | --fraction F] [--max-bits B]
+//!                          [--inject-fault <kind>] [--quiet]
 //! cachedse workloads                             # list the kernels
 //! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 mod args;
 
@@ -35,6 +40,7 @@ commands:
   explore    compute the optimal (depth, associativity) set analytically
   sweep      print the paper-style table for K in {5,10,15,20}%
   rank       order the budget-satisfying configurations by dynamic energy
+  check      statically verify every pipeline invariant on a trace
   workloads  list the embedded benchmark kernels
 
 run `cachedse <command> --help` for details.";
@@ -76,6 +82,7 @@ fn main() -> ExitCode {
         "explore" => cmd_explore(&args),
         "sweep" => cmd_sweep(&args),
         "rank" => cmd_rank(&args),
+        "check" => cmd_check(&args),
         "workloads" => cmd_workloads(),
         "--help" | "help" => {
             println!("{USAGE}");
@@ -226,9 +233,7 @@ fn cmd_explore(args: &Args) -> CliResult {
         (Some(k), None) => MissBudget::Absolute(k),
         (None, Some(f)) => MissBudget::FractionOfMax(f),
         (None, None) => return Err("explore needs --misses K or --fraction F".into()),
-        (Some(_), Some(_)) => {
-            return Err("--misses and --fraction are mutually exclusive".into())
-        }
+        (Some(_), Some(_)) => return Err("--misses and --fraction are mutually exclusive".into()),
     };
     let mut explorer = DesignSpaceExplorer::new(&trace).engine(engine_of(args)?);
     if let Some(bits) = args.opt::<u32>("max-bits")? {
@@ -271,9 +276,7 @@ fn cmd_rank(args: &Args) -> CliResult {
         (Some(k), None) => MissBudget::Absolute(k),
         (None, Some(f)) => MissBudget::FractionOfMax(f),
         (None, None) => MissBudget::FractionOfMax(0.10),
-        (Some(_), Some(_)) => {
-            return Err("--misses and --fraction are mutually exclusive".into())
-        }
+        (Some(_), Some(_)) => return Err("--misses and --fraction are mutually exclusive".into()),
     };
     let mut explorer = DesignSpaceExplorer::new(&trace);
     if let Some(bits) = args.opt::<u32>("max-bits")? {
@@ -300,6 +303,47 @@ fn cmd_rank(args: &Args) -> CliResult {
         );
     }
     Ok(())
+}
+
+fn cmd_check(args: &Args) -> CliResult {
+    use cachedse_check::{check_pipeline, CheckOptions};
+    let trace = load_trace(args)?;
+    let budgets = match (args.opt::<u64>("misses")?, args.opt::<f64>("fraction")?) {
+        (Some(k), None) => vec![MissBudget::Absolute(k)],
+        (None, Some(f)) => vec![MissBudget::FractionOfMax(f)],
+        // Default: the paper's K grid (Section 4), which also exercises
+        // budget monotonicity across four frontiers.
+        (None, None) => [0.05, 0.10, 0.15, 0.20]
+            .iter()
+            .map(|&f| MissBudget::FractionOfMax(f))
+            .collect(),
+        (Some(_), Some(_)) => return Err("--misses and --fraction are mutually exclusive".into()),
+    };
+    let options = CheckOptions {
+        max_index_bits: args.opt::<u32>("max-bits")?,
+        inject_fault: args.opt_str("inject-fault").map(str::parse).transpose()?,
+    };
+    if let Some(kind) = options.inject_fault {
+        eprintln!("injecting fault: {kind}");
+    }
+    let report = check_pipeline(&trace, &budgets, &options)?;
+    if report.is_clean() {
+        if !args.flag("quiet") {
+            println!(
+                "ok: zero/one sets, BCAT, MRCT, and {} frontier(s) verified \
+                 ({} references, {} unique)",
+                budgets.len(),
+                trace.len(),
+                cachedse_trace::strip::StrippedTrace::from_trace(&trace).unique_len()
+            );
+        }
+        Ok(())
+    } else {
+        if !args.flag("quiet") {
+            print!("{report}");
+        }
+        Err(format!("{} invariant violation(s) found", report.total()).into())
+    }
 }
 
 fn cmd_workloads() -> CliResult {

@@ -33,10 +33,8 @@ mod tempfile {
     impl NamedTempFile {
         pub fn new() -> std::io::Result<Self> {
             let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-            let path = std::env::temp_dir().join(format!(
-                "cachedse-cli-test-{}-{n}.din",
-                std::process::id()
-            ));
+            let path = std::env::temp_dir()
+                .join(format!("cachedse-cli-test-{}-{n}.din", std::process::id()));
             Ok(Self {
                 file: std::fs::File::create(&path)?,
                 path,

@@ -145,10 +145,51 @@ impl Bcat {
             }
             levels.push(next);
         }
-        Self {
+        let tree = Self {
             nodes,
             levels,
             unique_len: zo.unique_len(),
+        };
+        #[cfg(debug_assertions)]
+        tree.debug_self_check();
+        tree
+    }
+
+    /// Structural self-check run after every debug-profile build: splits are
+    /// disjoint and lossless, child rows follow the Figure 3 bit pattern,
+    /// and growth stops exactly below cardinality 2. The external
+    /// `cachedse-check` crate re-verifies the same invariants from outside.
+    #[cfg(debug_assertions)]
+    fn debug_self_check(&self) {
+        for node in &self.nodes {
+            match (node.left, node.right) {
+                (Some(left), Some(right)) => {
+                    let (left, right) = (&self.nodes[left.0], &self.nodes[right.0]);
+                    debug_assert!(
+                        left.refs.is_disjoint(&right.refs),
+                        "BCAT split of level {} row {} is not disjoint",
+                        node.level,
+                        node.row
+                    );
+                    debug_assert_eq!(
+                        left.refs.len() + right.refs.len(),
+                        node.refs.len(),
+                        "BCAT split of level {} row {} loses references",
+                        node.level,
+                        node.row
+                    );
+                    debug_assert_eq!(left.row, node.row);
+                    debug_assert_eq!(right.row, node.row | (1 << node.level));
+                }
+                (None, None) => debug_assert!(
+                    node.refs.len() < 2 || node.level + 1 == self.levels(),
+                    "BCAT node at level {} row {} stopped growing with {} members",
+                    node.level,
+                    node.row,
+                    node.refs.len()
+                ),
+                _ => debug_assert!(false, "BCAT node with exactly one child"),
+            }
         }
     }
 
@@ -201,8 +242,7 @@ impl Bcat {
     pub fn nodes_at(&self, level: u32) -> impl Iterator<Item = &BcatNode> {
         self.levels
             .get(level as usize)
-            .map(|v| v.as_slice())
-            .unwrap_or(&[])
+            .map_or(&[][..], Vec::as_slice)
             .iter()
             .map(|&NodeId(i)| &self.nodes[i])
     }
@@ -211,8 +251,8 @@ impl Bcat {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cachedse_trace::rng::SplitMix64;
     use cachedse_trace::{paper_running_example, Address, Record, Trace};
-    use proptest::prelude::*;
 
     fn bcat_of(trace: &Trace, bits: u32) -> (StrippedTrace, Bcat) {
         let stripped = StrippedTrace::from_trace(trace);
@@ -244,10 +284,7 @@ mod tests {
             vec![vec![], vec![1, 4], vec![0, 3], vec![]]
         );
         // Level 4 (Figure 3 leaves): {5},{2} and {4},{1} -> 0-based.
-        assert_eq!(
-            sets_at(&bcat, 4),
-            vec![vec![4], vec![1], vec![3], vec![0]]
-        );
+        assert_eq!(sets_at(&bcat, 4), vec![vec![4], vec![1], vec![3], vec![0]]);
         assert_eq!(bcat.levels(), 5);
     }
 
@@ -258,8 +295,7 @@ mod tests {
             let mask = (1u32 << level) - 1;
             for node in bcat.nodes_at(level) {
                 for id in node.refs().ones() {
-                    let addr = stripped
-                        .address_of(cachedse_trace::strip::RefId::new(id as u32));
+                    let addr = stripped.address_of(cachedse_trace::strip::RefId::new(id as u32));
                     assert_eq!(addr.raw() & mask, node.row(), "level {level}");
                 }
             }
@@ -277,10 +313,7 @@ mod tests {
         assert_eq!(left.refs().ones().collect::<Vec<_>>(), vec![1, 2, 4]);
         assert_eq!(right.refs().ones().collect::<Vec<_>>(), vec![0, 3]);
         // Singleton node {2} at level 2 is a leaf.
-        let singleton = bcat
-            .nodes_at(2)
-            .find(|n| n.refs().len() == 1)
-            .unwrap();
+        let singleton = bcat.nodes_at(2).find(|n| n.refs().len() == 1).unwrap();
         assert!(singleton.is_leaf());
     }
 
@@ -308,13 +341,20 @@ mod tests {
         assert_eq!(bcat.root().refs().len(), 1);
     }
 
-    proptest! {
-        /// Nodes at each level are disjoint, rows are unique, children
-        /// partition their parent, and every member's address matches the row.
-        #[test]
-        fn structural_invariants(addrs in prop::collection::vec(0u32..512, 1..150),
-                                 max_bits in 1u32..10) {
-            let trace: Trace = addrs.iter().map(|&a| Record::read(Address::new(a))).collect();
+    /// Nodes at each level are disjoint, rows are unique, children
+    /// partition their parent, and every member's address matches the row.
+    /// Deterministic randomized sweep (formerly a proptest property).
+    #[test]
+    fn structural_invariants() {
+        let mut rng = SplitMix64::seed_from_u64(0xBCA7);
+        for _ in 0..64 {
+            let len = rng.gen_range(1usize..150);
+            let addrs: Vec<u32> = (0..len).map(|_| rng.gen_range(0u32..512)).collect();
+            let max_bits = rng.gen_range(1u32..10);
+            let trace: Trace = addrs
+                .iter()
+                .map(|&a| Record::read(Address::new(a)))
+                .collect();
             let (stripped, bcat) = bcat_of(&trace, max_bits);
 
             for level in 0..bcat.levels() {
@@ -322,22 +362,22 @@ mod tests {
                 let mut seen_rows = std::collections::HashSet::new();
                 let mut seen_refs = std::collections::HashSet::new();
                 for node in bcat.nodes_at(level) {
-                    prop_assert!(seen_rows.insert(node.row()));
+                    assert!(seen_rows.insert(node.row()));
                     for id in node.refs().ones() {
-                        prop_assert!(seen_refs.insert(id), "ref in two rows");
-                        let addr = stripped
-                            .address_of(cachedse_trace::strip::RefId::new(id as u32));
-                        prop_assert_eq!(u64::from(addr.raw()) & mask, u64::from(node.row()));
+                        assert!(seen_refs.insert(id), "ref in two rows");
+                        let addr =
+                            stripped.address_of(cachedse_trace::strip::RefId::new(id as u32));
+                        assert_eq!(u64::from(addr.raw()) & mask, u64::from(node.row()));
                     }
                     if let (Some(l), Some(r)) = (node.left(), node.right()) {
                         let l = bcat.node(l);
                         let r = bcat.node(r);
-                        prop_assert!(l.refs().is_disjoint(r.refs()));
-                        prop_assert_eq!(&l.refs().union(r.refs()), node.refs());
+                        assert!(l.refs().is_disjoint(r.refs()));
+                        assert_eq!(&l.refs().union(r.refs()), node.refs());
                     } else {
                         // Leaves inside the bit range must be too small to split.
                         if node.level() < bcat.levels() - 1 {
-                            prop_assert!(node.refs().len() < 2);
+                            assert!(node.refs().len() < 2);
                         }
                     }
                 }

@@ -123,7 +123,9 @@ impl<'a> DesignSpaceExplorer<'a> {
             return Err(ExploreError::EmptyTrace);
         }
         let stripped = StrippedTrace::from_trace(self.trace);
-        let max_bits = self.max_index_bits.unwrap_or_else(|| stripped.address_bits());
+        let max_bits = self
+            .max_index_bits
+            .unwrap_or_else(|| stripped.address_bits());
         if max_bits > 31 {
             return Err(ExploreError::IndexBitsTooLarge(max_bits));
         }
@@ -269,6 +271,16 @@ impl Exploration {
             .zip(&pairs)
             .map(|(p, pair)| p.misses_at(pair.associativity))
             .collect();
+        // Doubling the depth splits every row, so conflict sets only shrink
+        // and the required associativity never grows. The external
+        // `cachedse-check` crate re-verifies this (plus simulator replay)
+        // from outside; this hook makes every debug run self-checking.
+        debug_assert!(
+            pairs
+                .windows(2)
+                .all(|w| w[1].associativity <= w[0].associativity),
+            "frontier is not monotone in depth: {pairs:?}"
+        );
         Ok(ExplorationResult {
             pairs,
             misses,
@@ -383,7 +395,11 @@ impl ExplorationResult {
     pub fn table(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
-        let _ = writeln!(out, "{:>8} {:>6} {:>10} {:>10}", "depth", "assoc", "lines", "misses");
+        let _ = writeln!(
+            out,
+            "{:>8} {:>6} {:>10} {:>10}",
+            "depth", "assoc", "lines", "misses"
+        );
         for (pair, misses) in self.pairs.iter().zip(&self.misses) {
             let _ = writeln!(
                 out,
@@ -490,7 +506,10 @@ mod tests {
             let err = DesignSpaceExplorer::new(&trace)
                 .explore(MissBudget::FractionOfMax(bad))
                 .unwrap_err();
-            assert!(matches!(err, ExploreError::InvalidBudgetFraction(_)), "{bad}");
+            assert!(
+                matches!(err, ExploreError::InvalidBudgetFraction(_)),
+                "{bad}"
+            );
         }
     }
 
@@ -604,9 +623,7 @@ mod tests {
         assert!(frontier.len() <= result.pairs().len());
         // Frontier points are strictly increasing in size and strictly
         // decreasing in misses.
-        let misses_of = |p: &DesignPoint| {
-            exploration.misses_at(p.depth, p.associativity).unwrap()
-        };
+        let misses_of = |p: &DesignPoint| exploration.misses_at(p.depth, p.associativity).unwrap();
         for pair in frontier.windows(2) {
             assert!(pair[0].size_lines() < pair[1].size_lines());
             assert!(misses_of(&pair[0]) > misses_of(&pair[1]));
@@ -614,8 +631,7 @@ mod tests {
         // No point in the full result dominates a frontier point.
         for f in &frontier {
             for p in result.pairs() {
-                let dominates = p.size_lines() <= f.size_lines()
-                    && misses_of(p) < misses_of(f);
+                let dominates = p.size_lines() <= f.size_lines() && misses_of(p) < misses_of(f);
                 assert!(!dominates, "{p} dominates frontier point {f}");
             }
         }

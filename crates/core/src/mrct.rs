@@ -84,7 +84,40 @@ impl Mrct {
                 recency.push(id.raw());
             }
         }
-        Self { conflicts }
+        let table = Self { conflicts };
+        #[cfg(debug_assertions)]
+        table.debug_self_check(stripped);
+        table
+    }
+
+    /// Well-formedness self-check run after every debug-profile build: one
+    /// set per non-first occurrence, each sorted, self-free, and in range.
+    /// The external `cachedse-check` crate re-verifies the same invariants
+    /// (plus full window semantics) from outside.
+    #[cfg(debug_assertions)]
+    fn debug_self_check(&self, stripped: &StrippedTrace) {
+        debug_assert_eq!(
+            self.total_sets(),
+            stripped.id_sequence().len() - stripped.unique_len(),
+            "MRCT must hold one conflict set per non-first occurrence"
+        );
+        let n = self.conflicts.len() as u32;
+        for (id, sets) in self.conflicts.iter().enumerate() {
+            for set in sets {
+                debug_assert!(
+                    set.windows(2).all(|w| w[0] < w[1]),
+                    "conflict set of ref {id} is not sorted and duplicate-free"
+                );
+                debug_assert!(
+                    !set.contains(&(id as u32)),
+                    "conflict set of ref {id} contains the reference itself"
+                );
+                debug_assert!(
+                    set.iter().all(|&x| x < n),
+                    "conflict set of ref {id} contains an out-of-range id"
+                );
+            }
+        }
     }
 
     /// The paper's Algorithm 2, verbatim: quadratic, for testing and
@@ -166,8 +199,22 @@ impl Mrct {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cachedse_trace::rng::SplitMix64;
     use cachedse_trace::{generate, paper_running_example, Address, Record, Trace};
-    use proptest::prelude::*;
+
+    /// Deterministic random traces for the randomized sweeps below
+    /// (formerly proptest properties).
+    fn random_traces(seed: u64, cases: usize, addr_space: u32, max_len: usize) -> Vec<Trace> {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        (0..cases)
+            .map(|_| {
+                let len = rng.gen_range(0usize..max_len);
+                (0..len)
+                    .map(|_| Record::read(Address::new(rng.gen_range(0..addr_space))))
+                    .collect()
+            })
+            .collect()
+    }
 
     fn mrct_of(trace: &Trace) -> Mrct {
         Mrct::build(&StrippedTrace::from_trace(trace))
@@ -254,42 +301,45 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn naive_matches_fast(addrs in prop::collection::vec(0u32..30, 0..200)) {
-            let trace: Trace = addrs.iter().map(|&a| Record::read(Address::new(a))).collect();
+    #[test]
+    fn naive_matches_fast() {
+        for trace in random_traces(0x4AC7, 64, 30, 200) {
             let stripped = StrippedTrace::from_trace(&trace);
-            prop_assert_eq!(Mrct::build(&stripped), Mrct::build_naive(&stripped));
+            assert_eq!(Mrct::build(&stripped), Mrct::build_naive(&stripped));
         }
+    }
 
-        /// Structural invariants: one set per non-first occurrence, sorted,
-        /// self-free, and within id range.
-        #[test]
-        fn structural_invariants(addrs in prop::collection::vec(0u32..30, 0..200)) {
-            let trace: Trace = addrs.iter().map(|&a| Record::read(Address::new(a))).collect();
+    /// Structural invariants: one set per non-first occurrence, sorted,
+    /// self-free, and within id range.
+    #[test]
+    fn structural_invariants() {
+        for trace in random_traces(0x57A7, 64, 30, 200) {
             let stripped = StrippedTrace::from_trace(&trace);
             let mrct = Mrct::build(&stripped);
 
-            prop_assert_eq!(
+            assert_eq!(
                 mrct.total_sets(),
                 stripped.total_len() - stripped.unique_len()
             );
             for (id, sets) in mrct.iter() {
-                prop_assert_eq!(sets.len() as u32,
-                                stripped.occurrences(id).saturating_sub(1));
+                assert_eq!(
+                    sets.len() as u32,
+                    stripped.occurrences(id).saturating_sub(1)
+                );
                 for set in sets {
-                    prop_assert!(set.windows(2).all(|w| w[0] < w[1]), "sorted, distinct");
-                    prop_assert!(!set.contains(&id.raw()), "self-free");
-                    prop_assert!(set.iter().all(|&x| (x as usize) < mrct.unique_len()));
+                    assert!(set.windows(2).all(|w| w[0] < w[1]), "sorted, distinct");
+                    assert!(!set.contains(&id.raw()), "self-free");
+                    assert!(set.iter().all(|&x| (x as usize) < mrct.unique_len()));
                 }
             }
         }
+    }
 
-        /// Conflict sets really are "distinct refs in the reuse window":
-        /// check against a direct window scan.
-        #[test]
-        fn window_semantics(addrs in prop::collection::vec(0u32..20, 0..120)) {
-            let trace: Trace = addrs.iter().map(|&a| Record::read(Address::new(a))).collect();
+    /// Conflict sets really are "distinct refs in the reuse window":
+    /// check against a direct window scan.
+    #[test]
+    fn window_semantics() {
+        for trace in random_traces(0x317D0, 64, 20, 120) {
             let stripped = StrippedTrace::from_trace(&trace);
             let mrct = Mrct::build(&stripped);
             let ids = stripped.id_sequence();
@@ -306,10 +356,7 @@ mod tests {
                     window.sort_unstable();
                     window.dedup();
                     let k = occurrence_index[id.index()];
-                    prop_assert_eq!(
-                        mrct.conflict_sets(id)[k].as_ref(),
-                        window.as_slice()
-                    );
+                    assert_eq!(mrct.conflict_sets(id)[k].as_ref(), window.as_slice());
                     occurrence_index[id.index()] += 1;
                 }
                 last.insert(id, t);

@@ -55,7 +55,10 @@ impl BudgetGrid {
             .iter()
             .map(|&f| MissBudget::FractionOfMax(f))
             .collect();
-        let labels = fractions.iter().map(|f| format!("{:.0}%", f * 100.0)).collect();
+        let labels = fractions
+            .iter()
+            .map(|f| format!("{:.0}%", f * 100.0))
+            .collect();
         Self::from_budgets(exploration, &budgets, labels)
     }
 
@@ -89,7 +92,11 @@ impl BudgetGrid {
             .iter()
             .map(|&b| exploration.result(b))
             .collect::<Result<_, _>>()?;
-        let depths: Vec<u32> = exploration.profiles().iter().map(|p| p.depth()).collect();
+        let depths: Vec<u32> = exploration
+            .profiles()
+            .iter()
+            .map(cachedse_sim::onepass::DepthProfile::depth)
+            .collect();
         let cells = depths
             .iter()
             .map(|&d| {
@@ -177,7 +184,7 @@ impl fmt::Display for BudgetGrid {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{:>8}", "depth")?;
         for label in &self.labels {
-            write!(f, " {:>6}", label)?;
+            write!(f, " {label:>6}")?;
         }
         writeln!(f)?;
         for (depth, row) in self.depths.iter().zip(&self.cells) {
@@ -199,7 +206,9 @@ mod tests {
 
     fn grid() -> BudgetGrid {
         let trace = paper_running_example();
-        let exploration = DesignSpaceExplorer::new(&trace).prepare().expect("non-empty");
+        let exploration = DesignSpaceExplorer::new(&trace)
+            .prepare()
+            .expect("non-empty");
         BudgetGrid::paper_budgets(&exploration).expect("valid fractions")
     }
 
@@ -239,7 +248,9 @@ mod tests {
     #[test]
     fn custom_budgets_and_labels() {
         let trace = paper_running_example();
-        let exploration = DesignSpaceExplorer::new(&trace).prepare().expect("non-empty");
+        let exploration = DesignSpaceExplorer::new(&trace)
+            .prepare()
+            .expect("non-empty");
         let g = BudgetGrid::from_budgets(
             &exploration,
             &[MissBudget::Absolute(0), MissBudget::Absolute(5)],
@@ -265,7 +276,9 @@ mod tests {
     #[should_panic(expected = "one label per budget")]
     fn mismatched_labels_panic() {
         let trace = paper_running_example();
-        let exploration = DesignSpaceExplorer::new(&trace).prepare().expect("non-empty");
+        let exploration = DesignSpaceExplorer::new(&trace)
+            .prepare()
+            .expect("non-empty");
         let _ = BudgetGrid::from_budgets(&exploration, &[MissBudget::Absolute(0)], vec![]);
     }
 }

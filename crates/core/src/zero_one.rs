@@ -93,8 +93,15 @@ impl ZeroOneSets {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cachedse_trace::rng::SplitMix64;
     use cachedse_trace::{paper_running_example, Address, Record, Trace};
-    use proptest::prelude::*;
+
+    fn random_trace(rng: &mut SplitMix64, addr_space: u32, max_len: usize) -> Trace {
+        let len = rng.gen_range(1usize..max_len);
+        (0..len)
+            .map(|_| Record::read(Address::new(rng.gen_range(0..addr_space))))
+            .collect()
+    }
 
     fn ids(set: &DenseBitSet) -> Vec<usize> {
         set.ones().collect()
@@ -130,30 +137,35 @@ mod tests {
         assert!(zo.one(0).is_empty());
     }
 
-    proptest! {
-        /// Every bit's (Z, O) pair partitions the unique references.
-        #[test]
-        fn each_bit_partitions(addrs in prop::collection::vec(0u32..1024, 1..200)) {
-            let trace: Trace = addrs.iter().map(|&a| Record::read(Address::new(a))).collect();
+    /// Every bit's (Z, O) pair partitions the unique references.
+    /// Deterministic randomized sweep (formerly a proptest property).
+    #[test]
+    fn each_bit_partitions() {
+        let mut rng = SplitMix64::seed_from_u64(0x2E80);
+        for _ in 0..64 {
+            let trace = random_trace(&mut rng, 1024, 200);
             let stripped = StrippedTrace::from_trace(&trace);
             let zo = ZeroOneSets::from_stripped(&stripped);
             let all: DenseBitSet = (0..stripped.unique_len()).collect();
             for b in 0..zo.bits() {
-                prop_assert!(zo.zero(b).is_disjoint(zo.one(b)));
-                prop_assert_eq!(&zo.zero(b).union(zo.one(b)), &all);
+                assert!(zo.zero(b).is_disjoint(zo.one(b)));
+                assert_eq!(&zo.zero(b).union(zo.one(b)), &all);
             }
         }
+    }
 
-        /// Membership agrees with the address bits.
-        #[test]
-        fn membership_matches_bits(addrs in prop::collection::vec(0u32..4096, 1..100)) {
-            let trace: Trace = addrs.iter().map(|&a| Record::read(Address::new(a))).collect();
+    /// Membership agrees with the address bits.
+    #[test]
+    fn membership_matches_bits() {
+        let mut rng = SplitMix64::seed_from_u64(0x0B175);
+        for _ in 0..64 {
+            let trace = random_trace(&mut rng, 4096, 100);
             let stripped = StrippedTrace::from_trace(&trace);
             let zo = ZeroOneSets::from_stripped(&stripped);
             for (id, addr) in stripped.iter() {
                 for b in 0..zo.bits() {
-                    prop_assert_eq!(zo.one(b).contains(id.index()), addr.bit(b));
-                    prop_assert_eq!(zo.zero(b).contains(id.index()), !addr.bit(b));
+                    assert_eq!(zo.one(b).contains(id.index()), addr.bit(b));
+                    assert_eq!(zo.zero(b).contains(id.index()), !addr.bit(b));
                 }
             }
         }

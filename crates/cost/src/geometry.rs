@@ -136,10 +136,7 @@ mod tests {
         assert_eq!(g.line_words(), 4);
         assert_eq!(g.tag_bits(), 32 - 9 - 2);
         assert_eq!(g.size_words(), 512 * 2 * 4);
-        assert_eq!(
-            g.storage_bits(),
-            512 * 2 * (4 * 32 + 21 + 2)
-        );
+        assert_eq!(g.storage_bits(), 512 * 2 * (4 * 32 + 21 + 2));
         assert_eq!(g.to_string(), "512x2x4w");
     }
 

@@ -105,8 +105,7 @@ pub fn energy_optimal_unconstrained(
             };
             let avoidable = profile.misses_at(assoc);
             let geometry = CacheGeometry::from_design_point(point, line_bits);
-            let report =
-                model.evaluate(&geometry, profile.accesses(), avoidable + profile.cold());
+            let report = model.evaluate(&geometry, profile.accesses(), avoidable + profile.cold());
             let candidate = RankedPoint {
                 point,
                 line_bits,
@@ -142,11 +141,7 @@ pub fn line_size_sweep(
         .map(|line_bits| {
             let coarse = trace.block_aligned(line_bits);
             let exploration = DesignSpaceExplorer::new(&coarse).prepare()?;
-            Ok(energy_optimal_unconstrained(
-                &exploration,
-                line_bits,
-                model,
-            ))
+            Ok(energy_optimal_unconstrained(&exploration, line_bits, model))
         })
         .collect()
 }
@@ -158,7 +153,9 @@ mod tests {
     use cachedse_trace::generate;
 
     fn exploration_of(trace: &Trace) -> Exploration {
-        DesignSpaceExplorer::new(trace).prepare().expect("non-empty")
+        DesignSpaceExplorer::new(trace)
+            .prepare()
+            .expect("non-empty")
     }
 
     #[test]
@@ -187,8 +184,7 @@ mod tests {
         let trace = generate::working_set_phases(4, 300, 48, 5);
         let exploration = exploration_of(&trace);
         let model = CostModel::default_180nm();
-        let ranked =
-            rank_within_budget(&exploration, MissBudget::Absolute(20), 0, &model).unwrap();
+        let ranked = rank_within_budget(&exploration, MissBudget::Absolute(20), 0, &model).unwrap();
         for p in ranked {
             let config = CacheConfig::lru(p.point.depth, p.point.associativity).unwrap();
             let stats = simulate(&trace, &config);
@@ -205,13 +201,9 @@ mod tests {
         let model = CostModel::default_180nm();
         let free = energy_optimal_unconstrained(&exploration, 0, &model);
         for fraction in [0.0, 0.05, 0.20, 1.0] {
-            let constrained = energy_optimal(
-                &exploration,
-                MissBudget::FractionOfMax(fraction),
-                0,
-                &model,
-            )
-            .unwrap();
+            let constrained =
+                energy_optimal(&exploration, MissBudget::FractionOfMax(fraction), 0, &model)
+                    .unwrap();
             assert!(free.report.dynamic_nj <= constrained.report.dynamic_nj + 1e-9);
         }
     }
@@ -231,7 +223,10 @@ mod tests {
             .iter()
             .min_by(|a, b| a.report.dynamic_nj.total_cmp(&b.report.dynamic_nj))
             .unwrap();
-        assert!(best.line_bits > 0, "sequential loop should prefer wider lines");
+        assert!(
+            best.line_bits > 0,
+            "sequential loop should prefer wider lines"
+        );
     }
 
     #[test]

@@ -109,7 +109,10 @@ impl CacheConfig {
     /// Returns [`ConfigError`] if `depth` is not a power of two or
     /// `associativity` is zero.
     pub fn lru(depth: u32, associativity: u32) -> Result<Self, ConfigError> {
-        Self::builder().depth(depth).associativity(associativity).build()
+        Self::builder()
+            .depth(depth)
+            .associativity(associativity)
+            .build()
     }
 
     /// Number of rows (sets).

@@ -93,7 +93,7 @@ impl Fenwick {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use cachedse_trace::rng::SplitMix64;
 
     #[test]
     fn empty_tree() {
@@ -129,20 +129,25 @@ mod tests {
         Fenwick::new(3).add(1, -1);
     }
 
-    proptest! {
-        #[test]
-        fn matches_naive_array(ops in prop::collection::vec((0usize..64, 1i32..5), 0..100),
-                               queries in prop::collection::vec((0usize..64, 0usize..65), 0..50)) {
+    /// Deterministic randomized sweep (formerly a proptest property).
+    #[test]
+    fn matches_naive_array() {
+        let mut rng = SplitMix64::seed_from_u64(0xF31);
+        for _ in 0..64 {
             let mut f = Fenwick::new(64);
             let mut model = [0u32; 64];
-            for (pos, delta) in ops {
+            for _ in 0..rng.gen_range(0usize..100) {
+                let pos = rng.gen_range(0usize..64);
+                let delta = rng.gen_range(1i32..5);
                 f.add(pos, delta);
                 model[pos] += delta as u32;
             }
-            for (a, b) in queries {
+            for _ in 0..rng.gen_range(0usize..50) {
+                let a = rng.gen_range(0usize..64);
+                let b = rng.gen_range(0usize..65);
                 let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
                 let expected: u32 = model[lo..hi].iter().sum();
-                prop_assert_eq!(f.range_sum(lo, hi), expected);
+                assert_eq!(f.range_sum(lo, hi), expected);
             }
         }
     }

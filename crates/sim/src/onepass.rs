@@ -199,8 +199,8 @@ mod tests {
     use super::*;
     use crate::stack::StackDistanceProfile;
     use crate::{simulate, CacheConfig};
+    use cachedse_trace::rng::SplitMix64;
     use cachedse_trace::{generate, Address, Record};
-    use proptest::prelude::*;
 
     fn reads(addrs: &[u32]) -> Trace {
         addrs
@@ -244,35 +244,46 @@ mod tests {
         assert_eq!(p.min_associativity(u64::MAX), 1);
     }
 
-    proptest! {
-        /// The profile must agree with brute-force simulation at every
-        /// geometry.
-        #[test]
-        fn matches_simulator(addrs in prop::collection::vec(0u32..64, 1..250),
-                             index_bits in 0u32..4,
-                             assoc in 1u32..6) {
+    /// The profile must agree with brute-force simulation at every
+    /// geometry. Deterministic randomized sweep (formerly a proptest
+    /// property).
+    #[test]
+    fn matches_simulator() {
+        let mut rng = SplitMix64::seed_from_u64(0x0EBA55);
+        for _ in 0..64 {
+            let len = rng.gen_range(1usize..250);
+            let addrs: Vec<u32> = (0..len).map(|_| rng.gen_range(0u32..64)).collect();
             let trace = reads(&addrs);
-            let depth = 1u32 << index_bits;
+            let depth = 1u32 << rng.gen_range(0u32..4);
+            let assoc = rng.gen_range(1u32..6);
             let p = DepthProfile::of_trace(&trace, depth);
             let stats = simulate(&trace, &CacheConfig::lru(depth, assoc).unwrap());
-            prop_assert_eq!(p.misses_at(assoc), stats.avoidable_misses(),
-                "depth {} assoc {}", depth, assoc);
-            prop_assert_eq!(p.cold(), stats.cold_misses);
+            assert_eq!(
+                p.misses_at(assoc),
+                stats.avoidable_misses(),
+                "depth {depth} assoc {assoc}"
+            );
+            assert_eq!(p.cold(), stats.cold_misses);
         }
+    }
 
-        /// min_associativity really is minimal: it satisfies the budget and
-        /// one way less does not.
-        #[test]
-        fn min_associativity_is_tight(addrs in prop::collection::vec(0u32..40, 1..200),
-                                      index_bits in 0u32..3,
-                                      budget in 0u64..20) {
+    /// min_associativity really is minimal: it satisfies the budget and
+    /// one way less does not.
+    #[test]
+    fn min_associativity_is_tight() {
+        let mut rng = SplitMix64::seed_from_u64(0x716477);
+        for _ in 0..64 {
+            let len = rng.gen_range(1usize..200);
+            let addrs: Vec<u32> = (0..len).map(|_| rng.gen_range(0u32..40)).collect();
             let trace = reads(&addrs);
+            let index_bits = rng.gen_range(0u32..3);
+            let budget = rng.gen_range(0u64..20);
             let p = DepthProfile::of_trace(&trace, 1 << index_bits);
             let a = p.min_associativity(budget);
-            prop_assert!(a >= 1);
-            prop_assert!(p.misses_at(a) <= budget);
+            assert!(a >= 1);
+            assert!(p.misses_at(a) <= budget);
             if a > 1 {
-                prop_assert!(p.misses_at(a - 1) > budget);
+                assert!(p.misses_at(a - 1) > budget);
             }
         }
     }

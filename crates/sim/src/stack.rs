@@ -108,10 +108,7 @@ impl StackDistanceProfile {
     /// `capacity = 0` counts every non-cold occurrence.
     #[must_use]
     pub fn misses_with_capacity(&self, capacity: u32) -> u64 {
-        self.histogram
-            .iter()
-            .skip(capacity as usize)
-            .sum()
+        self.histogram.iter().skip(capacity as usize).sum()
     }
 
     /// Smallest capacity whose non-cold miss count is at most `budget`.
@@ -135,8 +132,8 @@ impl StackDistanceProfile {
 mod tests {
     use super::*;
     use crate::{simulate, CacheConfig};
+    use cachedse_trace::rng::SplitMix64;
     use cachedse_trace::{generate, Address, Record};
-    use proptest::prelude::*;
 
     fn reads(addrs: &[u32]) -> Trace {
         addrs
@@ -190,27 +187,36 @@ mod tests {
         assert_eq!(p.min_capacity_for(3), 1);
     }
 
-    proptest! {
-        /// The profile must agree with brute-force simulation of
-        /// fully-associative LRU caches (depth 1, associativity = capacity).
-        #[test]
-        fn matches_simulator(addrs in prop::collection::vec(0u32..30, 1..300),
-                             capacity in 1u32..12) {
+    /// The profile must agree with brute-force simulation of
+    /// fully-associative LRU caches (depth 1, associativity = capacity).
+    /// Deterministic randomized sweep (formerly a proptest property).
+    #[test]
+    fn matches_simulator() {
+        let mut rng = SplitMix64::seed_from_u64(0x57AC4);
+        for _ in 0..64 {
+            let len = rng.gen_range(1usize..300);
+            let addrs: Vec<u32> = (0..len).map(|_| rng.gen_range(0u32..30)).collect();
+            let capacity = rng.gen_range(1u32..12);
             let trace = reads(&addrs);
             let p = StackDistanceProfile::of_trace(&trace);
             let config = CacheConfig::lru(1, capacity).unwrap();
             let stats = simulate(&trace, &config);
-            prop_assert_eq!(p.misses_with_capacity(capacity), stats.avoidable_misses());
-            prop_assert_eq!(p.cold(), stats.cold_misses);
+            assert_eq!(p.misses_with_capacity(capacity), stats.avoidable_misses());
+            assert_eq!(p.cold(), stats.cold_misses);
         }
+    }
 
-        /// Histogram mass accounting: cold + non-cold = N.
-        #[test]
-        fn mass_conservation(addrs in prop::collection::vec(0u32..50, 0..300)) {
+    /// Histogram mass accounting: cold + non-cold = N.
+    #[test]
+    fn mass_conservation() {
+        let mut rng = SplitMix64::seed_from_u64(0x3A55);
+        for _ in 0..64 {
+            let len = rng.gen_range(0usize..300);
+            let addrs: Vec<u32> = (0..len).map(|_| rng.gen_range(0u32..50)).collect();
             let trace = reads(&addrs);
             let p = StackDistanceProfile::of_trace(&trace);
             let hist_sum: u64 = p.histogram().iter().sum();
-            prop_assert_eq!(p.cold() + hist_sum, trace.len() as u64);
+            assert_eq!(p.cold() + hist_sum, trace.len() as u64);
         }
     }
 

@@ -18,9 +18,7 @@
 //! assert_eq!(stats.unique, 64);
 //! ```
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use crate::rng::SplitMix64;
 use crate::{Address, Record, Trace};
 
 /// A sequential sweep over `len` consecutive words starting at `base`,
@@ -68,7 +66,7 @@ pub fn strided(base: u32, stride: u32, count: u32, iterations: u32) -> Trace {
 #[must_use]
 pub fn uniform_random(n: usize, addr_space: u32, seed: u64) -> Trace {
     assert!(addr_space > 0, "address space must be non-empty");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     (0..n)
         .map(|_| Record::read(Address::new(rng.gen_range(0..addr_space))))
         .collect()
@@ -84,16 +82,10 @@ pub fn uniform_random(n: usize, addr_space: u32, seed: u64) -> Trace {
 ///
 /// Panics if `ws_size` is 0.
 #[must_use]
-pub fn working_set_phases(
-    phases: u32,
-    accesses_per_phase: u32,
-    ws_size: u32,
-    seed: u64,
-) -> Trace {
+pub fn working_set_phases(phases: u32, accesses_per_phase: u32, ws_size: u32, seed: u64) -> Trace {
     assert!(ws_size > 0, "working set size must be non-empty");
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut trace =
-        Trace::with_capacity((phases as usize) * (accesses_per_phase as usize));
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let mut trace = Trace::with_capacity((phases as usize) * (accesses_per_phase as usize));
     for phase in 0..phases {
         let base = phase * ws_size;
         for _ in 0..accesses_per_phase {
@@ -125,7 +117,7 @@ pub fn loop_with_excursions(
 ) -> Trace {
     assert!(excursion_every > 0, "excursion period must be non-zero");
     assert!(addr_space > 0, "address space must be non-empty");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut trace = Trace::new();
     let mut counter = 0u32;
     for _ in 0..iterations {

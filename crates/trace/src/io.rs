@@ -275,7 +275,10 @@ mod tests {
             line: 3,
             reason: MalformedReason::BadLabel,
         };
-        assert_eq!(e.to_string(), "malformed trace line 3: label must be 0, 1, or 2");
+        assert_eq!(
+            e.to_string(),
+            "malformed trace line 3: label must be 0, 1, or 2"
+        );
     }
 
     #[test]
@@ -302,7 +305,11 @@ mod tests {
     #[test]
     fn binary_rejects_truncation() {
         let mut bytes = Vec::new();
-        write_bin(&mut bytes, &Trace::from_iter([Record::read(Address::new(7))])).unwrap();
+        write_bin(
+            &mut bytes,
+            &Trace::from_iter([Record::read(Address::new(7))]),
+        )
+        .unwrap();
         bytes.pop();
         assert!(matches!(
             read_bin(bytes.as_slice()).unwrap_err(),
@@ -313,7 +320,11 @@ mod tests {
     #[test]
     fn binary_rejects_bad_label() {
         let mut bytes = Vec::new();
-        write_bin(&mut bytes, &Trace::from_iter([Record::read(Address::new(7))])).unwrap();
+        write_bin(
+            &mut bytes,
+            &Trace::from_iter([Record::read(Address::new(7))]),
+        )
+        .unwrap();
         bytes[12] = 9; // corrupt the first record's label byte
         let err = read_bin(bytes.as_slice()).unwrap_err();
         assert!(matches!(

@@ -37,6 +37,7 @@ mod trace;
 
 pub mod generate;
 pub mod io;
+pub mod rng;
 pub mod stats;
 pub mod strip;
 

@@ -6,18 +6,15 @@
 //! walk with small, hot table lookups — the archetypal embedded media
 //! kernel.
 
-use rand::Rng;
-
 use crate::kernel::{Kernel, Workbench};
 
 /// The standard IMA ADPCM step-size table.
 pub const STEP_TABLE: [i64; 89] = [
     7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41, 45, 50, 55, 60, 66,
-    73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408,
-    449, 494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
-    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132, 7845, 8630,
-    9493, 10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794,
-    32767,
+    73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408, 449,
+    494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066, 2272,
+    2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132, 7845, 8630, 9493,
+    10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
 ];
 
 /// The standard IMA ADPCM index-adjust table.
@@ -31,7 +28,12 @@ struct CodecState {
 }
 
 /// One IMA encode step (pure arithmetic; table values passed in).
-fn encode_step(state: &mut CodecState, sample: i64, step: i64, index_adjust: impl Fn(i64) -> i64) -> i64 {
+fn encode_step(
+    state: &mut CodecState,
+    sample: i64,
+    step: i64,
+    index_adjust: impl Fn(i64) -> i64,
+) -> i64 {
     let mut diff = sample - state.predicted;
     let mut code = 0i64;
     if diff < 0 {
@@ -55,7 +57,12 @@ fn encode_step(state: &mut CodecState, sample: i64, step: i64, index_adjust: imp
 }
 
 /// One IMA decode step.
-fn decode_step(state: &mut CodecState, code: i64, step: i64, index_adjust: impl Fn(i64) -> i64) -> i64 {
+fn decode_step(
+    state: &mut CodecState,
+    code: i64,
+    step: i64,
+    index_adjust: impl Fn(i64) -> i64,
+) -> i64 {
     let mut vpdiff = step >> 3;
     if code & 4 != 0 {
         vpdiff += step;
@@ -218,8 +225,8 @@ mod tests {
         let got = kernel.run_returning_decoded(&mut bench);
 
         // Rebuild the same synthetic input from the RNG stream.
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(kernel.seed());
+
+        let mut rng = cachedse_trace::rng::SplitMix64::seed_from_u64(kernel.seed());
         let mut level = 0i64;
         let samples: Vec<i64> = (0..400)
             .map(|_| {

@@ -5,8 +5,6 @@
 //! pre-hardware-popcount idiom. The data trace alternates a sequential
 //! buffer walk with data-dependent table hits.
 
-use rand::Rng;
-
 use crate::kernel::{Kernel, Workbench};
 
 /// Reference (untraced) population count of a buffer.
@@ -95,7 +93,6 @@ impl Kernel for Bcnt {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn counts_bits_correctly() {
@@ -106,7 +103,7 @@ mod tests {
         let mut bench = Workbench::new(kernel.seed());
         let got = kernel.run_returning_count(&mut bench);
 
-        let mut rng = rand::rngs::StdRng::seed_from_u64(kernel.seed());
+        let mut rng = cachedse_trace::rng::SplitMix64::seed_from_u64(kernel.seed());
         let words: Vec<u32> = (0..300).map(|_| rng.gen()).collect();
         assert_eq!(got, popcount_reference(&words));
     }

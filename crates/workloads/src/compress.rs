@@ -8,8 +8,6 @@
 //! suite — in the paper's runtime tables, `compress` was among the slowest
 //! traces to analyze for the same reason.
 
-use rand::Rng;
-
 use crate::kernel::{Kernel, Workbench};
 
 /// Hash table size (power of two for cheap masking).
@@ -119,7 +117,7 @@ impl Compress {
     /// Generates compressible text: words drawn from a small vocabulary, so
     /// the dictionary fills with real repeats (pure random bytes would never
     /// match and the hash table would only ever be probed once per symbol).
-    fn synthesize_input(&self, rng: &mut impl Rng) -> Vec<u8> {
+    fn synthesize_input(&self, rng: &mut cachedse_trace::rng::SplitMix64) -> Vec<u8> {
         const WORDS: [&[u8]; 12] = [
             b"the ", b"quick ", b"brown ", b"fox ", b"jumps ", b"over ", b"lazy ", b"dog ",
             b"pack ", b"my ", b"box ", b"with ",
@@ -214,7 +212,6 @@ impl Kernel for Compress {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn round_trips_losslessly() {
@@ -238,7 +235,7 @@ mod tests {
         let mut bench = Workbench::new(kernel.seed());
         let got = kernel.run_returning_codes(&mut bench);
 
-        let mut rng = rand::rngs::StdRng::seed_from_u64(kernel.seed());
+        let mut rng = cachedse_trace::rng::SplitMix64::seed_from_u64(kernel.seed());
         let text = kernel.synthesize_input(&mut rng);
         let expected = compress_reference(&text);
         assert_eq!(got, expected);
@@ -249,7 +246,7 @@ mod tests {
     #[test]
     fn dictionary_saturates_gracefully() {
         let kernel = Compress { input_len: 60_000 };
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut rng = cachedse_trace::rng::SplitMix64::seed_from_u64(7);
         let text = kernel.synthesize_input(&mut rng);
         let codes = compress_reference(&text);
         assert!(codes.iter().all(|&c| c < MAX_CODE));

@@ -7,8 +7,6 @@
 //! into a 256-word table — mild conflict pressure with excellent temporal
 //! reuse of the table.
 
-use rand::Rng;
-
 use crate::kernel::{Kernel, Workbench};
 
 /// The reflected CRC-32 polynomial (IEEE 802.3).
@@ -130,7 +128,6 @@ impl Kernel for Crc {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn computes_the_real_crc32() {
@@ -142,7 +139,7 @@ mod tests {
         let got = kernel.run_returning_crc(&mut bench);
 
         // The message bytes come from the same deterministic RNG stream.
-        let mut rng = rand::rngs::StdRng::seed_from_u64(kernel.seed());
+        let mut rng = cachedse_trace::rng::SplitMix64::seed_from_u64(kernel.seed());
         let bytes: Vec<u8> = (0..512).map(|_| rng.gen_range(0..256u32) as u8).collect();
         assert_eq!(got, crc32_reference(&bytes));
     }

@@ -7,8 +7,6 @@
 //! interleaves hot scalar state with data-dependent 2-D table walks — the
 //! canonical control-code pattern.
 
-use rand::Rng;
-
 use crate::kernel::{Kernel, Workbench};
 
 /// Map dimensions (cells per axis).
@@ -190,8 +188,7 @@ mod tests {
         let mut bench = Workbench::new(kernel.seed());
         let got = kernel.run_returning_log(&mut bench);
 
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(kernel.seed());
+        let mut rng = cachedse_trace::rng::SplitMix64::seed_from_u64(kernel.seed());
         let spark = spark_map();
         let fuel = fuel_map();
         let mut rpm_fp = 4u32 << 8;

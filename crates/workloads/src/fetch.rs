@@ -86,7 +86,8 @@ impl InstrEmitter {
     pub fn execute(&mut self, block: BlockId) {
         let b = self.blocks[block.0];
         for offset in 0..b.len {
-            self.trace.push(Record::fetch(Address::new(b.base + offset)));
+            self.trace
+                .push(Record::fetch(Address::new(b.base + offset)));
         }
     }
 
@@ -131,7 +132,10 @@ mod tests {
         e.execute(a);
         e.execute(b);
         let trace = e.into_trace();
-        let addrs: Vec<u32> = trace.addresses().map(|a| a.raw()).collect();
+        let addrs: Vec<u32> = trace
+            .addresses()
+            .map(cachedse_trace::Address::raw)
+            .collect();
         assert_eq!(
             addrs,
             vec![

@@ -7,8 +7,6 @@
 //! against a sliding-stride signal buffer — which is exactly the workload
 //! shape that rewards low associativity at sufficient depth.
 
-use rand::Rng;
-
 use crate::kernel::{Kernel, Workbench};
 
 /// Reference (untraced) FIR used by the tests: `y[n] = Σ h[k]·x[n−k] >> 15`.
@@ -57,7 +55,10 @@ impl Default for Fir {
 
 impl Fir {
     fn run_returning_output(&self, bench: &mut Workbench) -> Vec<i64> {
-        assert!(self.taps >= 1 && self.samples >= self.taps, "degenerate filter");
+        assert!(
+            self.taps >= 1 && self.samples >= self.taps,
+            "degenerate filter"
+        );
         let coeffs = bench.mem.alloc(self.taps);
         let input = bench.mem.alloc(self.samples);
         let output = bench.mem.alloc(self.samples - self.taps + 1);
@@ -122,7 +123,6 @@ impl Kernel for Fir {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn matches_reference_filter() {
@@ -139,7 +139,7 @@ mod tests {
                 (1 << 12) / (1 + d)
             })
             .collect();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(kernel.seed());
+        let mut rng = cachedse_trace::rng::SplitMix64::seed_from_u64(kernel.seed());
         let input: Vec<i64> = (0..200).map(|_| rng.gen_range(-32768i64..32768)).collect();
         assert_eq!(got, fir_reference(&coeffs, &input));
     }
@@ -159,12 +159,20 @@ mod tests {
     #[should_panic(expected = "degenerate filter")]
     fn rejects_fewer_samples_than_taps() {
         let mut bench = Workbench::new(0);
-        let _ = Fir { taps: 8, samples: 4 }.run_returning_output(&mut bench);
+        let _ = Fir {
+            taps: 8,
+            samples: 4,
+        }
+        .run_returning_output(&mut bench);
     }
 
     #[test]
     fn trace_shape() {
-        let run = Fir { taps: 8, samples: 32 }.capture();
+        let run = Fir {
+            taps: 8,
+            samples: 32,
+        }
+        .capture();
         assert_eq!(run.data.len(), 32 + 25 * (8 * 2 + 1));
     }
 }

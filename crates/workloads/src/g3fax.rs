@@ -9,8 +9,6 @@
 //! words. It produces the largest traces of the suite, matching its role in
 //! the paper (g3fax had the longest analysis times).
 
-use rand::Rng;
-
 use crate::kernel::{Kernel, Workbench};
 
 /// Standard fax line width in pixels.
@@ -30,7 +28,7 @@ pub struct CodedDocument {
 /// Synthesizes a typical fax page: long white runs separated by short black
 /// runs, each line's runs summing to exactly [`LINE_PIXELS`].
 #[must_use]
-pub fn synthesize_document(lines: u32, rng: &mut impl Rng) -> CodedDocument {
+pub fn synthesize_document(lines: u32, rng: &mut cachedse_trace::rng::SplitMix64) -> CodedDocument {
     let mut codes = Vec::new();
     for _ in 0..lines {
         let mut remaining = LINE_PIXELS;
@@ -110,9 +108,7 @@ impl G3fax {
         let makeup_table = bench.mem.alloc(28);
         // Tables map code index -> pixel count (identity·64 for make-ups),
         // exactly the role of the CCITT tables.
-        bench
-            .mem
-            .init(term_table, &(0..64i64).collect::<Vec<_>>());
+        bench.mem.init(term_table, &(0..64i64).collect::<Vec<_>>());
         bench.mem.init(
             makeup_table,
             &(0..28i64).map(|i| i * 64).collect::<Vec<_>>(),
@@ -195,11 +191,10 @@ impl Kernel for G3fax {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn lines_sum_to_width() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng = cachedse_trace::rng::SplitMix64::seed_from_u64(3);
         let doc = synthesize_document(20, &mut rng);
         let mut sum = 0u32;
         for &c in &doc.codes {
@@ -218,7 +213,7 @@ mod tests {
         let mut bench = Workbench::new(kernel.seed());
         let got = kernel.run_returning_bitmap(&mut bench);
 
-        let mut rng = rand::rngs::StdRng::seed_from_u64(kernel.seed());
+        let mut rng = cachedse_trace::rng::SplitMix64::seed_from_u64(kernel.seed());
         let doc = synthesize_document(12, &mut rng);
         assert_eq!(got, decode_reference(&doc));
     }

@@ -1,7 +1,6 @@
 //! The [`Kernel`] abstraction and the benchmark registry.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use cachedse_trace::rng::SplitMix64;
 
 use cachedse_trace::Trace;
 
@@ -25,7 +24,7 @@ pub struct Workbench {
     /// Basic-block instruction-fetch recorder — the instruction trace.
     pub instr: InstrEmitter,
     /// Deterministic RNG for synthetic inputs (seeded per kernel).
-    pub rng: StdRng,
+    pub rng: SplitMix64,
 }
 
 impl Workbench {
@@ -35,7 +34,7 @@ impl Workbench {
         Self {
             mem: TracedMemory::new(),
             instr: InstrEmitter::new(),
-            rng: StdRng::seed_from_u64(seed),
+            rng: SplitMix64::seed_from_u64(seed),
         }
     }
 }

@@ -8,8 +8,6 @@
 //! codeword walk with hits into a 1024-entry syndrome table — a classic
 //! telecom decode loop.
 
-use rand::Rng;
-
 use crate::kernel::{Kernel, Workbench};
 
 /// The POCSAG BCH(31,21) generator polynomial, `x¹⁰+x⁹+x⁸+x⁶+x⁵+x³+1`
@@ -130,7 +128,7 @@ impl Pocsag {
             // Receive one batch with occasional single-bit channel errors.
             for w in 0..BATCH_WORDS {
                 bench.instr.execute(rx_body);
-                let data: u32 = bench.rng.gen_range(0..1 << 21);
+                let data: u32 = bench.rng.gen_range(0u32..1 << 21);
                 let mut cw = encode_codeword(data);
                 if bench.rng.gen_range(0..4) == 0 {
                     cw ^= 1 << bench.rng.gen_range(1..32u32); // flip a BCH-covered bit
@@ -215,13 +213,12 @@ mod tests {
         let mut bench = Workbench::new(kernel.seed());
         let got = kernel.run_returning_messages(&mut bench);
 
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(kernel.seed());
+        let mut rng = cachedse_trace::rng::SplitMix64::seed_from_u64(kernel.seed());
         let mut expected = Vec::new();
         for _ in 0..8 {
             let mut batch = Vec::new();
             for _ in 0..BATCH_WORDS {
-                let data: u32 = rng.gen_range(0..1 << 21);
+                let data: u32 = rng.gen_range(0u32..1 << 21);
                 let mut cw = encode_codeword(data);
                 if rng.gen_range(0..4) == 0 {
                     cw ^= 1 << rng.gen_range(1..32u32);

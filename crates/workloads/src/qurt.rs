@@ -7,8 +7,6 @@
 //! quickest to analyze): a compact working set of coefficients, roots, and a
 //! 16-entry sqrt-seed table.
 
-use rand::Rng;
-
 use crate::kernel::{Kernel, Workbench};
 
 /// Integer square root by Newton's method (reference and kernel share it;
@@ -139,7 +137,7 @@ mod tests {
             let r = isqrt(v);
             assert!(r * r <= v && (r + 1) * (r + 1) > v, "isqrt({v}) = {r}");
         }
-        assert_eq!(isqrt(u64::from(u32::MAX)) , 65535);
+        assert_eq!(isqrt(u64::from(u32::MAX)), 65535);
     }
 
     #[test]
@@ -158,8 +156,7 @@ mod tests {
         let mut bench = Workbench::new(kernel.seed());
         let got = kernel.run_returning_roots(&mut bench);
 
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(kernel.seed());
+        let mut rng = cachedse_trace::rng::SplitMix64::seed_from_u64(kernel.seed());
         for result in got {
             let a = rng.gen_range(1i64..=64) << 16;
             let b = rng.gen_range(-512i64..=512) << 12;

@@ -6,8 +6,6 @@
 //! partition sweeps from both ends of shrinking sub-arrays, a
 //! locality-over-time pattern very different from the streaming kernels.
 
-use rand::Rng;
-
 use crate::kernel::{Kernel, Workbench};
 
 /// Partitions smaller than this are finished by insertion sort, as in the
@@ -159,7 +157,9 @@ impl Ucbqsort {
             }
         }
 
-        (0..self.elements).map(|i| bench.mem.peek(data, i)).collect()
+        (0..self.elements)
+            .map(|i| bench.mem.peek(data, i))
+            .collect()
     }
 }
 
@@ -176,7 +176,6 @@ impl Kernel for Ucbqsort {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn sorts_correctly() {
@@ -184,7 +183,7 @@ mod tests {
         let mut bench = Workbench::new(kernel.seed());
         let got = kernel.run_returning_sorted(&mut bench);
 
-        let mut rng = rand::rngs::StdRng::seed_from_u64(kernel.seed());
+        let mut rng = cachedse_trace::rng::SplitMix64::seed_from_u64(kernel.seed());
         let mut expected: Vec<i64> = (0..1000)
             .map(|_| rng.gen_range(-1_000_000i64..=1_000_000))
             .collect();

@@ -19,12 +19,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 1. Energy ranking of the miss-budget-satisfying configurations.
     let exploration = DesignSpaceExplorer::new(&run.data).prepare()?;
-    let ranked = select::rank_within_budget(
-        &exploration,
-        MissBudget::FractionOfMax(0.10),
-        0,
-        &model,
-    )?;
+    let ranked =
+        select::rank_within_budget(&exploration, MissBudget::FractionOfMax(0.10), 0, &model)?;
     println!("configurations meeting K = 10% of max misses, cheapest energy first:");
     println!(
         "{:>10} {:>6} {:>12} {:>12} {:>12} {:>10}",

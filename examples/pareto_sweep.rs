@@ -25,7 +25,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let best = result.smallest().expect("non-empty design space");
             print!(
                 " {:>16}",
-                format!("{}x{} ({})", best.depth, best.associativity, best.size_lines())
+                format!(
+                    "{}x{} ({})",
+                    best.depth,
+                    best.associativity,
+                    best.size_lines()
+                )
             );
         }
         println!();

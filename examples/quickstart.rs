@@ -26,6 +26,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Every claim is checkable against the trace-driven simulator.
     let checks = verify::check_result(&trace, &result)?;
-    println!("\nall {} configurations verified against simulation", checks.len());
+    println!(
+        "\nall {} configurations verified against simulation",
+        checks.len()
+    );
     Ok(())
 }

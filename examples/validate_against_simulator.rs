@@ -34,7 +34,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let predicted = analytical[depth.trailing_zeros() as usize].misses_at(assoc);
         let observed = simulate(trace, &CacheConfig::lru(depth, assoc)?).avoidable_misses();
         assert_eq!(predicted, observed);
-        println!("depth {depth:>5}, {assoc}-way: predicted {predicted:>6} = simulated {observed:>6}");
+        println!(
+            "depth {depth:>5}, {assoc}-way: predicted {predicted:>6} = simulated {observed:>6}"
+        );
     }
 
     // 3. End-to-end: both engines return the same optimal set, and every

@@ -11,7 +11,9 @@
 //!   ([`cachedse_core`]);
 //! * [`cost`] — energy/area/timing models and energy-aware selection
 //!   ([`cachedse_cost`]);
-//! * [`workloads`] — PowerStone-style embedded kernels ([`cachedse_workloads`]).
+//! * [`workloads`] — PowerStone-style embedded kernels ([`cachedse_workloads`]);
+//! * [`check`] — static invariant verification of every pipeline artifact
+//!   ([`cachedse_check`]).
 //!
 //! # Quickstart
 //!
@@ -33,7 +35,11 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use cachedse_bitset as bitset;
+pub use cachedse_check as check;
 pub use cachedse_core as core;
 pub use cachedse_cost as cost;
 pub use cachedse_sim as sim;

@@ -5,36 +5,45 @@
 use cachedse::core::{dfs, verify, DesignSpaceExplorer, Engine, MissBudget};
 use cachedse::sim::onepass::profile_depths;
 use cachedse::sim::{simulate, CacheConfig};
+use cachedse::trace::rng::SplitMix64;
 use cachedse::trace::strip::StrippedTrace;
 use cachedse::trace::{generate, Trace};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn random_trace(rng: &mut SplitMix64, addr_space: u32, max_len: usize) -> Trace {
+    use cachedse::trace::{Address, Record};
+    let len = rng.gen_range(1usize..max_len);
+    (0..len)
+        .map(|_| Record::read(Address::new(rng.gen_range(0..addr_space))))
+        .collect()
+}
 
-    /// DFS engine == one-pass simulation on arbitrary traces and depths.
-    #[test]
-    fn profiles_match_simulation(addrs in prop::collection::vec(0u32..128, 1..400),
-                                 max_bits in 0u32..8) {
-        use cachedse::trace::{Address, Record};
-        let trace: Trace = addrs.iter().map(|&a| Record::read(Address::new(a))).collect();
+/// DFS engine == one-pass simulation on arbitrary traces and depths.
+/// Deterministic randomized sweep (formerly a proptest property).
+#[test]
+fn profiles_match_simulation() {
+    let mut rng = SplitMix64::seed_from_u64(0x0DF5);
+    for _ in 0..64 {
+        let trace = random_trace(&mut rng, 128, 400);
+        let max_bits = rng.gen_range(0u32..8);
         let stripped = StrippedTrace::from_trace(&trace);
-        prop_assert_eq!(
+        assert_eq!(
             dfs::level_profiles(&stripped, max_bits),
             profile_depths(&trace, max_bits)
         );
     }
+}
 
-    /// Every explored point is within budget and minimal when simulated.
-    #[test]
-    fn results_verify(addrs in prop::collection::vec(0u32..96, 1..300),
-                      budget in 0u64..40) {
-        use cachedse::trace::{Address, Record};
-        let trace: Trace = addrs.iter().map(|&a| Record::read(Address::new(a))).collect();
+/// Every explored point is within budget and minimal when simulated.
+#[test]
+fn results_verify() {
+    let mut rng = SplitMix64::seed_from_u64(0x5E11F);
+    for _ in 0..64 {
+        let trace = random_trace(&mut rng, 96, 300);
+        let budget = rng.gen_range(0u64..40);
         let result = DesignSpaceExplorer::new(&trace)
             .explore(MissBudget::Absolute(budget))
             .expect("non-empty");
-        prop_assert!(verify::check_result(&trace, &result).is_ok());
+        assert!(verify::check_result(&trace, &result).is_ok());
     }
 }
 
@@ -72,9 +81,8 @@ fn workload_explorations_verify() {
                         .engine(engine)
                         .explore(MissBudget::FractionOfMax(fraction))
                         .expect("non-empty");
-                    verify::check_result(trace, &result).unwrap_or_else(|e| {
-                        panic!("{} {engine} K={fraction}: {e}", run.name)
-                    });
+                    verify::check_result(trace, &result)
+                        .unwrap_or_else(|e| panic!("{} {engine} K={fraction}: {e}", run.name));
                 }
             }
         }
@@ -101,27 +109,31 @@ fn miss_counts_match_pointwise() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// `Trace::dedup_consecutive` is an exact reduction: for every depth and
-    /// associativity >= 1 the avoidable-miss counts are unchanged (the
-    /// trace-stripping property of the paper's references [14][15]).
-    #[test]
-    fn dedup_preserves_all_miss_counts(addrs in prop::collection::vec(0u32..24, 1..250),
-                                       max_bits in 0u32..5) {
-        use cachedse::trace::{Address, Record};
-        let trace: Trace = addrs.iter().map(|&a| Record::read(Address::new(a))).collect();
+/// `Trace::dedup_consecutive` is an exact reduction: for every depth and
+/// associativity >= 1 the avoidable-miss counts are unchanged (the
+/// trace-stripping property of the paper's references [14][15]).
+/// Deterministic randomized sweep (formerly a proptest property).
+#[test]
+fn dedup_preserves_all_miss_counts() {
+    let mut rng = SplitMix64::seed_from_u64(0xDED);
+    for _ in 0..48 {
+        let trace = random_trace(&mut rng, 24, 250);
+        let max_bits = rng.gen_range(0u32..5);
         let reduced = trace.dedup_consecutive();
-        prop_assert!(reduced.len() <= trace.len());
+        assert!(reduced.len() <= trace.len());
         let full = dfs::level_profiles(&StrippedTrace::from_trace(&trace), max_bits);
         let small = dfs::level_profiles(&StrippedTrace::from_trace(&reduced), max_bits);
         for (a, b) in full.iter().zip(&small) {
             for assoc in 1..=8u32 {
-                prop_assert_eq!(a.misses_at(assoc), b.misses_at(assoc),
-                    "depth {} assoc {}", a.depth(), assoc);
+                assert_eq!(
+                    a.misses_at(assoc),
+                    b.misses_at(assoc),
+                    "depth {} assoc {}",
+                    a.depth(),
+                    assoc
+                );
             }
-            prop_assert_eq!(a.cold(), b.cold());
+            assert_eq!(a.cold(), b.cold());
         }
     }
 }
@@ -131,7 +143,9 @@ proptest! {
 #[test]
 fn tables_are_monotone() {
     let trace = generate::working_set_phases(6, 500, 64, 23);
-    let exploration = DesignSpaceExplorer::new(&trace).prepare().expect("non-empty");
+    let exploration = DesignSpaceExplorer::new(&trace)
+        .prepare()
+        .expect("non-empty");
     let mut prev: Option<Vec<u32>> = None;
     for fraction in [0.05, 0.10, 0.15, 0.20] {
         let result = exploration

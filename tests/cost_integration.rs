@@ -12,14 +12,12 @@ use cachedse::workloads::{engine::Engine as EngineKernel, Kernel};
 fn analytic_costs_equal_simulated_costs() {
     let run = EngineKernel { ticks: 500 }.capture();
     let model = CostModel::default_180nm();
-    let exploration = DesignSpaceExplorer::new(&run.data).prepare().expect("non-empty");
-    let ranked = select::rank_within_budget(
-        &exploration,
-        MissBudget::FractionOfMax(0.15),
-        0,
-        &model,
-    )
-    .expect("valid budget");
+    let exploration = DesignSpaceExplorer::new(&run.data)
+        .prepare()
+        .expect("non-empty");
+    let ranked =
+        select::rank_within_budget(&exploration, MissBudget::FractionOfMax(0.15), 0, &model)
+            .expect("valid budget");
     for p in ranked {
         let config = CacheConfig::lru(p.point.depth, p.point.associativity).expect("valid");
         let stats = simulate(&run.data, &config);
@@ -32,7 +30,9 @@ fn analytic_costs_equal_simulated_costs() {
 fn energy_optimal_is_actually_minimal_among_candidates() {
     let trace = generate::working_set_phases(5, 400, 40, 31);
     let model = CostModel::default_180nm();
-    let exploration = DesignSpaceExplorer::new(&trace).prepare().expect("non-empty");
+    let exploration = DesignSpaceExplorer::new(&trace)
+        .prepare()
+        .expect("non-empty");
     let budget = MissBudget::Absolute(50);
     let best = select::energy_optimal(&exploration, budget, 0, &model).expect("valid");
     for p in select::rank_within_budget(&exploration, budget, 0, &model).expect("valid") {
@@ -65,6 +65,11 @@ fn line_sweep_agrees_with_direct_simulation_at_each_line_size() {
             .build()
             .expect("valid");
         let stats = simulate(&coarse, &config);
-        assert_eq!(p.avoidable_misses, stats.avoidable_misses(), "line {}", p.line_bits);
+        assert_eq!(
+            p.avoidable_misses,
+            stats.avoidable_misses(),
+            "line {}",
+            p.line_bits
+        );
     }
 }

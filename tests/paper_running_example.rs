@@ -6,7 +6,7 @@
 //! them 0..=4 in the same first-appearance order.
 
 use cachedse::bitset::DenseBitSet;
-use cachedse::core::{postlude, Bcat, DesignSpaceExplorer, Engine, Mrct, MissBudget, ZeroOneSets};
+use cachedse::core::{postlude, Bcat, DesignSpaceExplorer, Engine, MissBudget, Mrct, ZeroOneSets};
 use cachedse::trace::strip::{RefId, StrippedTrace};
 use cachedse::trace::{paper_running_example, stats::TraceStats};
 
@@ -64,9 +64,8 @@ fn table_4_mrct() {
 fn figure_3_bcat() {
     let stripped = StrippedTrace::from_trace(&paper_running_example());
     let bcat = Bcat::from_stripped(&stripped, 4);
-    let level = |l: u32| -> Vec<DenseBitSet> {
-        bcat.nodes_at(l).map(|n| n.refs().clone()).collect()
-    };
+    let level =
+        |l: u32| -> Vec<DenseBitSet> { bcat.nodes_at(l).map(|n| n.refs().clone()).collect() };
     // Figure 3, 0-based ids.
     assert_eq!(level(1), vec![set(&[1, 2, 4]), set(&[0, 3])]);
     assert_eq!(
@@ -77,10 +76,7 @@ fn figure_3_bcat() {
         level(3),
         vec![set(&[]), set(&[1, 4]), set(&[0, 3]), set(&[])]
     );
-    assert_eq!(
-        level(4),
-        vec![set(&[4]), set(&[1]), set(&[3]), set(&[0])]
-    );
+    assert_eq!(level(4), vec![set(&[4]), set(&[1]), set(&[3]), set(&[0])]);
 }
 
 #[test]

@@ -1,0 +1,89 @@
+//! Simulator-replay oracle across every bundled workload kernel.
+//!
+//! For each of the twelve PowerStone-style kernels, both captured sides
+//! (data and instruction traces) are explored at several miss budgets and
+//! every returned `(depth, associativity)` pair is replayed through the LRU
+//! simulator: the configuration must meet the budget and `associativity − 1`
+//! must not (the paper's Figure 1a ground truth). This corpus doubles as the
+//! seed corpus for `cachedse check`.
+
+use cachedse::core::{verify, DesignSpaceExplorer, MissBudget};
+use cachedse::workloads::{
+    adpcm::Adpcm, bcnt::Bcnt, blit::Blit, compress::Compress, crc::Crc, des::Des, engine::Engine,
+    fir::Fir, g3fax::G3fax, pocsag::Pocsag, qurt::Qurt, ucbqsort::Ucbqsort, Kernel, KernelRun,
+};
+
+/// Small-parameter instances of all twelve kernels: enough references to be
+/// interesting, small enough that replaying every design point stays fast in
+/// debug builds.
+fn small_runs() -> Vec<KernelRun> {
+    vec![
+        Adpcm { samples: 300 }.capture(),
+        Bcnt {
+            buffer_len: 256,
+            passes: 2,
+        }
+        .capture(),
+        Blit {
+            row_words: 8,
+            rows: 24,
+            ops: 6,
+        }
+        .capture(),
+        Compress { input_len: 600 }.capture(),
+        Crc {
+            message_len: 400,
+            passes: 2,
+        }
+        .capture(),
+        Des { blocks: 20 }.capture(),
+        Engine { ticks: 250 }.capture(),
+        Fir {
+            taps: 10,
+            samples: 400,
+        }
+        .capture(),
+        G3fax { lines: 12 }.capture(),
+        Pocsag { batches: 6 }.capture(),
+        Qurt { equations: 100 }.capture(),
+        Ucbqsort { elements: 300 }.capture(),
+    ]
+}
+
+/// Every kernel, both trace sides, three budgets: zero replay discrepancies.
+#[test]
+fn every_kernel_verifies_against_the_simulator() {
+    let runs = small_runs();
+    assert_eq!(runs.len(), 12, "one instance per bundled kernel");
+    for run in &runs {
+        for (side, trace) in [("data", &run.data), ("instr", &run.instr)] {
+            let exploration = DesignSpaceExplorer::new(trace)
+                .max_index_bits(8)
+                .prepare()
+                .unwrap_or_else(|e| panic!("{} {side}: {e}", run.name));
+            for fraction in [0.02, 0.10, 0.25] {
+                let result = exploration
+                    .result(MissBudget::FractionOfMax(fraction))
+                    .unwrap_or_else(|e| panic!("{} {side} K={fraction}: {e}", run.name));
+                let checks = verify::check_result(trace, &result)
+                    .unwrap_or_else(|e| panic!("{} {side} K={fraction}: {e}", run.name));
+                assert!(!checks.is_empty(), "{} {side}: empty frontier", run.name);
+            }
+        }
+    }
+}
+
+/// The exhaustive variant agrees with the fail-fast one: a clean frontier
+/// yields zero collected errors.
+#[test]
+fn exhaustive_checker_collects_nothing_on_clean_frontiers() {
+    for run in small_runs().iter().take(3) {
+        let result = DesignSpaceExplorer::new(&run.data)
+            .max_index_bits(8)
+            .explore(MissBudget::FractionOfMax(0.10))
+            .unwrap();
+        let (checks, errors) = verify::check_result_exhaustive(&run.data, &result);
+        assert!(errors.is_empty(), "{}: {errors:?}", run.name);
+        assert_eq!(checks.len(), result.pairs().len());
+    }
+}

@@ -13,7 +13,11 @@ fn all_twelve_kernels_produce_both_traces() {
     for kernel in &kernels {
         let run = kernel.capture();
         assert!(!run.data.is_empty(), "{}: empty data trace", run.name);
-        assert!(!run.instr.is_empty(), "{}: empty instruction trace", run.name);
+        assert!(
+            !run.instr.is_empty(),
+            "{}: empty instruction trace",
+            run.name
+        );
         assert!(
             run.data.iter().all(|r| r.kind.is_data()),
             "{}: non-data record in data trace",
