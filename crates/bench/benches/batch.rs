@@ -1,0 +1,75 @@
+//! Batch-service throughput: the 12-kernel workload set pushed through
+//! `cachedse-serve` at worker counts 1, 2, and 4.
+//!
+//! Each iteration runs a realistic mixed batch — every kernel's data trace
+//! under three miss budgets (36 jobs) — through a fresh service, so the
+//! measurement covers queueing, artifact-cache sharing (one analysis per
+//! kernel, two hits), and the per-budget frontier walks. Comparing the
+//! three worker counts shows how the pool scales when the unit of
+//! parallelism is a whole trace analysis.
+
+use cachedse_bench::crit::{criterion_group, criterion_main, Criterion};
+
+use cachedse_core::MissBudget;
+use cachedse_serve::{JobSpec, Service, ServiceConfig, TraceSide, TraceSource};
+
+const BUDGET_FRACTIONS: [f64; 3] = [0.05, 0.10, 0.20];
+
+fn kernel_jobs() -> Vec<JobSpec> {
+    cachedse_workloads::all()
+        .iter()
+        .flat_map(|kernel| {
+            BUDGET_FRACTIONS.iter().map(|&fraction| JobSpec {
+                id: Some(format!("{}-{fraction}", kernel.name())),
+                trace: TraceSource::Workload {
+                    name: kernel.name().to_owned(),
+                    side: TraceSide::Data,
+                    seed: None,
+                },
+                budget: MissBudget::FractionOfMax(fraction),
+                max_index_bits: None,
+                line_bits: 0,
+                timeout_ms: None,
+            })
+        })
+        .collect()
+}
+
+fn run_batch(jobs: &[JobSpec], workers: usize) -> u64 {
+    let service = Service::start(ServiceConfig {
+        workers,
+        queue_depth: jobs.len(),
+        ..ServiceConfig::default()
+    });
+    let ids: Vec<_> = jobs
+        .iter()
+        .map(|job| service.submit(job.clone()).expect("queue sized for batch"))
+        .collect();
+    let mut frontier_points = 0u64;
+    for id in ids {
+        let (label, outcome) = service.wait(id);
+        let output = outcome.unwrap_or_else(|e| panic!("{label}: {e}"));
+        frontier_points += output.result.pairs().len() as u64;
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.cache_misses, 12, "one analysis per kernel expected");
+    frontier_points
+}
+
+fn bench_batch_throughput(c: &mut Criterion) {
+    let jobs = kernel_jobs();
+    let mut group = c.benchmark_group("batch_throughput");
+    // One iteration is already a 36-job batch over all twelve kernels —
+    // a coarse, internally-averaged unit of work — so a handful of
+    // samples per worker count is enough.
+    group.sample_size(3);
+    for workers in [1usize, 2, 4] {
+        group.bench_function(format!("12_kernels_x3_budgets_workers_{workers}"), |b| {
+            b.iter(|| run_batch(std::hint::black_box(&jobs), workers));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_throughput);
+criterion_main!(benches);

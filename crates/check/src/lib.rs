@@ -65,6 +65,31 @@ pub struct CheckOptions {
     pub inject_fault: Option<FaultKind>,
 }
 
+/// Verifies a set of *already-built* artifacts against their stripped
+/// trace: zero/one-set complementarity, BCAT partition soundness, and MRCT
+/// well-formedness. The frontier family is left empty — no exploration is
+/// run here.
+///
+/// This is the validation hook of the batch service's artifact cache
+/// (`cachedse-serve` with `--validate`): before a cached BCAT/MRCT is
+/// reused for a new budget query, the service can re-certify it from the
+/// outside, so a corrupted cache entry surfaces as a structured violation
+/// report instead of a silently wrong frontier.
+#[must_use]
+pub fn check_artifacts(
+    zo: &ZeroOneSets,
+    bcat_snapshot: &BcatSnapshot,
+    mrct_snapshot: &MrctSnapshot,
+    stripped: &StrippedTrace,
+) -> CheckReport {
+    CheckReport {
+        zero_one: check_zero_one(zo, stripped),
+        bcat: check_bcat(bcat_snapshot, stripped),
+        mrct: check_mrct(mrct_snapshot, stripped),
+        frontier: Vec::new(),
+    }
+}
+
 /// Runs the full pipeline on `trace` and verifies every artifact: zero/one
 /// sets, BCAT, MRCT, and the frontier at each of `budgets` (plus budget
 /// monotonicity across them).
@@ -99,12 +124,7 @@ pub fn check_pipeline(
         }
     }
 
-    let mut report = CheckReport {
-        zero_one: check_zero_one(&zo, &stripped),
-        bcat: check_bcat(&bcat_snapshot, &stripped),
-        mrct: check_mrct(&mrct_snapshot, &stripped),
-        frontier: Vec::new(),
-    };
+    let mut report = check_artifacts(&zo, &bcat_snapshot, &mrct_snapshot, &stripped);
 
     let mut explorer = DesignSpaceExplorer::new(trace);
     if let Some(bits) = options.max_index_bits {

@@ -8,6 +8,8 @@
 
 use std::fmt;
 
+use cachedse_json::Value;
+
 /// The invariant classes verified by this crate, one per checkable claim the
 /// paper's construction makes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -159,6 +161,19 @@ impl fmt::Display for Violation {
     }
 }
 
+impl Violation {
+    /// Renders the violation as a JSON object
+    /// (`{"invariant": …, "location": …, "detail": …}`).
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        Value::object([
+            ("invariant", Value::from(self.invariant.to_string())),
+            ("location", Value::from(self.location.to_string())),
+            ("detail", Value::from(self.detail.as_str())),
+        ])
+    }
+}
+
 /// The aggregated outcome of a full-pipeline check, grouped by invariant
 /// family.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -193,6 +208,29 @@ impl CheckReport {
             .chain(&self.bcat)
             .chain(&self.mrct)
             .chain(&self.frontier)
+    }
+
+    /// Renders the whole report as one JSON object: `clean`, per-family
+    /// counts, and the violation list. This is what `cachedse check
+    /// --format json` prints and what the batch service attaches to
+    /// artifact-validation failures.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        let counts = Value::object([
+            ("zero_one", Value::from(self.zero_one.len())),
+            ("bcat", Value::from(self.bcat.len())),
+            ("mrct", Value::from(self.mrct.len())),
+            ("frontier", Value::from(self.frontier.len())),
+        ]);
+        Value::object([
+            ("clean", Value::from(self.is_clean())),
+            ("total", Value::from(self.total())),
+            ("counts", counts),
+            (
+                "violations",
+                Value::array(self.iter().map(Violation::to_json)),
+            ),
+        ])
     }
 }
 
@@ -264,5 +302,38 @@ mod tests {
         assert!(!r.is_clean());
         assert_eq!(r.iter().count(), 1);
         assert!(r.to_string().contains("mrct: 1"));
+    }
+
+    #[test]
+    fn json_report_round_trips() {
+        let mut r = CheckReport::default();
+        assert_eq!(
+            r.to_json().get("clean").and_then(Value::as_bool),
+            Some(true)
+        );
+        r.bcat.push(Violation::new(
+            Invariant::BcatRowSelection,
+            Location::Node { level: 1, row: 0 },
+            "ref 2 has low bits 1, node row 0",
+        ));
+        let rendered = r.to_json().render();
+        let back = Value::parse(&rendered).unwrap();
+        assert_eq!(back.get("clean").and_then(Value::as_bool), Some(false));
+        assert_eq!(back.get("total").and_then(Value::as_u64), Some(1));
+        assert_eq!(
+            back.get("counts")
+                .and_then(|c| c.get("bcat"))
+                .and_then(Value::as_u64),
+            Some(1)
+        );
+        let violations = back.get("violations").and_then(Value::as_array).unwrap();
+        assert_eq!(
+            violations[0].get("invariant").and_then(Value::as_str),
+            Some("bcat-row-selection")
+        );
+        assert_eq!(
+            violations[0].get("location").and_then(Value::as_str),
+            Some("level 1 row 0")
+        );
     }
 }

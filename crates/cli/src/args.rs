@@ -48,7 +48,7 @@ impl std::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Options that never take a value.
-const BARE_FLAGS: [&str; 3] = ["verify", "help", "quiet"];
+const BARE_FLAGS: [&str; 4] = ["verify", "help", "quiet", "validate"];
 
 impl Args {
     /// Parses raw arguments (without the program/subcommand names).

@@ -7,10 +7,14 @@
 //! cachedse stats trace.din
 //! cachedse simulate trace.din --depth 64 --assoc 2 [--policy lru] [--line-bits 0]
 //! cachedse explore trace.din (--misses K | --fraction F) [--max-bits B]
-//!                            [--engine dfs|tree] [--verify]
+//!                            [--engine dfs|tree] [--verify] [--format json]
 //! cachedse sweep trace.din [--max-bits B]        # the paper's K-grid table
 //! cachedse check trace.din [--misses K | --fraction F] [--max-bits B]
-//!                          [--inject-fault <kind>] [--quiet]
+//!                          [--inject-fault <kind>] [--quiet] [--format json]
+//! cachedse batch [jobs.jsonl] [--workers N] [--queue N] [--cache N]
+//!                [--timeout-ms MS] [--validate]   # JSONL jobs in, results out
+//! cachedse serve [--bind HOST:PORT] [--workers N] [--queue N] [--cache N]
+//!                [--timeout-ms MS] [--validate]   # long-running TCP service
 //! cachedse workloads                             # list the kernels
 //! ```
 
@@ -24,11 +28,12 @@ use std::io::{self, BufReader, BufWriter};
 use std::process::ExitCode;
 
 use cachedse_core::{verify, DesignSpaceExplorer, Engine, MissBudget};
+use cachedse_json::Value;
 use cachedse_sim::{simulate, CacheConfig, Replacement, WritePolicy};
 use cachedse_trace::stats::TraceStats;
 use cachedse_trace::{generate, io::read_din, io::write_din, Trace};
 
-use args::Args;
+use args::{ArgError, Args};
 
 const USAGE: &str = "\
 usage: cachedse <command> [options]
@@ -41,6 +46,8 @@ commands:
   sweep      print the paper-style table for K in {5,10,15,20}%
   rank       order the budget-satisfying configurations by dynamic energy
   check      statically verify every pipeline invariant on a trace
+  batch      run JSONL job specs through the shared-artifact worker pool
+  serve      answer JSONL jobs over TCP until told to shut down
   workloads  list the embedded benchmark kernels
 
 run `cachedse <command> --help` for details.";
@@ -83,6 +90,8 @@ fn main() -> ExitCode {
         "sweep" => cmd_sweep(&args),
         "rank" => cmd_rank(&args),
         "check" => cmd_check(&args),
+        "batch" => cmd_batch(&args),
+        "serve" => cmd_serve(&args),
         "workloads" => cmd_workloads(),
         "--help" | "help" => {
             println!("{USAGE}");
@@ -240,20 +249,72 @@ fn cmd_explore(args: &Args) -> CliResult {
         explorer = explorer.max_index_bits(bits);
     }
     let result = explorer.explore(budget)?;
+    if args.flag("verify") {
+        let checks = verify::check_result(&trace, &result)?;
+        if !format_is_json(args)? {
+            println!(
+                "verified {} configurations against the LRU simulator",
+                checks.len()
+            );
+        }
+    }
+    if format_is_json(args)? {
+        println!("{}", explore_json(&result).render());
+        return Ok(());
+    }
     println!("trace: {}", result.stats());
     println!("budget K = {} avoidable misses", result.budget());
     print!("{}", result.table());
     if let Some(best) = result.smallest() {
         println!("smallest capacity: {best} = {} lines", best.size_lines());
     }
-    if args.flag("verify") {
-        let checks = verify::check_result(&trace, &result)?;
-        println!(
-            "verified {} configurations against the LRU simulator",
-            checks.len()
-        );
-    }
     Ok(())
+}
+
+fn format_is_json(args: &Args) -> Result<bool, Box<dyn std::error::Error>> {
+    match args.opt_str("format") {
+        None | Some("text") => Ok(false),
+        Some("json") => Ok(true),
+        Some(other) => Err(format!("unknown format {other:?}; expected text|json").into()),
+    }
+}
+
+/// Renders an exploration result as one JSON object (the `--format json`
+/// output of `explore`, and the shape the batch service's result lines
+/// embed under `"frontier"`).
+fn explore_json(result: &cachedse_core::ExplorationResult) -> Value {
+    let stats = result.stats();
+    let frontier = Value::array(result.pairs().iter().map(|p| {
+        Value::object([
+            ("depth", Value::from(p.depth)),
+            ("assoc", Value::from(p.associativity)),
+            ("lines", Value::from(p.size_lines())),
+            (
+                "misses",
+                Value::from(result.misses_of(p.depth).unwrap_or(0)),
+            ),
+        ])
+    }));
+    let smallest = result.smallest().map_or(Value::Null, |best| {
+        Value::object([
+            ("depth", Value::from(best.depth)),
+            ("assoc", Value::from(best.associativity)),
+            ("lines", Value::from(best.size_lines())),
+        ])
+    });
+    Value::object([
+        (
+            "trace",
+            Value::object([
+                ("refs", Value::from(stats.total)),
+                ("unique", Value::from(stats.unique)),
+                ("max_misses", Value::from(stats.max_misses)),
+            ]),
+        ),
+        ("budget", Value::from(result.budget())),
+        ("frontier", frontier),
+        ("smallest", smallest),
+    ])
 }
 
 fn cmd_sweep(args: &Args) -> CliResult {
@@ -327,6 +388,14 @@ fn cmd_check(args: &Args) -> CliResult {
         eprintln!("injecting fault: {kind}");
     }
     let report = check_pipeline(&trace, &budgets, &options)?;
+    if format_is_json(args)? {
+        println!("{}", report.to_json().render());
+        return if report.is_clean() {
+            Ok(())
+        } else {
+            Err(format!("{} invariant violation(s) found", report.total()).into())
+        };
+    }
     if report.is_clean() {
         if !args.flag("quiet") {
             println!(
@@ -344,6 +413,48 @@ fn cmd_check(args: &Args) -> CliResult {
         }
         Err(format!("{} invariant violation(s) found", report.total()).into())
     }
+}
+
+fn service_config_of(args: &Args) -> Result<cachedse_serve::ServiceConfig, ArgError> {
+    let default_workers = std::thread::available_parallelism().map_or(2, std::num::NonZero::get);
+    Ok(cachedse_serve::ServiceConfig {
+        workers: args.opt_or("workers", default_workers)?,
+        queue_depth: args.opt_or("queue", 64)?,
+        cache_capacity: args.opt_or("cache", 16)?,
+        default_timeout_ms: args.opt::<u64>("timeout-ms")?,
+        validate: args.flag("validate"),
+    })
+}
+
+fn cmd_batch(args: &Args) -> CliResult {
+    let config = service_config_of(args)?;
+    let stdout = io::stdout().lock();
+    let output = BufWriter::new(stdout);
+    let status = io::stderr().lock();
+    let summary = match args.positional(0, "jobs-file") {
+        Ok(path) if path != "-" => {
+            let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+            cachedse_serve::run_batch(config, BufReader::new(file), output, status)?
+        }
+        _ => cachedse_serve::run_batch(config, io::stdin().lock(), output, status)?,
+    };
+    if summary.all_ok() {
+        Ok(())
+    } else {
+        Err(format!("{} of {} job(s) failed", summary.failed, summary.jobs).into())
+    }
+}
+
+fn cmd_serve(args: &Args) -> CliResult {
+    let config = service_config_of(args)?;
+    let bind = args.opt_str("bind").unwrap_or("127.0.0.1:7333");
+    let listener =
+        std::net::TcpListener::bind(bind).map_err(|e| format!("cannot bind {bind}: {e}"))?;
+    // The resolved address matters when the caller asked for port 0.
+    eprintln!("listening on {}", listener.local_addr()?);
+    let stats = cachedse_serve::serve(listener, config)?;
+    eprintln!("{stats}");
+    Ok(())
 }
 
 fn cmd_workloads() -> CliResult {

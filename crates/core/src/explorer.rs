@@ -123,30 +123,7 @@ impl<'a> DesignSpaceExplorer<'a> {
             return Err(ExploreError::EmptyTrace);
         }
         let stripped = StrippedTrace::from_trace(self.trace);
-        let max_bits = self
-            .max_index_bits
-            .unwrap_or_else(|| stripped.address_bits());
-        if max_bits > 31 {
-            return Err(ExploreError::IndexBitsTooLarge(max_bits));
-        }
-        let profiles = match self.engine {
-            Engine::DepthFirst => dfs::level_profiles(&stripped, max_bits),
-            Engine::DepthFirstParallel => {
-                let threads = std::thread::available_parallelism()
-                    .unwrap_or(std::num::NonZeroUsize::new(1).expect("1 is nonzero"));
-                dfs::level_profiles_parallel(&stripped, max_bits, threads)
-            }
-            Engine::TreeTable => {
-                let bcat = Bcat::from_stripped(&stripped, max_bits);
-                let mrct = Mrct::build(&stripped);
-                postlude::level_profiles(&bcat, &mrct, &stripped, max_bits)
-            }
-        };
-        Ok(Exploration {
-            profiles,
-            stats: TraceStats::of_stripped(&stripped),
-            engine: self.engine,
-        })
+        prepare_stripped(&stripped, self.max_index_bits, self.engine)
     }
 
     /// One-shot exploration: [`prepare`](Self::prepare) followed by
@@ -162,6 +139,52 @@ impl<'a> DesignSpaceExplorer<'a> {
     }
 }
 
+/// Runs the prelude + postlude over an already-stripped trace.
+///
+/// This is the *borrowed-artifact* entry point the batch service
+/// (`cachedse-serve`) builds on: the caller owns the [`StrippedTrace`] and
+/// can keep it (and anything derived from it) cached across many budget
+/// queries, instead of handing the whole pipeline a raw [`Trace`] that gets
+/// re-stripped every run. [`DesignSpaceExplorer::prepare`] is now a thin
+/// wrapper over this function.
+///
+/// # Errors
+///
+/// * [`ExploreError::EmptyTrace`] — the stripped trace has no references;
+/// * [`ExploreError::IndexBitsTooLarge`] — more than 31 index bits
+///   requested (explicitly or via the trace's address width).
+pub fn prepare_stripped(
+    stripped: &StrippedTrace,
+    max_index_bits: Option<u32>,
+    engine: Engine,
+) -> Result<Exploration, ExploreError> {
+    if stripped.is_empty() {
+        return Err(ExploreError::EmptyTrace);
+    }
+    let max_bits = max_index_bits.unwrap_or_else(|| stripped.address_bits());
+    if max_bits > 31 {
+        return Err(ExploreError::IndexBitsTooLarge(max_bits));
+    }
+    let profiles = match engine {
+        Engine::DepthFirst => dfs::level_profiles(stripped, max_bits),
+        Engine::DepthFirstParallel => {
+            let threads = std::thread::available_parallelism()
+                .unwrap_or(std::num::NonZeroUsize::new(1).expect("1 is nonzero"));
+            dfs::level_profiles_parallel(stripped, max_bits, threads)
+        }
+        Engine::TreeTable => {
+            let bcat = Bcat::from_stripped(stripped, max_bits);
+            let mrct = Mrct::build(stripped);
+            postlude::level_profiles(&bcat, &mrct, stripped, max_bits)
+        }
+    };
+    Ok(Exploration {
+        profiles,
+        stats: TraceStats::of_stripped(stripped),
+        engine,
+    })
+}
+
 /// The analyzed design space: exact per-depth miss profiles, queryable under
 /// any number of miss budgets.
 #[derive(Clone, Debug)]
@@ -172,6 +195,40 @@ pub struct Exploration {
 }
 
 impl Exploration {
+    /// Builds an exploration from prebuilt, *borrowed* artifacts: a BCAT and
+    /// an MRCT the caller already owns (e.g. out of the `cachedse-serve`
+    /// artifact cache). Nothing is recomputed except the per-depth postlude
+    /// walk itself, so N budget queries against one trace cost one prelude
+    /// plus N cheap frontier walks.
+    ///
+    /// The resulting exploration reports [`Engine::TreeTable`], since that
+    /// is the algorithm whose artifacts it consumed.
+    ///
+    /// # Errors
+    ///
+    /// * [`ExploreError::EmptyTrace`] — the stripped trace has no
+    ///   references;
+    /// * [`ExploreError::IndexBitsTooLarge`] — more than 31 index bits
+    ///   requested.
+    pub fn from_artifacts(
+        bcat: &Bcat,
+        mrct: &Mrct,
+        stripped: &StrippedTrace,
+        max_index_bits: u32,
+    ) -> Result<Self, ExploreError> {
+        if stripped.is_empty() {
+            return Err(ExploreError::EmptyTrace);
+        }
+        if max_index_bits > 31 {
+            return Err(ExploreError::IndexBitsTooLarge(max_index_bits));
+        }
+        Ok(Self {
+            profiles: postlude::level_profiles(bcat, mrct, stripped, max_index_bits),
+            stats: TraceStats::of_stripped(stripped),
+            engine: Engine::TreeTable,
+        })
+    }
+
     /// The per-depth miss profiles, ordered by increasing depth
     /// (`1, 2, 4, …`).
     #[must_use]
@@ -486,6 +543,47 @@ mod tests {
             .explore(MissBudget::Absolute(25))
             .unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn borrowed_artifact_entry_points_match_owning_pipeline() {
+        let trace = generate::working_set_phases(3, 400, 32, 11);
+        let stripped = StrippedTrace::from_trace(&trace);
+        let max_bits = stripped.address_bits();
+        let bcat = Bcat::from_stripped(&stripped, max_bits);
+        let mrct = Mrct::build(&stripped);
+
+        let owning = DesignSpaceExplorer::new(&trace).prepare().unwrap();
+        let via_stripped = prepare_stripped(&stripped, None, Engine::default()).unwrap();
+        let via_artifacts = Exploration::from_artifacts(&bcat, &mrct, &stripped, max_bits).unwrap();
+
+        for budget in [MissBudget::Absolute(0), MissBudget::FractionOfMax(0.10)] {
+            let a = owning.result(budget).unwrap();
+            let b = via_stripped.result(budget).unwrap();
+            let c = via_artifacts.result(budget).unwrap();
+            assert_eq!(a, b);
+            assert_eq!(a, c);
+        }
+    }
+
+    #[test]
+    fn borrowed_artifact_entry_points_propagate_errors() {
+        let empty = StrippedTrace::from_trace(&Trace::new());
+        assert_eq!(
+            prepare_stripped(&empty, None, Engine::default()).unwrap_err(),
+            ExploreError::EmptyTrace
+        );
+        let stripped = StrippedTrace::from_trace(&paper_running_example());
+        assert_eq!(
+            prepare_stripped(&stripped, Some(32), Engine::default()).unwrap_err(),
+            ExploreError::IndexBitsTooLarge(32)
+        );
+        let bcat = Bcat::from_stripped(&stripped, 4);
+        let mrct = Mrct::build(&stripped);
+        assert_eq!(
+            Exploration::from_artifacts(&bcat, &mrct, &stripped, 32).unwrap_err(),
+            ExploreError::IndexBitsTooLarge(32)
+        );
     }
 
     #[test]

@@ -80,7 +80,8 @@ pub mod zero_one;
 pub use bcat::Bcat;
 pub use error::ExploreError;
 pub use explorer::{
-    explore_shared, DesignSpaceExplorer, Engine, Exploration, ExplorationResult, MissBudget,
+    explore_shared, prepare_stripped, DesignSpaceExplorer, Engine, Exploration, ExplorationResult,
+    MissBudget,
 };
 pub use mrct::Mrct;
 pub use report::BudgetGrid;

@@ -1,0 +1,191 @@
+//! Long-running TCP mode (`cachedse serve`).
+//!
+//! The wire protocol is line-delimited JSON over a plain TCP stream, one
+//! request per line:
+//!
+//! - a job-spec object (see [`crate::job`]) — submitted with **rejecting**
+//!   admission, so a saturated queue answers immediately with a
+//!   `queue-full` error line instead of stalling the connection;
+//! - `{"op":"stats"}` — answered with the metrics snapshot object;
+//! - `{"op":"shutdown"}` — acknowledged, then the whole server drains and
+//!   exits (its final stats are returned to the caller of [`serve`]).
+//!
+//! Every request produces exactly one response line, **in request order**
+//! per connection, `"ok"` discriminating results from structured errors. A
+//! malformed line is answered with a `bad-spec` error and the connection
+//! stays usable. Connections are handled on scoped threads that poll a
+//! shared stop flag with a short read timeout, so a `shutdown` on one
+//! connection unwedges all of them.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use cachedse_json::Value;
+
+use crate::job::{outcome_json, JobError, JobSpec};
+use crate::metrics::StatsSnapshot;
+use crate::service::{JobId, Service, ServiceConfig};
+
+/// How often blocked readers and the accept loop re-check the stop flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Serves the JSONL protocol on `listener` until a client sends
+/// `{"op":"shutdown"}`, then drains in-flight jobs and returns the final
+/// metrics snapshot.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the listener itself; per-connection I/O
+/// errors just drop that connection.
+pub fn serve(listener: TcpListener, config: ServiceConfig) -> std::io::Result<StatsSnapshot> {
+    listener.set_nonblocking(true)?;
+    let service = Service::start(config);
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| -> std::io::Result<()> {
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let service = &service;
+                    let stop = &stop;
+                    scope.spawn(move || {
+                        // A dropped connection is the client's problem, not
+                        // the server's.
+                        let _ = handle_connection(stream, service, stop);
+                    });
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    if stop.load(Ordering::Acquire) {
+                        return Ok(());
+                    }
+                    std::thread::sleep(POLL_INTERVAL);
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    })?;
+    Ok(service.shutdown())
+}
+
+enum Reply {
+    /// Already-rendered response text (errors, stats, acks).
+    Text(String),
+    /// An admitted job; redeem with the service when it finishes.
+    Job(JobId),
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    service: &Service,
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut pending: VecDeque<Reply> = VecDeque::new();
+    let mut line = String::new();
+    loop {
+        flush_ready(&mut pending, service, &mut writer)?;
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                let request = line.trim();
+                if !request.is_empty() {
+                    if let Some(reply) = handle_request(request, service, stop) {
+                        pending.push_back(reply);
+                    }
+                }
+                line.clear();
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                // `read_line` keeps any partial line in `line`; just poll.
+                if stop.load(Ordering::Acquire) {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    // EOF (or shutdown): answer everything still owed, blocking as needed.
+    for reply in pending {
+        let text = match reply {
+            Reply::Text(text) => text,
+            Reply::Job(id) => {
+                let (label, outcome) = service.wait(id);
+                outcome_json(&label, &outcome).render()
+            }
+        };
+        writeln!(writer, "{text}")?;
+    }
+    writer.flush()
+}
+
+/// Writes every response that is ready without blocking, preserving
+/// request order (a finished job behind an unfinished one stays queued).
+fn flush_ready(
+    pending: &mut VecDeque<Reply>,
+    service: &Service,
+    writer: &mut impl Write,
+) -> std::io::Result<()> {
+    while let Some(front) = pending.front() {
+        let text = match front {
+            Reply::Text(text) => text.clone(),
+            Reply::Job(id) => match service.poll(*id) {
+                Some((label, outcome)) => outcome_json(&label, &outcome).render(),
+                None => return Ok(()),
+            },
+        };
+        pending.pop_front();
+        writeln!(writer, "{text}")?;
+    }
+    Ok(())
+}
+
+fn handle_request(request: &str, service: &Service, stop: &AtomicBool) -> Option<Reply> {
+    let value = match Value::parse(request) {
+        Ok(value) => value,
+        Err(e) => {
+            let error = JobError::BadSpec(format!("bad JSON: {e}"));
+            return Some(Reply::Text(error.to_json("request").render()));
+        }
+    };
+    if let Some(op) = value.get("op").and_then(Value::as_str) {
+        return Some(match op {
+            "stats" => Reply::Text(
+                Value::object([
+                    ("ok", Value::from(true)),
+                    ("stats", service.stats().to_json()),
+                ])
+                .render(),
+            ),
+            "shutdown" => {
+                stop.store(true, Ordering::Release);
+                Reply::Text(
+                    Value::object([("ok", Value::from(true)), ("op", Value::from("shutdown"))])
+                        .render(),
+                )
+            }
+            other => Reply::Text(
+                JobError::BadSpec(format!("unknown op {other:?}; expected stats|shutdown"))
+                    .to_json("request")
+                    .render(),
+            ),
+        });
+    }
+    match JobSpec::from_value(&value) {
+        Ok(spec) => {
+            let label = spec.id.clone().unwrap_or_else(|| "job".to_owned());
+            match service.submit(spec) {
+                Ok(id) => Some(Reply::Job(id)),
+                Err(e) => Some(Reply::Text(e.to_json(&label).render())),
+            }
+        }
+        Err(e) => Some(Reply::Text(
+            JobError::BadSpec(e.to_string()).to_json("request").render(),
+        )),
+    }
+}

@@ -1,0 +1,621 @@
+//! The worker-pool service: bounded queue, fixed threads, shared cache.
+//!
+//! [`Service`] owns a FIFO job queue with a hard depth bound and a fixed
+//! pool of worker threads. Submission is the *only* admission point:
+//! [`Service::submit`] rejects instantly with [`JobError::QueueFull`] when
+//! the queue is at its bound (the backpressure policy — never silent
+//! drops), while [`Service::submit_blocking`] waits for space (what batch
+//! mode wants: every job eventually runs). Workers pull jobs in order,
+//! resolve the trace, consult the [`ArtifactCache`], and walk the frontier
+//! for the job's budget; outcomes park in a results map until polled.
+//!
+//! ## Job lifecycle
+//!
+//! ```text
+//! submitted ──▶ queued ──▶ running ──▶ done(ok | error)
+//!     │                       │
+//!     └─ rejected(queue-full  └─ failed(timeout, trace, explore,
+//!        | shutdown)             artifact-corrupt)
+//! ```
+//!
+//! Timeouts are deadline checks at stage boundaries (after load, after
+//! analyze, before the frontier walk) — cooperative, so a worker is never
+//! killed mid-build, and `timeout_ms: 0` deterministically times out at
+//! the first check.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use cachedse_check::{check_artifacts, BcatSnapshot, MrctSnapshot};
+use cachedse_trace::io::read_din;
+use cachedse_trace::{generate, Trace};
+
+use crate::cache::{ArtifactCache, ArtifactKey, Found, TraceArtifacts};
+use crate::job::{JobError, JobOutcome, JobOutput, JobSpec, PatternSpec, TraceSide, TraceSource};
+use crate::metrics::{Metrics, Stage, StatsSnapshot};
+
+/// Service sizing and policy knobs.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads in the pool (minimum 1).
+    pub workers: usize,
+    /// Maximum queued (not yet running) jobs; [`Service::submit`] rejects
+    /// beyond this.
+    pub queue_depth: usize,
+    /// Maximum distinct traces kept in the artifact cache.
+    pub cache_capacity: usize,
+    /// Deadline applied to jobs that do not set their own `timeout_ms`
+    /// (`None` = no default deadline).
+    pub default_timeout_ms: Option<u64>,
+    /// Re-verify cached artifacts with `cachedse-check` before every reuse.
+    pub validate: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            queue_depth: 64,
+            cache_capacity: 16,
+            default_timeout_ms: None,
+            validate: false,
+        }
+    }
+}
+
+/// Handle to a submitted job, redeemable for its outcome.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(u64);
+
+struct QueuedJob {
+    id: JobId,
+    label: String,
+    spec: JobSpec,
+}
+
+#[derive(Default)]
+struct State {
+    queue: VecDeque<QueuedJob>,
+    outcomes: HashMap<JobId, (String, JobOutcome)>,
+    /// Jobs finished (outcome recorded), including already-polled ones.
+    finished: u64,
+    /// Jobs admitted to the queue.
+    admitted: u64,
+    next_id: u64,
+}
+
+struct Inner {
+    config: ServiceConfig,
+    state: Mutex<State>,
+    /// Signalled when the queue gains a job or the service shuts down.
+    work_ready: Condvar,
+    /// Signalled when the queue loses a job (space for blocked submitters).
+    space_ready: Condvar,
+    /// Signalled when an outcome lands.
+    outcome_ready: Condvar,
+    cache: ArtifactCache,
+    metrics: Metrics,
+    shutdown: AtomicBool,
+}
+
+/// The batch design-space-exploration service.
+///
+/// Dropping a `Service` without calling [`Service::shutdown`] still joins
+/// the workers (after letting the queue drain).
+pub struct Service {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Service {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Service")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl Service {
+    /// Starts the worker pool.
+    #[must_use]
+    pub fn start(config: ServiceConfig) -> Self {
+        let workers = config.workers.max(1);
+        let inner = Arc::new(Inner {
+            cache: ArtifactCache::new(config.cache_capacity),
+            config,
+            state: Mutex::new(State::default()),
+            work_ready: Condvar::new(),
+            space_ready: Condvar::new(),
+            outcome_ready: Condvar::new(),
+            metrics: Metrics::default(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..workers)
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&inner))
+            })
+            .collect();
+        Self { inner, workers }
+    }
+
+    /// Submits a job, rejecting immediately when the queue is full or the
+    /// service is shutting down.
+    ///
+    /// # Errors
+    ///
+    /// [`JobError::QueueFull`] at the queue bound, [`JobError::Shutdown`]
+    /// after [`Service::shutdown`] began. Both are counted as rejections in
+    /// the stats.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobId, JobError> {
+        self.admit(spec, false)
+    }
+
+    /// Submits a job, waiting for queue space instead of rejecting.
+    ///
+    /// # Errors
+    ///
+    /// [`JobError::Shutdown`] if the service stops while waiting.
+    pub fn submit_blocking(&self, spec: JobSpec) -> Result<JobId, JobError> {
+        self.admit(spec, true)
+    }
+
+    fn admit(&self, spec: JobSpec, block: bool) -> Result<JobId, JobError> {
+        let inner = &self.inner;
+        let mut state = inner.state.lock().expect("service state poisoned");
+        loop {
+            if inner.shutdown.load(Ordering::Acquire) {
+                inner.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(JobError::Shutdown);
+            }
+            if state.queue.len() < inner.config.queue_depth {
+                break;
+            }
+            if !block {
+                inner.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(JobError::QueueFull {
+                    depth: inner.config.queue_depth,
+                });
+            }
+            state = inner
+                .space_ready
+                .wait(state)
+                .expect("service state poisoned");
+        }
+        let id = JobId(state.next_id);
+        state.next_id += 1;
+        let label = spec.id.clone().unwrap_or_else(|| format!("job-{}", id.0));
+        state.queue.push_back(QueuedJob { id, label, spec });
+        state.admitted += 1;
+        inner.metrics.accepted.fetch_add(1, Ordering::Relaxed);
+        inner.work_ready.notify_one();
+        Ok(id)
+    }
+
+    /// Takes the outcome of `id` if it has finished (non-blocking). Each
+    /// outcome can be taken once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panicked while holding the state lock.
+    #[must_use]
+    pub fn poll(&self, id: JobId) -> Option<(String, JobOutcome)> {
+        self.inner
+            .state
+            .lock()
+            .expect("service state poisoned")
+            .outcomes
+            .remove(&id)
+    }
+
+    /// Blocks until `id` finishes and takes its outcome, returning the
+    /// job's label alongside.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never admitted by this service, or was already
+    /// taken by [`Service::poll`] / a previous `wait` — the outcome can
+    /// never arrive, so waiting would wedge forever.
+    pub fn wait(&self, id: JobId) -> (String, JobOutcome) {
+        let inner = &self.inner;
+        let mut state = inner.state.lock().expect("service state poisoned");
+        loop {
+            if let Some(outcome) = state.outcomes.remove(&id) {
+                return outcome;
+            }
+            assert!(
+                id.0 < state.next_id,
+                "waited on a job id this service never issued"
+            );
+            let pending = state.queue.iter().any(|j| j.id == id);
+            let running = state.finished < state.admitted;
+            assert!(
+                pending || running,
+                "waited on a job whose outcome was already taken"
+            );
+            state = inner
+                .outcome_ready
+                .wait(state)
+                .expect("service state poisoned");
+        }
+    }
+
+    /// Blocks until every admitted job has finished (their outcomes remain
+    /// pollable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panicked while holding the state lock.
+    pub fn drain(&self) {
+        let inner = &self.inner;
+        let mut state = inner.state.lock().expect("service state poisoned");
+        while state.finished < state.admitted {
+            state = inner
+                .outcome_ready
+                .wait(state)
+                .expect("service state poisoned");
+        }
+    }
+
+    /// A point-in-time metrics snapshot.
+    #[must_use]
+    pub fn stats(&self) -> StatsSnapshot {
+        self.inner.metrics.snapshot()
+    }
+
+    /// Number of distinct traces currently cached.
+    #[must_use]
+    pub fn cached_traces(&self) -> usize {
+        self.inner.cache.len()
+    }
+
+    /// Stops accepting jobs, lets the queue drain, joins the workers, and
+    /// returns the final stats.
+    #[must_use]
+    pub fn shutdown(mut self) -> StatsSnapshot {
+        self.stop_and_join();
+        self.inner.metrics.snapshot()
+    }
+
+    fn stop_and_join(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.work_ready.notify_all();
+        self.inner.space_ready.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let job = {
+            let mut state = inner.state.lock().expect("service state poisoned");
+            loop {
+                if let Some(job) = state.queue.pop_front() {
+                    inner.space_ready.notify_one();
+                    break job;
+                }
+                if inner.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                state = inner
+                    .work_ready
+                    .wait(state)
+                    .expect("service state poisoned");
+            }
+        };
+        let outcome = run_job(inner, &job.label, &job.spec);
+        match &outcome {
+            Ok(_) => {
+                inner.metrics.completed.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => {
+                inner.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                if matches!(e, JobError::Timeout { .. }) {
+                    inner.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        let mut state = inner.state.lock().expect("service state poisoned");
+        state.outcomes.insert(job.id, (job.label, outcome));
+        state.finished += 1;
+        inner.outcome_ready.notify_all();
+    }
+}
+
+fn check_deadline(start: Instant, limit_ms: Option<u64>) -> Result<(), JobError> {
+    match limit_ms {
+        Some(ms) if start.elapsed() >= Duration::from_millis(ms) => {
+            Err(JobError::Timeout { limit_ms: ms })
+        }
+        _ => Ok(()),
+    }
+}
+
+fn run_job(inner: &Inner, label: &str, spec: &JobSpec) -> JobOutcome {
+    let start = Instant::now();
+    let limit_ms = spec.timeout_ms.or(inner.config.default_timeout_ms);
+    check_deadline(start, limit_ms)?;
+
+    let load_start = Instant::now();
+    let mut trace = load_trace(&spec.trace)?;
+    if spec.line_bits > 0 {
+        trace = trace.block_aligned(spec.line_bits);
+    }
+    inner
+        .metrics
+        .record_stage(Stage::Load, load_start.elapsed());
+    check_deadline(start, limit_ms)?;
+
+    let max_index_bits = spec.max_index_bits.unwrap_or_else(|| trace.address_bits());
+    let key = ArtifactKey::of(&trace, max_index_bits);
+    let metrics = &inner.metrics;
+    let (artifacts, found) = inner.cache.get_or_build(key, || {
+        let analyze_start = Instant::now();
+        let built = TraceArtifacts::build(&trace, max_index_bits);
+        metrics.record_stage(Stage::Analyze, analyze_start.elapsed());
+        built.map_err(JobError::from)
+    })?;
+    match found {
+        Found::Hit => {
+            metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+            if inner.config.validate {
+                validate_artifacts(inner, &key, &artifacts)?;
+            }
+        }
+        Found::Miss => {
+            metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    check_deadline(start, limit_ms)?;
+
+    let frontier_start = Instant::now();
+    let result = artifacts.exploration.result(spec.budget)?;
+    metrics.record_stage(Stage::Frontier, frontier_start.elapsed());
+
+    let total = start.elapsed();
+    metrics.record_stage(Stage::Total, total);
+    Ok(JobOutput {
+        id: label.to_owned(),
+        result,
+        cache_hit: found == Found::Hit,
+        digest: key.digest,
+        total_micros: u64::try_from(total.as_micros()).unwrap_or(u64::MAX),
+    })
+}
+
+fn validate_artifacts(
+    inner: &Inner,
+    key: &ArtifactKey,
+    artifacts: &TraceArtifacts,
+) -> Result<(), JobError> {
+    inner.metrics.validations.fetch_add(1, Ordering::Relaxed);
+    let report = check_artifacts(
+        &artifacts.zero_one,
+        &BcatSnapshot::of(&artifacts.bcat),
+        &MrctSnapshot::of(&artifacts.mrct),
+        &artifacts.stripped,
+    );
+    if report.is_clean() {
+        Ok(())
+    } else {
+        inner.cache.evict(key);
+        Err(JobError::ArtifactCorrupt(report.to_json().render()))
+    }
+}
+
+fn load_trace(source: &TraceSource) -> Result<Trace, JobError> {
+    match source {
+        TraceSource::File(path) => {
+            let file = std::fs::File::open(path)
+                .map_err(|e| JobError::Trace(format!("cannot open {path}: {e}")))?;
+            read_din(std::io::BufReader::new(file))
+                .map_err(|e| JobError::Trace(format!("{path}: {e}")))
+        }
+        TraceSource::Workload { name, side, seed } => {
+            let kernel = cachedse_workloads::by_name(name).ok_or_else(|| {
+                JobError::Trace(format!("unknown kernel {name:?}; see `cachedse workloads`"))
+            })?;
+            let run = match seed {
+                Some(seed) => kernel.capture_with_seed(*seed),
+                None => kernel.capture(),
+            };
+            Ok(match side {
+                TraceSide::Data => run.data,
+                TraceSide::Instr => run.instr,
+            })
+        }
+        TraceSource::Pattern(spec) => Ok(match *spec {
+            PatternSpec::Loop {
+                base,
+                len,
+                iterations,
+            } => generate::loop_pattern(base, len, iterations),
+            PatternSpec::Stride {
+                base,
+                stride,
+                count,
+                iterations,
+            } => generate::strided(base, stride, count, iterations),
+            PatternSpec::Random { len, space, seed } => generate::uniform_random(len, space, seed),
+            PatternSpec::Phases {
+                phases,
+                len,
+                ws,
+                seed,
+            } => generate::working_set_phases(phases, len, ws, seed),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachedse_core::MissBudget;
+
+    fn loop_spec(id: &str, iterations: u32, budget: u64) -> JobSpec {
+        JobSpec {
+            id: Some(id.to_owned()),
+            trace: TraceSource::Pattern(PatternSpec::Loop {
+                base: 0,
+                len: 64,
+                iterations,
+            }),
+            budget: MissBudget::Absolute(budget),
+            max_index_bits: None,
+            line_bits: 0,
+            timeout_ms: None,
+        }
+    }
+
+    #[test]
+    fn runs_a_job_end_to_end() {
+        let service = Service::start(ServiceConfig::default());
+        let id = service.submit(loop_spec("basic", 10, 0)).unwrap();
+        let (label, outcome) = service.wait(id);
+        assert_eq!(label, "basic");
+        let output = outcome.unwrap();
+        assert!(!output.cache_hit);
+        assert!(!output.result.pairs().is_empty());
+        let stats = service.shutdown();
+        assert_eq!(stats.accepted, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.cache_misses, 1);
+    }
+
+    #[test]
+    fn identical_traces_share_one_analysis() {
+        let service = Service::start(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let ids: Vec<JobId> = (0u64..4)
+            .map(|i| service.submit(loop_spec(&format!("j{i}"), 10, i)).unwrap())
+            .collect();
+        for (i, id) in ids.iter().enumerate() {
+            let (_, outcome) = service.wait(*id);
+            assert_eq!(outcome.unwrap().cache_hit, i > 0);
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.cache_hits, 3);
+    }
+
+    #[test]
+    fn zero_timeout_deterministically_times_out() {
+        let service = Service::start(ServiceConfig::default());
+        let mut spec = loop_spec("deadline", 10, 0);
+        spec.timeout_ms = Some(0);
+        let id = service.submit(spec).unwrap();
+        let (_, outcome) = service.wait(id);
+        assert_eq!(outcome.unwrap_err(), JobError::Timeout { limit_ms: 0 });
+        let stats = service.shutdown();
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.timeouts, 1);
+    }
+
+    #[test]
+    fn unknown_kernel_is_a_structured_trace_error() {
+        let service = Service::start(ServiceConfig::default());
+        let spec = JobSpec {
+            id: None,
+            trace: TraceSource::Workload {
+                name: "doom".to_owned(),
+                side: TraceSide::Data,
+                seed: None,
+            },
+            budget: MissBudget::Absolute(0),
+            max_index_bits: None,
+            line_bits: 0,
+            timeout_ms: None,
+        };
+        let id = service.submit(spec).unwrap();
+        let (label, outcome) = service.wait(id);
+        assert_eq!(label, "job-0");
+        assert!(matches!(outcome.unwrap_err(), JobError::Trace(_)));
+    }
+
+    #[test]
+    fn submit_rejects_at_queue_bound_but_blocking_waits() {
+        let service = Service::start(ServiceConfig {
+            workers: 1,
+            queue_depth: 1,
+            ..ServiceConfig::default()
+        });
+        // A slow first job keeps the worker busy while we saturate the queue.
+        let slow = loop_spec("slow", 2000, 0);
+        let slow_id = service.submit(slow).unwrap();
+        let mut rejected = 0;
+        let mut admitted = Vec::new();
+        for i in 0..24 {
+            match service.submit(loop_spec(&format!("fill{i}"), 2000, 0)) {
+                Ok(id) => admitted.push(id),
+                Err(JobError::QueueFull { depth }) => {
+                    assert_eq!(depth, 1);
+                    rejected += 1;
+                }
+                Err(other) => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(rejected > 0, "queue bound never hit");
+        // Blocking submission still lands despite the bound.
+        let late_id = service.submit_blocking(loop_spec("late", 10, 0)).unwrap();
+        let (_, outcome) = service.wait(slow_id);
+        outcome.unwrap();
+        for id in admitted {
+            let (_, outcome) = service.wait(id);
+            outcome.unwrap();
+        }
+        let (label, outcome) = service.wait(late_id);
+        assert_eq!(label, "late");
+        outcome.unwrap();
+        let stats = service.shutdown();
+        assert_eq!(stats.rejected, rejected);
+    }
+
+    #[test]
+    fn shutdown_rejects_new_work_and_drains_queue() {
+        let mut service = Service::start(ServiceConfig::default());
+        let id = service.submit(loop_spec("before", 10, 0)).unwrap();
+        service.drain();
+        service.stop_and_join();
+        let err = service.submit(loop_spec("after", 10, 0)).unwrap_err();
+        assert_eq!(err, JobError::Shutdown);
+        let (_, outcome) = service.poll(id).unwrap();
+        outcome.unwrap();
+    }
+
+    #[test]
+    fn validate_mode_counts_validations() {
+        let service = Service::start(ServiceConfig {
+            workers: 1,
+            validate: true,
+            ..ServiceConfig::default()
+        });
+        let a = service.submit(loop_spec("a", 10, 0)).unwrap();
+        let b = service.submit(loop_spec("b", 10, 1)).unwrap();
+        service.wait(a).1.unwrap();
+        service.wait(b).1.unwrap();
+        let stats = service.shutdown();
+        // Only the cache hit (job b) is re-validated.
+        assert_eq!(stats.validations, 1);
+        assert_eq!(stats.cache_hits, 1);
+    }
+
+    #[test]
+    fn missing_file_is_a_structured_error() {
+        let err = load_trace(&TraceSource::File("/nonexistent/trace.din".into())).unwrap_err();
+        assert!(matches!(err, JobError::Trace(_)));
+        assert!(err.to_string().contains("/nonexistent/trace.din"));
+    }
+}

@@ -1,0 +1,137 @@
+//! Cross-budget artifact reuse: the service's cached answers must be
+//! byte-for-byte identical to fresh single-shot pipeline runs, with
+//! exactly one artifact build for any number of budgets on one trace.
+
+use cachedse_core::{DesignSpaceExplorer, ExplorationResult, MissBudget};
+use cachedse_json::Value;
+use cachedse_serve::{JobSpec, PatternSpec, Service, ServiceConfig, TraceSource};
+use cachedse_trace::generate;
+
+const PHASES: u32 = 4;
+const LEN: u32 = 2_000;
+const WS: u32 = 128;
+const SEED: u64 = 42;
+
+const BUDGETS: [MissBudget; 6] = [
+    MissBudget::Absolute(0),
+    MissBudget::Absolute(100),
+    MissBudget::Absolute(1_000),
+    MissBudget::FractionOfMax(0.01),
+    MissBudget::FractionOfMax(0.05),
+    MissBudget::FractionOfMax(0.25),
+];
+
+fn spec_for(budget: MissBudget, index: usize) -> JobSpec {
+    JobSpec {
+        id: Some(format!("budget-{index}")),
+        trace: TraceSource::Pattern(PatternSpec::Phases {
+            phases: PHASES,
+            len: LEN,
+            ws: WS,
+            seed: SEED,
+        }),
+        budget,
+        max_index_bits: None,
+        line_bits: 0,
+        timeout_ms: None,
+    }
+}
+
+/// Serializes everything budget-dependent in a result so equality is
+/// checked on bytes, not just on `PartialEq`.
+fn frontier_bytes(result: &ExplorationResult) -> String {
+    let points = Value::array(result.pairs().iter().map(|p| {
+        Value::object([
+            ("depth", Value::from(p.depth)),
+            ("assoc", Value::from(p.associativity)),
+            (
+                "misses",
+                Value::from(result.misses_of(p.depth).unwrap_or(0)),
+            ),
+        ])
+    }));
+    Value::object([
+        ("budget", Value::from(result.budget())),
+        ("frontier", points),
+    ])
+    .render()
+}
+
+#[test]
+fn cached_frontiers_match_single_shot_runs_byte_for_byte() {
+    // The ground truth: a fresh, cache-free pipeline run per budget.
+    let trace = generate::working_set_phases(PHASES, LEN, WS, SEED);
+    let fresh: Vec<ExplorationResult> = BUDGETS
+        .iter()
+        .map(|&budget| {
+            DesignSpaceExplorer::new(&trace)
+                .prepare()
+                .unwrap()
+                .result(budget)
+                .unwrap()
+        })
+        .collect();
+
+    // The same budgets through the service's artifact cache.
+    let service = Service::start(ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    });
+    let ids: Vec<_> = BUDGETS
+        .iter()
+        .enumerate()
+        .map(|(i, &budget)| service.submit(spec_for(budget, i)).unwrap())
+        .collect();
+    let served: Vec<_> = ids
+        .into_iter()
+        .map(|id| {
+            let (label, outcome) = service.wait(id);
+            outcome.unwrap_or_else(|e| panic!("{label}: {e}"))
+        })
+        .collect();
+
+    for (index, (fresh_result, output)) in fresh.iter().zip(&served).enumerate() {
+        assert_eq!(
+            output.result, *fresh_result,
+            "budget #{index}: served result diverges from single-shot run"
+        );
+        assert_eq!(
+            frontier_bytes(&output.result),
+            frontier_bytes(fresh_result),
+            "budget #{index}: serialized frontiers differ"
+        );
+    }
+
+    // All six jobs share one digest, and the cache built exactly once.
+    assert!(served.windows(2).all(|w| w[0].digest == w[1].digest));
+    assert!(!served[0].cache_hit);
+    assert!(served[1..].iter().all(|o| o.cache_hit));
+    assert_eq!(service.cached_traces(), 1);
+    let stats = service.shutdown();
+    assert_eq!(stats.cache_misses, 1, "expected exactly one artifact build");
+    assert_eq!(stats.cache_hits, (BUDGETS.len() - 1) as u64);
+    assert_eq!(stats.completed, BUDGETS.len() as u64);
+}
+
+#[test]
+fn validation_mode_does_not_change_the_answers() {
+    let service = Service::start(ServiceConfig {
+        workers: 1,
+        validate: true,
+        ..ServiceConfig::default()
+    });
+    let plain = Service::start(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    });
+    for (i, &budget) in BUDGETS.iter().enumerate() {
+        let a = service.submit(spec_for(budget, i)).unwrap();
+        let b = plain.submit(spec_for(budget, i)).unwrap();
+        let (_, a) = service.wait(a);
+        let (_, b) = plain.wait(b);
+        assert_eq!(a.unwrap().result, b.unwrap().result);
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.validations, (BUDGETS.len() - 1) as u64);
+    assert_eq!(stats.cache_misses, 1);
+}

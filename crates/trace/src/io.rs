@@ -40,8 +40,12 @@ pub enum ParseTraceError {
     Io(io::Error),
     /// A line was not of the form `<label> <hex-address>`.
     Malformed {
-        /// 1-based line number of the offending line.
+        /// 1-based line number of the offending line (record number for the
+        /// binary format).
         line: usize,
+        /// 0-based byte offset of the start of the offending line (or
+        /// record) within the input.
+        offset: u64,
         /// What was wrong with it.
         reason: MalformedReason,
     },
@@ -62,13 +66,20 @@ impl fmt::Display for ParseTraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::Io(e) => write!(f, "trace i/o error: {e}"),
-            Self::Malformed { line, reason } => {
+            Self::Malformed {
+                line,
+                offset,
+                reason,
+            } => {
                 let what = match reason {
                     MalformedReason::FieldCount => "expected `<label> <hex-address>`",
                     MalformedReason::BadLabel => "label must be 0, 1, or 2",
                     MalformedReason::BadAddress => "address must be hexadecimal",
                 };
-                write!(f, "malformed trace line {line}: {what}")
+                write!(
+                    f,
+                    "malformed trace line {line} (byte offset {offset}): {what}"
+                )
             }
         }
     }
@@ -100,11 +111,20 @@ impl From<io::Error> for ParseTraceError {
 /// [`ParseTraceError::Malformed`] (with a 1-based line number) on the first
 /// syntactically invalid line.
 pub fn read_din<R: Read>(reader: R) -> Result<Trace, ParseTraceError> {
-    let buf = BufReader::new(reader);
+    let mut buf = BufReader::new(reader);
     let mut trace = Trace::new();
-    for (idx, line) in buf.lines().enumerate() {
-        let line = line?;
-        let line_no = idx + 1;
+    let mut line = String::new();
+    let mut line_no = 0usize;
+    let mut offset = 0u64;
+    loop {
+        line.clear();
+        let consumed = buf.read_line(&mut line)?;
+        if consumed == 0 {
+            break;
+        }
+        line_no += 1;
+        let line_start = offset;
+        offset += consumed as u64;
         let text = line.trim();
         if text.is_empty() || text.starts_with('#') {
             continue;
@@ -113,6 +133,7 @@ pub fn read_din<R: Read>(reader: R) -> Result<Trace, ParseTraceError> {
         let (Some(label), Some(addr), None) = (fields.next(), fields.next(), fields.next()) else {
             return Err(ParseTraceError::Malformed {
                 line: line_no,
+                offset: line_start,
                 reason: MalformedReason::FieldCount,
             });
         };
@@ -122,11 +143,13 @@ pub fn read_din<R: Read>(reader: R) -> Result<Trace, ParseTraceError> {
             .and_then(AccessKind::from_label)
             .ok_or(ParseTraceError::Malformed {
                 line: line_no,
+                offset: line_start,
                 reason: MalformedReason::BadLabel,
             })?;
         let raw = u32::from_str_radix(addr.trim_start_matches("0x"), 16).map_err(|_| {
             ParseTraceError::Malformed {
                 line: line_no,
+                offset: line_start,
                 reason: MalformedReason::BadAddress,
             }
         })?;
@@ -184,6 +207,7 @@ pub fn read_bin<R: Read>(reader: R) -> Result<Trace, ParseTraceError> {
     if magic != BIN_MAGIC {
         return Err(ParseTraceError::Malformed {
             line: 0,
+            offset: 0,
             reason: MalformedReason::BadLabel,
         });
     }
@@ -196,6 +220,7 @@ pub fn read_bin<R: Read>(reader: R) -> Result<Trace, ParseTraceError> {
         reader.read_exact(&mut record)?;
         let kind = AccessKind::from_label(record[0]).ok_or(ParseTraceError::Malformed {
             line: usize::try_from(i + 1).unwrap_or(usize::MAX),
+            offset: (BIN_MAGIC.len() as u64) + 8 + i * 5,
             reason: MalformedReason::BadLabel,
         })?;
         let addr = u32::from_le_bytes([record[1], record[2], record[3], record[4]]);
@@ -236,8 +261,13 @@ mod tests {
     fn rejects_wrong_field_count() {
         let err = read_din("0 b extra\n".as_bytes()).unwrap_err();
         match err {
-            ParseTraceError::Malformed { line, reason } => {
+            ParseTraceError::Malformed {
+                line,
+                offset,
+                reason,
+            } => {
                 assert_eq!(line, 1);
+                assert_eq!(offset, 0);
                 assert_eq!(reason, MalformedReason::FieldCount);
             }
             other => panic!("unexpected error: {other}"),
@@ -248,8 +278,13 @@ mod tests {
     fn rejects_bad_label() {
         let err = read_din("0 b\n7 c\n".as_bytes()).unwrap_err();
         match err {
-            ParseTraceError::Malformed { line, reason } => {
+            ParseTraceError::Malformed {
+                line,
+                offset,
+                reason,
+            } => {
                 assert_eq!(line, 2);
+                assert_eq!(offset, 4); // "0 b\n" is four bytes
                 assert_eq!(reason, MalformedReason::BadLabel);
             }
             other => panic!("unexpected error: {other}"),
@@ -268,16 +303,82 @@ mod tests {
     }
 
     #[test]
+    fn non_hex_address_reports_line_and_offset() {
+        // Comments and blank lines still advance the byte offset.
+        let text = "# header line\n\n0 b\n1 0xQQ\n";
+        let err = read_din(text.as_bytes()).unwrap_err();
+        match err {
+            ParseTraceError::Malformed {
+                line,
+                offset,
+                reason,
+            } => {
+                assert_eq!(line, 4);
+                assert_eq!(offset, 19); // 14 (comment) + 1 (blank) + 4 ("0 b\n")
+                assert_eq!(reason, MalformedReason::BadAddress);
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+        assert!(err.to_string().contains("line 4"));
+        assert!(err.to_string().contains("byte offset 19"));
+    }
+
+    #[test]
+    fn truncated_line_reports_field_count_at_its_offset() {
+        // A final line cut mid-record (no address, no newline).
+        let err = read_din("0 b\n1\n".as_bytes()).unwrap_err();
+        match err {
+            ParseTraceError::Malformed {
+                line,
+                offset,
+                reason,
+            } => {
+                assert_eq!(line, 2);
+                assert_eq!(offset, 4);
+                assert_eq!(reason, MalformedReason::FieldCount);
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+        // The same truncation without a trailing newline behaves identically.
+        let err = read_din("0 b\n1".as_bytes()).unwrap_err();
+        assert!(matches!(
+            err,
+            ParseTraceError::Malformed {
+                line: 2,
+                offset: 4,
+                reason: MalformedReason::FieldCount
+            }
+        ));
+    }
+
+    #[test]
+    fn empty_file_is_an_empty_trace() {
+        assert_eq!(read_din(&b""[..]).unwrap(), Trace::new());
+        // Whitespace- and comment-only files parse as empty too.
+        assert_eq!(
+            read_din(&b"\n# only a comment\n\n"[..]).unwrap(),
+            Trace::new()
+        );
+        // But an empty *binary* file is a truncation error: the magic is
+        // mandatory.
+        assert!(matches!(
+            read_bin(&b""[..]).unwrap_err(),
+            ParseTraceError::Io(_)
+        ));
+    }
+
+    #[test]
     fn error_is_send_sync_and_displays() {
         fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
         assert_err::<ParseTraceError>();
         let e = ParseTraceError::Malformed {
             line: 3,
+            offset: 17,
             reason: MalformedReason::BadLabel,
         };
         assert_eq!(
             e.to_string(),
-            "malformed trace line 3: label must be 0, 1, or 2"
+            "malformed trace line 3 (byte offset 17): label must be 0, 1, or 2"
         );
     }
 
@@ -331,6 +432,7 @@ mod tests {
             err,
             ParseTraceError::Malformed {
                 line: 1,
+                offset: 12, // magic (4) + record count (8)
                 reason: MalformedReason::BadLabel
             }
         ));
