@@ -1,0 +1,389 @@
+//! `perf_report` — the workspace's machine-readable perf trajectory.
+//!
+//! Times every prelude phase (`strip`, `bcat`, `mrct`), every engine of the
+//! §2.4 depth-first comparison (`depth_first`, `depth_first_parallel` at
+//! pinned worker counts, `tree_table`), and the end-to-end exploration over
+//! the benchmark kernels, then writes `BENCH_dfs.json` at the repo root —
+//! schema `cachedse-bench-dfs/v1`, documented in `DESIGN.md` §11.
+//!
+//! ```text
+//! perf_report [--quick] [--samples N] [--out FILE]
+//! perf_report --check FILE        # validate an existing report's schema
+//! ```
+//!
+//! `--quick` restricts the run to two small kernels (the CI bench-smoke
+//! job); the full mode covers all 12 kernels × data+instr. Every emitted
+//! report is re-parsed with `cachedse-json` and schema-checked before it is
+//! written, so a zero exit status guarantees a well-formed file.
+//!
+//! Each kernel row also carries the recorded **pre-rewrite** serial
+//! depth-first median (captured on this workspace immediately before the
+//! scratch-arena engine landed) and the speedup against it, so the
+//! trajectory keeps its origin visible.
+
+use std::num::NonZeroUsize;
+use std::process::ExitCode;
+
+use cachedse_bench::{all_traces, crit::measure, NamedTrace};
+use cachedse_core::{dfs, postlude, Bcat, DesignSpaceExplorer, MissBudget, Mrct};
+use cachedse_json::Value;
+use cachedse_trace::strip::StrippedTrace;
+use cachedse_trace::Trace;
+
+/// Schema tag of the emitted report.
+const SCHEMA: &str = "cachedse-bench-dfs/v1";
+
+/// The two small kernels `--quick` keeps (CI smoke coverage of one data and
+/// one instruction trace without the multi-minute full sweep).
+const QUICK_KERNELS: [&str; 2] = ["qurt.data", "blit.data"];
+
+/// Worker counts the parallel engine is pinned to.
+const PARALLEL_WORKERS: [usize; 3] = [1, 2, 4];
+
+/// Median serial depth-first ns/iter per kernel recorded on this workspace
+/// immediately **before** the scratch-arena rewrite (per-node `Vec` +
+/// `HashMap` engine), same capture parameters and measurement method.
+const PRE_REWRITE_DEPTH_FIRST_NS: [(&str, f64); 24] = [
+    ("adpcm.data", 72_551_730.0),
+    ("adpcm.instr", 180_989_132.0),
+    ("bcnt.data", 52_270_690.0),
+    ("bcnt.instr", 71_009_899.0),
+    ("blit.data", 7_186_187.0),
+    ("blit.instr", 15_691_798.0),
+    ("compress.data", 84_104_049.0),
+    ("compress.instr", 212_449_988.0),
+    ("crc.data", 33_036_685.0),
+    ("crc.instr", 74_769_259.0),
+    ("des.data", 49_890_287.0),
+    ("des.instr", 89_731_499.0),
+    ("engine.data", 30_707_475.0),
+    ("engine.instr", 56_429_021.0),
+    ("fir.data", 215_684_815.0),
+    ("fir.instr", 586_823_076.0),
+    ("g3fax.data", 95_290_439.0),
+    ("g3fax.instr", 198_173_183.0),
+    ("pocsag.data", 10_630_082.0),
+    ("pocsag.instr", 56_832_610.0),
+    ("qurt.data", 4_851_668.0),
+    ("qurt.instr", 47_034_774.0),
+    ("ucbqsort.data", 114_461_291.0),
+    ("ucbqsort.instr", 173_617_308.0),
+];
+
+fn default_out_path() -> String {
+    format!("{}/../../BENCH_dfs.json", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut samples: Option<usize> = None;
+    let mut out = default_out_path();
+    let mut check: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--samples" => match iter.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n >= 2 => samples = Some(n),
+                _ => return usage("--samples expects an integer >= 2"),
+            },
+            "--out" => match iter.next() {
+                Some(path) => out = path.clone(),
+                None => return usage("--out expects a path"),
+            },
+            "--check" => match iter.next() {
+                Some(path) => check = Some(path.clone()),
+                None => return usage("--check expects a path"),
+            },
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    if let Some(path) = check {
+        return check_existing(&path);
+    }
+
+    let samples = samples.unwrap_or(if quick { 3 } else { 5 });
+    let report = run_report(quick, samples);
+    let rendered = report.render();
+    if let Err(e) = validate_report(&rendered) {
+        eprintln!("perf_report: emitted report failed its own schema: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&out, rendered + "\n") {
+        eprintln!("perf_report: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out}");
+    ExitCode::SUCCESS
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!(
+        "perf_report: {problem}\n\
+         usage: perf_report [--quick] [--samples N] [--out FILE] | --check FILE"
+    );
+    ExitCode::FAILURE
+}
+
+fn check_existing(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("perf_report: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match validate_report(&text) {
+        Ok(kernels) => {
+            println!("{path}: valid {SCHEMA} report, {kernels} kernel(s)");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("perf_report: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_report(quick: bool, samples: usize) -> Value {
+    let mut traces = all_traces();
+    if quick {
+        traces.retain(|t| QUICK_KERNELS.contains(&t.label().as_str()));
+    }
+    let host = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+
+    eprintln!(
+        "perf_report: {} trace(s), {samples} samples, host parallelism {host}",
+        traces.len()
+    );
+    println!(
+        "{:<16} {:>13} {:>13} {:>13} {:>13} {:>13} {:>8} {:>8}",
+        "kernel", "dfs ns", "par1 ns", "par2 ns", "par4 ns", "tree ns", "vs-tree", "vs-base"
+    );
+
+    let kernels: Vec<Value> = traces
+        .iter()
+        .map(|named| {
+            let row = measure_trace(named, samples);
+            print_row(named, &row);
+            row.to_json(named)
+        })
+        .collect();
+
+    Value::object([
+        ("schema", Value::from(SCHEMA)),
+        ("mode", Value::from(if quick { "quick" } else { "full" })),
+        ("samples", Value::from(samples as u64)),
+        ("host_parallelism", Value::from(host as u64)),
+        ("kernels", Value::array(kernels)),
+    ])
+}
+
+/// All medians measured for one trace, in nanoseconds per iteration.
+struct TraceRow {
+    refs: u64,
+    unique: u64,
+    address_bits: u32,
+    strip_ns: f64,
+    bcat_ns: f64,
+    mrct_ns: f64,
+    depth_first_ns: f64,
+    parallel_ns: [f64; PARALLEL_WORKERS.len()],
+    tree_table_ns: f64,
+    end_to_end_ns: f64,
+}
+
+fn measure_trace(named: &NamedTrace, samples: usize) -> TraceRow {
+    let trace: &Trace = &named.trace;
+    let stripped = StrippedTrace::from_trace(trace);
+    let bits = trace.address_bits();
+
+    let strip_ns = measure(samples, || StrippedTrace::from_trace(trace));
+    let bcat_ns = measure(samples, || Bcat::from_stripped(&stripped, bits));
+    let mrct_ns = measure(samples, || Mrct::build(&stripped));
+    let depth_first_ns = measure(samples, || dfs::level_profiles(&stripped, bits));
+    let parallel_ns = PARALLEL_WORKERS.map(|workers| {
+        let workers = NonZeroUsize::new(workers).expect("nonzero");
+        measure(samples, || {
+            dfs::level_profiles_parallel(&stripped, bits, workers)
+        })
+    });
+    let tree_table_ns = measure(samples, || {
+        let bcat = Bcat::from_stripped(&stripped, bits);
+        let mrct = Mrct::build(&stripped);
+        postlude::level_profiles(&bcat, &mrct, &stripped, bits)
+    });
+    let end_to_end_ns = measure(samples, || {
+        DesignSpaceExplorer::new(trace)
+            .max_index_bits(bits)
+            .explore(MissBudget::FractionOfMax(0.10))
+            .expect("non-empty kernel trace")
+    });
+
+    TraceRow {
+        refs: stripped.total_len() as u64,
+        unique: stripped.unique_len() as u64,
+        address_bits: bits,
+        strip_ns,
+        bcat_ns,
+        mrct_ns,
+        depth_first_ns,
+        parallel_ns,
+        tree_table_ns,
+        end_to_end_ns,
+    }
+}
+
+fn baseline_of(label: &str) -> Option<f64> {
+    PRE_REWRITE_DEPTH_FIRST_NS
+        .iter()
+        .find(|(name, _)| *name == label)
+        .map(|&(_, ns)| ns)
+}
+
+fn print_row(named: &NamedTrace, row: &TraceRow) {
+    let label = named.label();
+    let vs_tree = row.tree_table_ns / row.depth_first_ns;
+    let vs_base = baseline_of(&label).map_or_else(
+        || "-".to_owned(),
+        |b| format!("{:.2}x", b / row.depth_first_ns),
+    );
+    println!(
+        "{label:<16} {:>13.0} {:>13.0} {:>13.0} {:>13.0} {:>13.0} {vs_tree:>7.2}x {vs_base:>8}",
+        row.depth_first_ns,
+        row.parallel_ns[0],
+        row.parallel_ns[1],
+        row.parallel_ns[2],
+        row.tree_table_ns,
+    );
+}
+
+impl TraceRow {
+    fn to_json(&self, named: &NamedTrace) -> Value {
+        let label = named.label();
+        let engines = Value::object(
+            [
+                ("depth_first".to_owned(), Value::from(self.depth_first_ns)),
+                ("tree_table".to_owned(), Value::from(self.tree_table_ns)),
+            ]
+            .into_iter()
+            .chain(
+                PARALLEL_WORKERS
+                    .iter()
+                    .zip(self.parallel_ns)
+                    .map(|(workers, ns)| {
+                        (format!("depth_first_parallel_{workers}"), Value::from(ns))
+                    }),
+            ),
+        );
+        let baseline = baseline_of(&label).map_or(Value::Null, |ns| {
+            Value::object([
+                ("depth_first_ns", Value::from(ns)),
+                ("speedup", Value::from(ns / self.depth_first_ns)),
+            ])
+        });
+        Value::object([
+            ("label", Value::from(label)),
+            ("refs", Value::from(self.refs)),
+            ("unique", Value::from(self.unique)),
+            ("address_bits", Value::from(self.address_bits)),
+            (
+                "phases_ns",
+                Value::object([
+                    ("strip", Value::from(self.strip_ns)),
+                    ("bcat", Value::from(self.bcat_ns)),
+                    ("mrct", Value::from(self.mrct_ns)),
+                ]),
+            ),
+            ("engines_ns", engines),
+            ("end_to_end_ns", Value::from(self.end_to_end_ns)),
+            (
+                "speedup_vs_tree_table",
+                Value::from(self.tree_table_ns / self.depth_first_ns),
+            ),
+            ("pre_rewrite", baseline),
+        ])
+    }
+}
+
+/// Parses `text` with `cachedse-json` and verifies every field the
+/// `cachedse-bench-dfs/v1` schema requires. Returns the kernel count.
+fn validate_report(text: &str) -> Result<usize, String> {
+    let value = Value::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let schema = value
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("missing \"schema\"")?;
+    if schema != SCHEMA {
+        return Err(format!("schema is {schema:?}, expected {SCHEMA:?}"));
+    }
+    match value.get("mode").and_then(Value::as_str) {
+        Some("quick" | "full") => {}
+        other => return Err(format!("bad \"mode\": {other:?}")),
+    }
+    for field in ["samples", "host_parallelism"] {
+        value
+            .get(field)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("missing numeric {field:?}"))?;
+    }
+    let kernels = value
+        .get("kernels")
+        .and_then(Value::as_array)
+        .ok_or("missing \"kernels\" array")?;
+    if kernels.is_empty() {
+        return Err("empty \"kernels\" array".to_owned());
+    }
+    for kernel in kernels {
+        let label = kernel
+            .get("label")
+            .and_then(Value::as_str)
+            .ok_or("kernel missing \"label\"")?;
+        let context = |field: &str| format!("kernel {label:?} missing numeric {field:?}");
+        for field in ["refs", "unique", "address_bits"] {
+            kernel
+                .get(field)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| context(field))?;
+        }
+        for field in ["end_to_end_ns", "speedup_vs_tree_table"] {
+            positive(kernel.get(field), &context(field))?;
+        }
+        let phases = kernel
+            .get("phases_ns")
+            .ok_or_else(|| format!("kernel {label:?} missing \"phases_ns\""))?;
+        for field in ["strip", "bcat", "mrct"] {
+            positive(phases.get(field), &context(field))?;
+        }
+        let engines = kernel
+            .get("engines_ns")
+            .ok_or_else(|| format!("kernel {label:?} missing \"engines_ns\""))?;
+        let mut engine_fields = vec!["depth_first".to_owned(), "tree_table".to_owned()];
+        engine_fields.extend(
+            PARALLEL_WORKERS
+                .iter()
+                .map(|w| format!("depth_first_parallel_{w}")),
+        );
+        for field in &engine_fields {
+            positive(engines.get(field), &context(field))?;
+        }
+        match kernel.get("pre_rewrite") {
+            Some(Value::Null) | None => {}
+            Some(baseline) => {
+                for field in ["depth_first_ns", "speedup"] {
+                    positive(baseline.get(field), &context(field))?;
+                }
+            }
+        }
+    }
+    Ok(kernels.len())
+}
+
+fn positive(value: Option<&Value>, problem: &str) -> Result<f64, String> {
+    match value.and_then(Value::as_f64) {
+        Some(v) if v > 0.0 && v.is_finite() => Ok(v),
+        _ => Err(problem.to_owned()),
+    }
+}

@@ -179,6 +179,16 @@ impl Bencher {
     }
 }
 
+/// Times `routine` exactly like [`Bencher::iter`] (calibrated batches,
+/// median of `sample_size` samples) and returns the median nanoseconds per
+/// iteration — the programmatic entry point `perf_report` uses to emit
+/// machine-readable numbers instead of console lines.
+pub fn measure<O>(sample_size: usize, routine: impl FnMut() -> O) -> f64 {
+    let mut bencher = Bencher::new(sample_size.max(2));
+    bencher.iter(routine);
+    bencher.median_ns.expect("iter records a median")
+}
+
 fn format_ns(ns: f64) -> String {
     if ns >= 1e9 {
         format!("{:.3} s", ns / 1e9)
@@ -238,6 +248,12 @@ mod tests {
         });
         assert!(ran);
         group.finish();
+    }
+
+    #[test]
+    fn measure_returns_positive_medians() {
+        let ns = measure(2, || std::hint::black_box(3u64).wrapping_mul(7));
+        assert!(ns > 0.0);
     }
 
     #[test]

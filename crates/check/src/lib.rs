@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod bcat;
+pub mod engines;
 pub mod fault;
 pub mod frontier;
 pub mod mrct;
@@ -49,6 +50,7 @@ use cachedse_trace::strip::StrippedTrace;
 use cachedse_trace::Trace;
 
 pub use bcat::{check_bcat, check_bcat_live, BcatNodeSnapshot, BcatSnapshot};
+pub use engines::check_engines;
 pub use fault::{inject_bcat, inject_mrct, FaultKind};
 pub use frontier::{check_budget_monotonicity, check_frontier};
 pub use mrct::{check_mrct, check_mrct_live, MrctSnapshot};
@@ -87,12 +89,14 @@ pub fn check_artifacts(
         bcat: check_bcat(bcat_snapshot, stripped),
         mrct: check_mrct(mrct_snapshot, stripped),
         frontier: Vec::new(),
+        engine: Vec::new(),
     }
 }
 
 /// Runs the full pipeline on `trace` and verifies every artifact: zero/one
-/// sets, BCAT, MRCT, and the frontier at each of `budgets` (plus budget
-/// monotonicity across them).
+/// sets, BCAT, MRCT, engine agreement (depth-first serial and parallel vs
+/// the tree+table reference), and the frontier at each of `budgets` (plus
+/// budget monotonicity across them).
 ///
 /// # Errors
 ///
@@ -125,6 +129,7 @@ pub fn check_pipeline(
     }
 
     let mut report = check_artifacts(&zo, &bcat_snapshot, &mrct_snapshot, &stripped);
+    report.engine = check_engines(&stripped, max_bits);
 
     let mut explorer = DesignSpaceExplorer::new(trace);
     if let Some(bits) = options.max_index_bits {

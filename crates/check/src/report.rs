@@ -55,6 +55,10 @@ pub enum Invariant {
     /// A looser miss budget demanded more ways than a tighter one at the
     /// same depth.
     FrontierNonMonotoneBudget,
+    /// A conflict-depth engine (depth-first serial or parallel) produced a
+    /// per-level profile different from the tree+table reference; the
+    /// engines are interchangeable only because they are byte-identical.
+    EngineDivergence,
 }
 
 impl fmt::Display for Invariant {
@@ -74,6 +78,7 @@ impl fmt::Display for Invariant {
             Self::FrontierNotMinimal => "frontier-not-minimal",
             Self::FrontierNonMonotoneDepth => "frontier-non-monotone-depth",
             Self::FrontierNonMonotoneBudget => "frontier-non-monotone-budget",
+            Self::EngineDivergence => "engine-divergence",
         };
         f.write_str(name)
     }
@@ -86,6 +91,9 @@ pub enum Location {
     Global,
     /// Address bit `i` (a zero/one set pair).
     Bit(u32),
+    /// Tree level `l` as a whole (depth `2^l`), e.g. one engine's per-level
+    /// conflict-depth profile.
+    Level(u32),
     /// The BCAT node at `level` describing cache row `row`.
     Node {
         /// Tree level (depth `2^level`).
@@ -115,6 +123,7 @@ impl fmt::Display for Location {
         match self {
             Self::Global => write!(f, "global"),
             Self::Bit(i) => write!(f, "bit {i}"),
+            Self::Level(l) => write!(f, "level {l}"),
             Self::Node { level, row } => write!(f, "level {level} row {row}"),
             Self::Occurrence {
                 reference,
@@ -186,6 +195,9 @@ pub struct CheckReport {
     pub mrct: Vec<Violation>,
     /// Frontier minimality and monotonicity violations.
     pub frontier: Vec<Violation>,
+    /// Engine-agreement violations (depth-first engines vs the tree+table
+    /// reference).
+    pub engine: Vec<Violation>,
 }
 
 impl CheckReport {
@@ -198,7 +210,11 @@ impl CheckReport {
     /// Total number of violations across all families.
     #[must_use]
     pub fn total(&self) -> usize {
-        self.zero_one.len() + self.bcat.len() + self.mrct.len() + self.frontier.len()
+        self.zero_one.len()
+            + self.bcat.len()
+            + self.mrct.len()
+            + self.frontier.len()
+            + self.engine.len()
     }
 
     /// Iterates every violation, family by family.
@@ -208,6 +224,7 @@ impl CheckReport {
             .chain(&self.bcat)
             .chain(&self.mrct)
             .chain(&self.frontier)
+            .chain(&self.engine)
     }
 
     /// Renders the whole report as one JSON object: `clean`, per-family
@@ -221,6 +238,7 @@ impl CheckReport {
             ("bcat", Value::from(self.bcat.len())),
             ("mrct", Value::from(self.mrct.len())),
             ("frontier", Value::from(self.frontier.len())),
+            ("engine", Value::from(self.engine.len())),
         ]);
         Value::object([
             ("clean", Value::from(self.is_clean())),
@@ -238,11 +256,12 @@ impl fmt::Display for CheckReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "zero/one: {}, bcat: {}, mrct: {}, frontier: {} violation(s)",
+            "zero/one: {}, bcat: {}, mrct: {}, frontier: {}, engine: {} violation(s)",
             self.zero_one.len(),
             self.bcat.len(),
             self.mrct.len(),
-            self.frontier.len()
+            self.frontier.len(),
+            self.engine.len()
         )?;
         for v in self.iter() {
             writeln!(f, "  {v}")?;

@@ -7,13 +7,16 @@
 //! cachedse stats trace.din
 //! cachedse simulate trace.din --depth 64 --assoc 2 [--policy lru] [--line-bits 0]
 //! cachedse explore trace.din (--misses K | --fraction F) [--max-bits B]
-//!                            [--engine dfs|tree] [--verify] [--format json]
+//!                            [--engine dfs|parallel|tree] [--threads N]
+//!                            [--verify] [--format json]
 //! cachedse sweep trace.din [--max-bits B]        # the paper's K-grid table
 //! cachedse check trace.din [--misses K | --fraction F] [--max-bits B]
 //!                          [--inject-fault <kind>] [--quiet] [--format json]
 //! cachedse batch [jobs.jsonl] [--workers N] [--queue N] [--cache N]
+//!                [--engine dfs|parallel|tree] [--threads N]
 //!                [--timeout-ms MS] [--validate]   # JSONL jobs in, results out
 //! cachedse serve [--bind HOST:PORT] [--workers N] [--queue N] [--cache N]
+//!                [--engine dfs|parallel|tree] [--threads N]
 //!                [--timeout-ms MS] [--validate]   # long-running TCP service
 //! cachedse workloads                             # list the kernels
 //! ```
@@ -33,7 +36,7 @@ use cachedse_sim::{simulate, CacheConfig, Replacement, WritePolicy};
 use cachedse_trace::stats::TraceStats;
 use cachedse_trace::{generate, io::read_din, io::write_din, Trace};
 
-use args::{ArgError, Args};
+use args::Args;
 
 const USAGE: &str = "\
 usage: cachedse <command> [options]
@@ -236,6 +239,15 @@ fn engine_of(args: &Args) -> Result<Engine, Box<dyn std::error::Error>> {
     }
 }
 
+/// `--threads N` for the parallel engine (`None` = available parallelism).
+fn threads_of(args: &Args) -> Result<Option<std::num::NonZeroUsize>, Box<dyn std::error::Error>> {
+    match args.opt::<usize>("threads")? {
+        None => Ok(None),
+        Some(0) => Err("--threads must be at least 1".into()),
+        Some(n) => Ok(std::num::NonZeroUsize::new(n)),
+    }
+}
+
 fn cmd_explore(args: &Args) -> CliResult {
     let trace = load_trace(args)?;
     let budget = match (args.opt::<u64>("misses")?, args.opt::<f64>("fraction")?) {
@@ -245,6 +257,9 @@ fn cmd_explore(args: &Args) -> CliResult {
         (Some(_), Some(_)) => return Err("--misses and --fraction are mutually exclusive".into()),
     };
     let mut explorer = DesignSpaceExplorer::new(&trace).engine(engine_of(args)?);
+    if let Some(threads) = threads_of(args)? {
+        explorer = explorer.threads(threads);
+    }
     if let Some(bits) = args.opt::<u32>("max-bits")? {
         explorer = explorer.max_index_bits(bits);
     }
@@ -415,7 +430,9 @@ fn cmd_check(args: &Args) -> CliResult {
     }
 }
 
-fn service_config_of(args: &Args) -> Result<cachedse_serve::ServiceConfig, ArgError> {
+fn service_config_of(
+    args: &Args,
+) -> Result<cachedse_serve::ServiceConfig, Box<dyn std::error::Error>> {
     let default_workers = std::thread::available_parallelism().map_or(2, std::num::NonZero::get);
     Ok(cachedse_serve::ServiceConfig {
         workers: args.opt_or("workers", default_workers)?,
@@ -423,6 +440,8 @@ fn service_config_of(args: &Args) -> Result<cachedse_serve::ServiceConfig, ArgEr
         cache_capacity: args.opt_or("cache", 16)?,
         default_timeout_ms: args.opt::<u64>("timeout-ms")?,
         validate: args.flag("validate"),
+        engine: engine_of(args)?,
+        threads: threads_of(args)?,
     })
 }
 

@@ -11,54 +11,408 @@
 //! to the references mapping to that row. The per-occurrence conflict depth
 //! `|S ∩ C|` is then simply the number of distinct references touched within
 //! the subtrace since the previous occurrence, computed with a Fenwick tree
-//! in `O(m log m)` for a subtrace of length `m`. Children are produced by
-//! partitioning the subtrace on the next index bit, the parent subtrace is
-//! dropped, and recursion proceeds depth-first — no BCAT, no MRCT, no
-//! conflict sets are ever materialized.
+//! in `O(m log m)` for a subtrace of length `m`.
+//!
+//! ## Memory layout: the hot path is allocation-free
+//!
+//! The recursion threads a reusable [`Scratch`] arena through every node
+//! (see `DESIGN.md` §10):
+//!
+//! * **Per-level partition buffers.** One `Vec<u32>` per tree level, sized
+//!   on first use and never freed. A node at level `l` reads its subtrace
+//!   from a slice of `levels[l]` and partitions it *in place* into
+//!   `levels[l + 1]` with stable two-pointer writes (left side forward from
+//!   the front, right side backward from the back, then the right segment
+//!   is reversed to restore trace order). Because traversal is depth-first,
+//!   the right sibling's slice in `levels[l + 1]` stays intact while the
+//!   entire left subtree runs out of `levels[l + 2..]`.
+//! * **Epoch-stamped scratch sets.** Seen-tracking and last-occurrence
+//!   tracking use dense arrays indexed by `RefId` (`seen_epoch`,
+//!   `last_pos`) with a generation counter bumped once per node — no
+//!   clearing, no hashing. The counter survives wraparound: after 2^32
+//!   sweeps the stamp array is cleared once and the cycle restarts.
+//! * **One Fenwick tree for the whole traversal.** Each sweep leaves a `+1`
+//!   only at the final occurrence of each distinct reference, so the tree
+//!   is restored to all-zeroes in `O(unique · log m)` by undoing exactly
+//!   the touched positions — never reallocated, never rebuilt.
+//! * **Small-set fast path.** A node with at most [`SMALL_SET_MAX`]
+//!   distinct references (the count is known exactly from its parent's
+//!   sweep) skips the Fenwick entirely: the live final-occurrence
+//!   positions fit a sorted L1-resident array, where a conflict depth is
+//!   one binary search and the undo is `clear()`. Long traces over small
+//!   working sets — instruction streams above all — take this path at
+//!   every level.
+//!
+//! The accumulate and partition passes of the old engine are fused into a
+//! single sweep per node: one read of the subtrace feeds the Fenwick
+//! conflict-depth histogram *and* writes both children.
 //!
 //! Output is identical to the tree+table path ([`crate::postlude`]); the
 //! test suite asserts equality.
-
-use std::collections::HashMap;
 
 use cachedse_sim::fenwick::Fenwick;
 use cachedse_sim::onepass::DepthProfile;
 use cachedse_trace::strip::StrippedTrace;
 
-/// Computes the same per-depth miss profiles as
-/// [`postlude::level_profiles`](crate::postlude::level_profiles), by
-/// depth-first subtrace partitioning.
-///
-/// # Examples
-///
-/// ```
-/// use cachedse_core::dfs;
-/// use cachedse_trace::{paper_running_example, strip::StrippedTrace};
-///
-/// let stripped = StrippedTrace::from_trace(&paper_running_example());
-/// let profiles = dfs::level_profiles(&stripped, 4);
-/// assert_eq!(profiles[1].min_associativity(0), 3); // Section 2.3
-/// ```
-#[must_use]
-pub fn level_profiles(stripped: &StrippedTrace, max_index_bits: u32) -> Vec<DepthProfile> {
-    let total = stripped.total_len() as u64;
-    let unique = stripped.unique_len() as u64;
-    let non_cold = total - unique;
+/// Minimum parked-subtrace length before the parallel gather stops
+/// splitting: shorter pieces cost more in scheduling than they recover in
+/// balance.
+const MIN_PARK_LEN: usize = 2_048;
 
-    // Tail histograms (d >= 1 entries) per level; d = 0 is reconstructed at
-    // the end as "everything not otherwise accounted for".
-    let mut histograms: Vec<Vec<u64>> = vec![Vec::new(); max_index_bits as usize + 1];
+/// Target number of parked work items for the parallel engine. Independent
+/// of the worker count so the serial split prefix — and therefore the
+/// result — is identical for every `threads` value.
+const TARGET_WORK_ITEMS: usize = 32;
 
-    // Precompute each reference's address bits once.
-    let addrs: Vec<u32> = stripped
+/// Nodes with at most this many distinct references answer conflict-depth
+/// queries from a sorted array of live positions instead of the Fenwick
+/// tree. The array is at most 4 KiB — resident in L1 — so a binary search
+/// plus a short `memmove` beats three logarithmic walks over a tree
+/// spanning the whole subtrace (which for a long trace with few uniques,
+/// e.g. an instruction fetch stream, misses cache on nearly every step).
+const SMALL_SET_MAX: usize = 1_024;
+
+/// Reusable scratch state for the depth-first traversal.
+///
+/// Created once per engine run (or once per worker in the parallel
+/// engine) and reused across every node, so the steady-state inner loop
+/// performs zero heap allocation.
+#[derive(Clone, Debug)]
+struct Scratch {
+    /// `levels[l]` holds the subtrace data of the node(s) currently being
+    /// traversed at level `l`; children are partitioned into
+    /// `levels[l + 1]`.
+    levels: Vec<Vec<u32>>,
+    /// `seen_epoch[id] == epoch` ⇔ `id` was already touched by the current
+    /// node's sweep.
+    seen_epoch: Vec<u32>,
+    /// Position of `id`'s most recent occurrence within the current sweep
+    /// (valid only when `seen_epoch[id] == epoch`).
+    last_pos: Vec<u32>,
+    /// Distinct ids touched by the current sweep, recorded for the
+    /// `O(touched)` Fenwick undo.
+    touched: Vec<u32>,
+    /// Sorted final-occurrence positions of the current sweep's distinct
+    /// references — the small-set alternative to the Fenwick tree, used
+    /// when the node holds at most [`SMALL_SET_MAX`] uniques.
+    live: Vec<u32>,
+    /// Generation stamp of the current sweep.
+    epoch: u32,
+    /// The shared conflict-depth counter tree, undone after every sweep.
+    /// Grown lazily: traces whose every node fits the small-set path never
+    /// allocate it.
+    fenwick: Fenwick,
+}
+
+impl Scratch {
+    /// A scratch arena for traces with `ref_count` unique references.
+    fn new(ref_count: usize) -> Self {
+        Self {
+            levels: Vec::new(),
+            seen_epoch: vec![0; ref_count],
+            last_pos: vec![0; ref_count],
+            touched: Vec::with_capacity(ref_count),
+            live: Vec::with_capacity(ref_count.min(SMALL_SET_MAX)),
+            epoch: 0,
+            fenwick: Fenwick::new(0),
+        }
+    }
+
+    /// Makes sure buffers exist for levels `0..=max_level`. Only ever
+    /// grows; in steady state this is a no-op. (The Fenwick tree grows
+    /// lazily inside the sweep, so small-unique traces never allocate it.)
+    fn ensure(&mut self, max_level: u32) {
+        let want = max_level as usize + 1;
+        if self.levels.len() < want {
+            self.levels.resize_with(want, Vec::new);
+        }
+    }
+
+    /// Starts a new sweep generation. On the (2^32)-th sweep the stamp
+    /// wraps; one full clear of the stamp array makes stale stamps from the
+    /// previous cycle impossible.
+    fn next_epoch(&mut self) -> u32 {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.seen_epoch.fill(0);
+            self.epoch = 1;
+        }
+        self.epoch
+    }
+
+    /// Loads `data` as the subtrace buffer at `level` (entry point for the
+    /// root and for parked parallel work items).
+    fn load(&mut self, level: u32, data: &[u32]) {
+        let buf = &mut self.levels[level as usize];
+        buf.clear();
+        buf.extend_from_slice(data);
+    }
+}
+
+/// What one fused sweep learned about a node's children.
+#[derive(Clone, Copy, Debug)]
+struct SweepOutcome {
+    /// Length of the left child's subtrace (`levels[l + 1][0..left_len]`).
+    left_len: usize,
+    /// Length of the right child's subtrace
+    /// (`levels[l + 1][left_len..left_len + right_len]`).
+    right_len: usize,
+    /// Distinct references in the left child (the child's `unique` hint).
+    left_unique: usize,
+    /// Distinct references in the right child.
+    right_unique: usize,
+    /// The left child can still produce nonzero conflict depths.
+    visit_left: bool,
+    /// The right child can still produce nonzero conflict depths.
+    visit_right: bool,
+}
+
+/// One fused pass over the node occupying `levels[level][start..start +
+/// len]`: feeds the conflict-depth histogram for this level and (when
+/// `PARTITION`) splits the subtrace on index bit `level` into
+/// `levels[level + 1]`.
+///
+/// A child needs visiting only if it can produce a nonzero conflict depth:
+/// some reference recurs in it AND it holds at least two distinct
+/// references. Repeat-free or single-reference subtraces contribute only
+/// `d = 0` entries, which the caller reconstructs globally. (Every
+/// occurrence of a reference lands on the same side — the address bit is a
+/// property of the reference — so per-child uniqueness is well defined.)
+///
+/// `unique` is the node's exact distinct-reference count (known from the
+/// parent's sweep; the root uses the stripped trace's unique count). Nodes
+/// at or under [`SMALL_SET_MAX`] answer depth queries from the sorted
+/// `live` array; larger nodes use the Fenwick tree.
+fn sweep<const PARTITION: bool>(
+    scratch: &mut Scratch,
+    level: u32,
+    start: usize,
+    len: usize,
+    unique: usize,
+    addrs: &[u32],
+    histogram: &mut Vec<u64>,
+) -> SweepOutcome {
+    let epoch = scratch.next_epoch();
+    let small = unique <= SMALL_SET_MAX;
+    let Scratch {
+        levels,
+        seen_epoch,
+        last_pos,
+        touched,
+        live,
+        fenwick,
+        ..
+    } = scratch;
+    touched.clear();
+    live.clear();
+    if !small && fenwick.len() < len {
+        *fenwick = Fenwick::new(len);
+    }
+
+    let mut empty: [u32; 0] = [];
+    let (src, dst): (&[u32], &mut [u32]) = if PARTITION {
+        let (head, tail) = levels.split_at_mut(level as usize + 1);
+        let dst = &mut tail[0];
+        if dst.len() < len {
+            dst.resize(len, 0);
+        }
+        (&head[level as usize][start..start + len], &mut dst[..len])
+    } else {
+        (&levels[level as usize][start..start + len], &mut empty)
+    };
+
+    let bit = 1u32 << level;
+    let mut left_len = 0usize;
+    let mut right_write = len;
+    let mut left_reuse = false;
+    let mut right_reuse = false;
+    let mut left_unique = 0usize;
+    let mut right_unique = 0usize;
+
+    for (t, &id) in src.iter().enumerate() {
+        let idx = id as usize;
+        let repeated = seen_epoch[idx] == epoch;
+        if repeated {
+            let prev = last_pos[idx];
+            let d = if small {
+                // `live` holds one sorted position per distinct reference
+                // seen so far (its most recent occurrence), all `< t`, so
+                // the conflict depth is the count of entries after `prev` —
+                // and moving this reference's position to `t` is one short
+                // in-L1 shift plus a push.
+                let at = live
+                    .binary_search(&prev)
+                    .expect("previous occurrence is live");
+                let d = live.len() - at - 1;
+                live.remove(at);
+                d
+            } else {
+                let d = fenwick.range_sum(prev as usize + 1, t) as usize;
+                fenwick.add(prev as usize, -1);
+                d
+            };
+            if d > 0 {
+                if histogram.len() <= d {
+                    histogram.resize(d + 1, 0);
+                }
+                histogram[d] += 1;
+            }
+        } else {
+            seen_epoch[idx] = epoch;
+            if !small {
+                touched.push(id);
+            }
+        }
+        last_pos[idx] = t as u32;
+        if small {
+            live.push(t as u32);
+        } else {
+            fenwick.add(t, 1);
+        }
+
+        if PARTITION {
+            if addrs[idx] & bit == 0 {
+                dst[left_len] = id;
+                left_len += 1;
+                left_reuse |= repeated;
+                left_unique += usize::from(!repeated);
+            } else {
+                right_write -= 1;
+                dst[right_write] = id;
+                right_reuse |= repeated;
+                right_unique += usize::from(!repeated);
+            }
+        }
+    }
+
+    // Undo path. Small sets just clear the live array; for the Fenwick,
+    // only the final occurrence of each distinct reference still carries a
+    // +1, so O(touched) point updates restore all-zeroes.
+    if small {
+        debug_assert!(live.len() <= unique, "more live positions than uniques");
+        live.clear();
+    } else {
+        for &id in touched.iter() {
+            fenwick.add(last_pos[id as usize] as usize, -1);
+        }
+        debug_assert_eq!(
+            fenwick.prefix_sum(len),
+            0,
+            "fenwick sweep was not fully undone"
+        );
+    }
+
+    if PARTITION {
+        debug_assert_eq!(right_write, left_len, "partition lost elements");
+        // The right side was written back-to-front; reverse it to restore
+        // trace order (stable partition).
+        dst[left_len..].reverse();
+    }
+
+    SweepOutcome {
+        left_len,
+        right_len: len - left_len,
+        left_unique,
+        right_unique,
+        visit_left: left_reuse && left_unique >= 2,
+        visit_right: right_reuse && right_unique >= 2,
+    }
+}
+
+/// One BCAT node as a window into the per-level buffers: its subtrace is
+/// `levels[level][start..start + len]` and holds `unique` distinct
+/// references (counted by the parent's sweep).
+#[derive(Clone, Copy, Debug)]
+struct Node {
+    /// Tree level (partitioning address bit).
+    level: u32,
+    /// Window offset within `levels[level]`.
+    start: usize,
+    /// Window length (occurrence count).
+    len: usize,
+    /// Exact distinct-reference count of the window.
+    unique: usize,
+}
+
+/// Processes `node`: one fused sweep (histogram + partition), then
+/// depth-first recursion into the surviving children.
+fn visit(
+    scratch: &mut Scratch,
+    node: Node,
+    max_index_bits: u32,
+    addrs: &[u32],
+    histograms: &mut [Vec<u64>],
+) {
+    let Node {
+        level,
+        start,
+        len,
+        unique,
+    } = node;
+    if level == max_index_bits {
+        let _ = sweep::<false>(
+            scratch,
+            level,
+            start,
+            len,
+            unique,
+            addrs,
+            &mut histograms[level as usize],
+        );
+        return;
+    }
+    let outcome = sweep::<true>(
+        scratch,
+        level,
+        start,
+        len,
+        unique,
+        addrs,
+        &mut histograms[level as usize],
+    );
+    if outcome.visit_left {
+        visit(
+            scratch,
+            Node {
+                level: level + 1,
+                start: 0,
+                len: outcome.left_len,
+                unique: outcome.left_unique,
+            },
+            max_index_bits,
+            addrs,
+            histograms,
+        );
+    }
+    if outcome.visit_right {
+        visit(
+            scratch,
+            Node {
+                level: level + 1,
+                start: outcome.left_len,
+                len: outcome.right_len,
+                unique: outcome.right_unique,
+            },
+            max_index_bits,
+            addrs,
+            histograms,
+        );
+    }
+}
+
+/// Address bits of every unique reference, indexed by `RefId`.
+fn address_table(stripped: &StrippedTrace) -> Vec<u32> {
+    stripped
         .unique_addresses()
         .iter()
         .map(|a| a.raw())
-        .collect();
+        .collect()
+}
 
-    let root: Vec<u32> = stripped.id_sequence().iter().map(|id| id.raw()).collect();
-    visit(&root, 0, max_index_bits, &addrs, &mut histograms);
-
+/// Folds the per-level tail histograms into [`DepthProfile`]s, recovering
+/// the `d = 0` entries as "everything not otherwise accounted for".
+fn finalize(histograms: Vec<Vec<u64>>, unique: u64, total: u64) -> Vec<DepthProfile> {
+    let non_cold = total - unique;
     histograms
         .into_iter()
         .enumerate()
@@ -74,14 +428,79 @@ pub fn level_profiles(stripped: &StrippedTrace, max_index_bits: u32) -> Vec<Dept
         .collect()
 }
 
+/// Computes the same per-depth miss profiles as
+/// [`postlude::level_profiles`](crate::postlude::level_profiles), by
+/// depth-first subtrace partitioning with a reusable scratch arena.
+///
+/// # Panics
+///
+/// Panics if the trace holds `u32::MAX` or more references (sweep
+/// positions are stored as `u32`).
+///
+/// # Examples
+///
+/// ```
+/// use cachedse_core::dfs;
+/// use cachedse_trace::{paper_running_example, strip::StrippedTrace};
+///
+/// let stripped = StrippedTrace::from_trace(&paper_running_example());
+/// let profiles = dfs::level_profiles(&stripped, 4);
+/// assert_eq!(profiles[1].min_associativity(0), 3); // Section 2.3
+/// ```
+#[must_use]
+pub fn level_profiles(stripped: &StrippedTrace, max_index_bits: u32) -> Vec<DepthProfile> {
+    let total = stripped.total_len();
+    assert!(
+        total < u32::MAX as usize,
+        "trace too long for u32 sweep positions"
+    );
+    let unique = stripped.unique_len() as u64;
+
+    let mut histograms: Vec<Vec<u64>> = vec![Vec::new(); max_index_bits as usize + 1];
+    let addrs = address_table(stripped);
+
+    let mut scratch = Scratch::new(addrs.len());
+    scratch.ensure(max_index_bits);
+    {
+        let root = &mut scratch.levels[0];
+        root.clear();
+        root.extend(stripped.id_sequence().iter().map(|id| id.raw()));
+    }
+    visit(
+        &mut scratch,
+        Node {
+            level: 0,
+            start: 0,
+            len: total,
+            unique: stripped.unique_len(),
+        },
+        max_index_bits,
+        &addrs,
+        &mut histograms,
+    );
+
+    finalize(histograms, unique, total as u64)
+}
+
 /// Multi-threaded variant of [`level_profiles`], realizing the paper's
 /// §2.4 remark that "the use of sets allows for execution of the algorithm
 /// on a cluster of machines": BCAT subtrees are independent, so the tree is
-/// split at a shallow level and the subtrees are processed by a worker pool,
-/// each accumulating private histograms that are summed at the end.
+/// split into parked subtraces processed by a worker pool, each worker
+/// accumulating private histograms that are summed at the end.
 ///
-/// Produces byte-identical results to the serial engine (asserted by the
-/// test suite).
+/// Scheduling is **size-aware**: the serial prefix keeps splitting any
+/// parked subtrace longer than a threshold (so no single giant subtree
+/// serializes the pool), the work list is sorted by descending length
+/// (longest-processing-time-first), and workers greedily pull from an
+/// atomic cursor. Each worker owns a private [`Scratch`] arena sized by its
+/// first (largest) item, so the pool performs no steady-state allocation.
+/// The split threshold is independent of `threads`, which keeps the output
+/// byte-identical to the serial engine for every worker count (asserted by
+/// the test suite).
+///
+/// # Panics
+///
+/// Panics if the trace holds `u32::MAX` or more references.
 ///
 /// # Examples
 ///
@@ -106,38 +525,65 @@ pub fn level_profiles_parallel(
     max_index_bits: u32,
     threads: std::num::NonZeroUsize,
 ) -> Vec<DepthProfile> {
-    let total = stripped.total_len() as u64;
+    let total = stripped.total_len();
+    assert!(
+        total < u32::MAX as usize,
+        "trace too long for u32 sweep positions"
+    );
     let unique = stripped.unique_len() as u64;
-    let non_cold = total - unique;
 
     let mut histograms: Vec<Vec<u64>> = vec![Vec::new(); max_index_bits as usize + 1];
-    let addrs: Vec<u32> = stripped
-        .unique_addresses()
-        .iter()
-        .map(|a| a.raw())
-        .collect();
+    let addrs = address_table(stripped);
 
-    // Split where there are comfortably more subtrees than workers; the
-    // levels above the split are cheap (a few passes over the trace) and
-    // stay serial.
-    let split_level = (usize::BITS - (threads.get() * 4).leading_zeros()).min(max_index_bits);
-
+    // Serial gather prefix: split any subtrace longer than the threshold,
+    // accumulating the split levels' histograms on the way down and parking
+    // the pieces for the pool.
+    let threshold = (total / TARGET_WORK_ITEMS).max(MIN_PARK_LEN);
+    let mut gather_scratch = Scratch::new(addrs.len());
+    let mut work: Vec<(u32, usize, Vec<u32>)> = Vec::new();
     let root: Vec<u32> = stripped.id_sequence().iter().map(|id| id.raw()).collect();
-    let mut work: Vec<Vec<u32>> = Vec::new();
-    gather(
-        root,
-        0,
-        split_level,
-        max_index_bits,
-        &addrs,
-        &mut histograms,
-        &mut work,
-    );
+    let mut stack: Vec<(u32, usize, Vec<u32>)> = vec![(0, stripped.unique_len(), root)];
+    while let Some((level, node_unique, sub)) = stack.pop() {
+        if level == max_index_bits || sub.len() <= threshold {
+            work.push((level, node_unique, sub));
+            continue;
+        }
+        gather_scratch.ensure(level + 1);
+        gather_scratch.load(level, &sub);
+        let outcome = sweep::<true>(
+            &mut gather_scratch,
+            level,
+            0,
+            sub.len(),
+            node_unique,
+            &addrs,
+            &mut histograms[level as usize],
+        );
+        let children = &gather_scratch.levels[level as usize + 1];
+        if outcome.visit_left {
+            stack.push((
+                level + 1,
+                outcome.left_unique,
+                children[..outcome.left_len].to_vec(),
+            ));
+        }
+        if outcome.visit_right {
+            stack.push((
+                level + 1,
+                outcome.right_unique,
+                children[outcome.left_len..outcome.left_len + outcome.right_len].to_vec(),
+            ));
+        }
+    }
 
     if !work.is_empty() {
+        // LPT: longest items first, so the greedy pull balances the pool
+        // and each worker's arena is sized once, by its first item.
+        work.sort_by_key(|item| std::cmp::Reverse(item.2.len()));
+        let worker_count = threads.get().min(work.len());
         let next = std::sync::atomic::AtomicUsize::new(0);
         let locals = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads.get())
+            let handles: Vec<_> = (0..worker_count)
                 .map(|_| {
                     let next = &next;
                     let work = &work;
@@ -145,10 +591,26 @@ pub fn level_profiles_parallel(
                     scope.spawn(move || {
                         let mut local: Vec<Vec<u64>> =
                             vec![Vec::new(); max_index_bits as usize + 1];
+                        let mut scratch = Scratch::new(addrs.len());
                         loop {
                             let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                            let Some(subtrace) = work.get(i) else { break };
-                            visit(subtrace, split_level, max_index_bits, addrs, &mut local);
+                            let Some((level, node_unique, sub)) = work.get(i) else {
+                                break;
+                            };
+                            scratch.ensure(max_index_bits);
+                            scratch.load(*level, sub);
+                            visit(
+                                &mut scratch,
+                                Node {
+                                    level: *level,
+                                    start: 0,
+                                    len: sub.len(),
+                                    unique: *node_unique,
+                                },
+                                max_index_bits,
+                                addrs,
+                                &mut local,
+                            );
                         }
                         local
                     })
@@ -171,158 +633,7 @@ pub fn level_profiles_parallel(
         }
     }
 
-    histograms
-        .into_iter()
-        .enumerate()
-        .map(|(level, mut histogram)| {
-            let tail: u64 = histogram.iter().sum();
-            if histogram.is_empty() {
-                histogram.push(non_cold - tail);
-            } else {
-                histogram[0] = non_cold - tail;
-            }
-            DepthProfile::from_parts(1 << level, histogram, unique, total)
-        })
-        .collect()
-}
-
-/// Serial prefix of the parallel engine: processes levels above
-/// `split_level` exactly like [`visit`], but instead of recursing past the
-/// split it parks the surviving subtraces on the work list.
-#[allow(clippy::too_many_arguments)]
-fn gather(
-    subtrace: Vec<u32>,
-    level: u32,
-    split_level: u32,
-    max_index_bits: u32,
-    addrs: &[u32],
-    histograms: &mut [Vec<u64>],
-    work: &mut Vec<Vec<u32>>,
-) {
-    if level == split_level {
-        work.push(subtrace);
-        return;
-    }
-    accumulate(&subtrace, &mut histograms[level as usize]);
-    if level == max_index_bits {
-        return;
-    }
-    let bit = 1u32 << level;
-    let mut left: Vec<u32> = Vec::new();
-    let mut right: Vec<u32> = Vec::new();
-    let mut left_reuse = false;
-    let mut right_reuse = false;
-    let mut left_unique = 0usize;
-    let mut right_unique = 0usize;
-    let mut seen: HashMap<u32, ()> = HashMap::with_capacity(subtrace.len());
-    for &id in &subtrace {
-        let repeated = seen.insert(id, ()).is_some();
-        if addrs[id as usize] & bit == 0 {
-            left.push(id);
-            left_reuse |= repeated;
-            left_unique += usize::from(!repeated);
-        } else {
-            right.push(id);
-            right_reuse |= repeated;
-            right_unique += usize::from(!repeated);
-        }
-    }
-    drop(seen);
-    drop(subtrace);
-    if left_reuse && left_unique >= 2 {
-        gather(
-            left,
-            level + 1,
-            split_level,
-            max_index_bits,
-            addrs,
-            histograms,
-            work,
-        );
-    } else {
-        drop(left);
-    }
-    if right_reuse && right_unique >= 2 {
-        gather(
-            right,
-            level + 1,
-            split_level,
-            max_index_bits,
-            addrs,
-            histograms,
-            work,
-        );
-    }
-}
-
-/// Processes one node: accumulate this level's conflict depths, partition on
-/// the next index bit, recurse.
-fn visit(
-    subtrace: &[u32],
-    level: u32,
-    max_index_bits: u32,
-    addrs: &[u32],
-    histograms: &mut [Vec<u64>],
-) {
-    accumulate(subtrace, &mut histograms[level as usize]);
-    if level == max_index_bits {
-        return;
-    }
-
-    let bit = 1u32 << level;
-    let mut left: Vec<u32> = Vec::new();
-    let mut right: Vec<u32> = Vec::new();
-    // A child needs visiting only if it can produce a nonzero conflict
-    // depth: some reference recurs in it AND it holds at least two distinct
-    // references. Repeat-free or single-reference subtraces contribute only
-    // d = 0 entries, which the caller reconstructs globally. (Every
-    // occurrence of a reference lands on the same side — the address bit is
-    // a property of the reference — so per-child uniqueness is well defined.)
-    let mut left_reuse = false;
-    let mut right_reuse = false;
-    let mut left_unique = 0usize;
-    let mut right_unique = 0usize;
-    let mut seen: HashMap<u32, ()> = HashMap::with_capacity(subtrace.len());
-    for &id in subtrace {
-        let repeated = seen.insert(id, ()).is_some();
-        if addrs[id as usize] & bit == 0 {
-            left.push(id);
-            left_reuse |= repeated;
-            left_unique += usize::from(!repeated);
-        } else {
-            right.push(id);
-            right_reuse |= repeated;
-            right_unique += usize::from(!repeated);
-        }
-    }
-    drop(seen);
-    if left_reuse && left_unique >= 2 {
-        visit(&left, level + 1, max_index_bits, addrs, histograms);
-    }
-    drop(left);
-    if right_reuse && right_unique >= 2 {
-        visit(&right, level + 1, max_index_bits, addrs, histograms);
-    }
-}
-
-/// Fenwick-tree sweep over one subtrace: histogram (for `d ≥ 1`) of the
-/// number of distinct references between consecutive occurrences.
-fn accumulate(subtrace: &[u32], histogram: &mut Vec<u64>) {
-    let mut fenwick = Fenwick::new(subtrace.len());
-    let mut last: HashMap<u32, usize> = HashMap::new();
-    for (t, &id) in subtrace.iter().enumerate() {
-        if let Some(prev) = last.insert(id, t) {
-            let d = fenwick.range_sum(prev + 1, t) as usize;
-            if d > 0 {
-                if histogram.len() <= d {
-                    histogram.resize(d + 1, 0);
-                }
-                histogram[d] += 1;
-            }
-            fenwick.add(prev, -1);
-        }
-        fenwick.add(t, 1);
-    }
+    finalize(histograms, unique, total as u64)
 }
 
 #[cfg(test)]
@@ -364,6 +675,21 @@ mod tests {
             let bits = trace.address_bits().min(9);
             assert_eq!(depth_first(&trace, bits), tree_table(&trace, bits));
         }
+    }
+
+    /// A trace with more uniques than [`SMALL_SET_MAX`] drives the Fenwick
+    /// path at the shallow levels and the small-set path once recursion
+    /// thins the nodes out — both must agree with the reference engine.
+    #[test]
+    fn large_unique_set_crosses_both_query_paths() {
+        let trace = generate::uniform_random(20_000, 3_000, 11);
+        let stripped = StrippedTrace::from_trace(&trace);
+        assert!(
+            stripped.unique_len() > SMALL_SET_MAX,
+            "trace too small to exercise the Fenwick path"
+        );
+        let bits = trace.address_bits();
+        assert_eq!(depth_first(&trace, bits), tree_table(&trace, bits));
     }
 
     #[test]
@@ -431,6 +757,25 @@ mod tests {
         }
     }
 
+    /// Long traces exercise the gather/park/LPT path (the threshold is
+    /// only exceeded by traces longer than [`MIN_PARK_LEN`]).
+    #[test]
+    fn parallel_splits_long_traces() {
+        let trace = generate::working_set_phases(6, 4 * MIN_PARK_LEN as u32, 96, 17);
+        assert!(trace.len() > MIN_PARK_LEN);
+        let stripped = StrippedTrace::from_trace(&trace);
+        let bits = trace.address_bits();
+        let serial = level_profiles(&stripped, bits);
+        for threads in [1, 2, 3, 8] {
+            let parallel = level_profiles_parallel(
+                &stripped,
+                bits,
+                std::num::NonZeroUsize::new(threads).expect("nonzero"),
+            );
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
+    }
+
     #[test]
     fn parallel_on_workload_shapes() {
         for trace in [
@@ -462,5 +807,66 @@ mod tests {
             profiles,
             level_profiles(&StrippedTrace::from_trace(&Trace::new()), 4)
         );
+    }
+
+    /// A scratch arena whose epoch counter is about to wrap must keep
+    /// producing correct results through the wrap: the one-time stamp clear
+    /// makes stale stamps from the previous generation cycle impossible.
+    #[test]
+    fn scratch_survives_epoch_wraparound() {
+        let trace = generate::working_set_phases(3, 400, 24, 5);
+        let stripped = StrippedTrace::from_trace(&trace);
+        let bits = stripped.address_bits();
+        let addrs = address_table(&stripped);
+        let total = stripped.total_len();
+        let expected = level_profiles(&stripped, bits);
+
+        // Place the counter a handful of sweeps before the wrap, and
+        // poison the stamp arrays with values a naive reset would confuse
+        // with post-wrap epochs.
+        let mut scratch = Scratch::new(addrs.len());
+        scratch.epoch = u32::MAX - 4;
+        scratch.seen_epoch.fill(2);
+        scratch.last_pos.fill(7);
+        scratch.ensure(bits);
+
+        for round in 0..3 {
+            let mut histograms: Vec<Vec<u64>> = vec![Vec::new(); bits as usize + 1];
+            {
+                let root = &mut scratch.levels[0];
+                root.clear();
+                root.extend(stripped.id_sequence().iter().map(|id| id.raw()));
+            }
+            visit(
+                &mut scratch,
+                Node {
+                    level: 0,
+                    start: 0,
+                    len: total,
+                    unique: stripped.unique_len(),
+                },
+                bits,
+                &addrs,
+                &mut histograms,
+            );
+            let got = finalize(histograms, stripped.unique_len() as u64, total as u64);
+            assert_eq!(got, expected, "round {round}");
+        }
+        // The full trace has far more than 5 nodes, so the wrap happened.
+        assert!(scratch.epoch < u32::MAX - 4, "epoch never wrapped");
+        assert!(scratch.epoch >= 1);
+    }
+
+    /// The wrap boundary itself: epoch `u32::MAX` is valid, the next sweep
+    /// clears and restarts at 1.
+    #[test]
+    fn epoch_wrap_clears_stamps() {
+        let mut scratch = Scratch::new(8);
+        scratch.epoch = u32::MAX - 1;
+        assert_eq!(scratch.next_epoch(), u32::MAX);
+        scratch.seen_epoch.fill(u32::MAX);
+        assert_eq!(scratch.next_epoch(), 1);
+        assert!(scratch.seen_epoch.iter().all(|&e| e == 0));
+        assert_eq!(scratch.next_epoch(), 2);
     }
 }

@@ -37,8 +37,9 @@ pub enum Engine {
     #[default]
     DepthFirst,
     /// The depth-first engine with BCAT subtrees fanned out over a worker
-    /// pool — the paper's §2.4 distributed-sets remark, in threads. Uses all
-    /// available parallelism.
+    /// pool — the paper's §2.4 distributed-sets remark, in threads. Worker
+    /// count defaults to the available parallelism and can be pinned via
+    /// [`DesignSpaceExplorer::threads`] / [`prepare_stripped`].
     DepthFirstParallel,
     /// The paper's Algorithms 1–3 as published: build the BCAT and the MRCT,
     /// then run the postlude over them. Higher memory, kept for fidelity and
@@ -80,6 +81,7 @@ pub struct DesignSpaceExplorer<'a> {
     trace: &'a Trace,
     max_index_bits: Option<u32>,
     engine: Engine,
+    threads: Option<std::num::NonZeroUsize>,
 }
 
 impl<'a> DesignSpaceExplorer<'a> {
@@ -90,6 +92,7 @@ impl<'a> DesignSpaceExplorer<'a> {
             trace,
             max_index_bits: None,
             engine: Engine::default(),
+            threads: None,
         }
     }
 
@@ -109,6 +112,17 @@ impl<'a> DesignSpaceExplorer<'a> {
         self
     }
 
+    /// Pins the worker count used by [`Engine::DepthFirstParallel`]
+    /// (default: the machine's available parallelism). Ignored by the
+    /// serial engines. The result never depends on this value — only the
+    /// wall clock does — so benchmarks and services can set it for
+    /// reproducible scheduling.
+    #[must_use]
+    pub fn threads(mut self, threads: std::num::NonZeroUsize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
     /// Runs the prelude and postlude phases once, retaining the per-depth
     /// miss profiles so several budgets can be queried without re-analysis
     /// (how the paper's Tables 7–30 sweep K ∈ {5, 10, 15, 20}%).
@@ -123,7 +137,7 @@ impl<'a> DesignSpaceExplorer<'a> {
             return Err(ExploreError::EmptyTrace);
         }
         let stripped = StrippedTrace::from_trace(self.trace);
-        prepare_stripped(&stripped, self.max_index_bits, self.engine)
+        prepare_stripped(&stripped, self.max_index_bits, self.engine, self.threads)
     }
 
     /// One-shot exploration: [`prepare`](Self::prepare) followed by
@@ -148,6 +162,10 @@ impl<'a> DesignSpaceExplorer<'a> {
 /// re-stripped every run. [`DesignSpaceExplorer::prepare`] is now a thin
 /// wrapper over this function.
 ///
+/// `threads` pins the worker count of [`Engine::DepthFirstParallel`]
+/// (`None` = the machine's available parallelism); the serial engines
+/// ignore it. The result never depends on the worker count.
+///
 /// # Errors
 ///
 /// * [`ExploreError::EmptyTrace`] — the stripped trace has no references;
@@ -157,6 +175,7 @@ pub fn prepare_stripped(
     stripped: &StrippedTrace,
     max_index_bits: Option<u32>,
     engine: Engine,
+    threads: Option<std::num::NonZeroUsize>,
 ) -> Result<Exploration, ExploreError> {
     if stripped.is_empty() {
         return Err(ExploreError::EmptyTrace);
@@ -168,8 +187,9 @@ pub fn prepare_stripped(
     let profiles = match engine {
         Engine::DepthFirst => dfs::level_profiles(stripped, max_bits),
         Engine::DepthFirstParallel => {
-            let threads = std::thread::available_parallelism()
-                .unwrap_or(std::num::NonZeroUsize::new(1).expect("1 is nonzero"));
+            let threads = threads
+                .or_else(|| std::thread::available_parallelism().ok())
+                .unwrap_or(std::num::NonZeroUsize::MIN);
             dfs::level_profiles_parallel(stripped, max_bits, threads)
         }
         Engine::TreeTable => {
@@ -471,15 +491,105 @@ impl ExplorationResult {
     }
 }
 
-/// Explores a *shared* cache for an application set: the per-depth minimum
-/// associativity such that **every** trace individually meets `budget`
-/// (fractional budgets resolve against each trace's own maximum).
+/// The analyzed design space of an *application set* sharing one cache:
+/// each trace's prelude is run exactly once, and any number of budgets can
+/// then be folded over the retained [`Exploration`]s.
 ///
 /// An embedded SoC typically runs several applications over one cache; the
 /// combined requirement at each depth is simply the maximum of the
 /// per-application requirements (misses are monotone non-increasing in
 /// associativity), and it is minimal because one of the applications needed
 /// that many ways.
+///
+/// # Examples
+///
+/// ```
+/// use cachedse_core::{Engine, MissBudget, SharedExploration};
+/// use cachedse_trace::generate;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let app_a = generate::loop_pattern(0, 32, 50);
+/// let app_b = generate::strided(0, 8, 16, 50);
+/// let shared = SharedExploration::prepare(&[&app_a, &app_b], Engine::default(), None)?;
+/// // One prelude per trace, arbitrarily many budget sweeps:
+/// let strict = shared.result(MissBudget::Absolute(0))?;
+/// let loose = shared.result(MissBudget::FractionOfMax(0.20))?;
+/// assert_eq!(strict.len(), loose.len());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct SharedExploration {
+    explorations: Vec<Exploration>,
+}
+
+impl SharedExploration {
+    /// Analyzes every trace once with `engine`, over the address width of
+    /// the widest trace (so all frontiers cover the same depths).
+    ///
+    /// # Errors
+    ///
+    /// [`ExploreError::EmptyTrace`] if `traces` is empty or any trace is
+    /// empty; [`ExploreError::IndexBitsTooLarge`] as in
+    /// [`prepare_stripped`].
+    pub fn prepare(
+        traces: &[&Trace],
+        engine: Engine,
+        threads: Option<std::num::NonZeroUsize>,
+    ) -> Result<Self, ExploreError> {
+        let bits = traces
+            .iter()
+            .map(|t| t.address_bits())
+            .max()
+            .ok_or(ExploreError::EmptyTrace)?;
+        let explorations = traces
+            .iter()
+            .map(|trace| {
+                if trace.is_empty() {
+                    return Err(ExploreError::EmptyTrace);
+                }
+                let stripped = StrippedTrace::from_trace(trace);
+                prepare_stripped(&stripped, Some(bits), engine, threads)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { explorations })
+    }
+
+    /// The per-trace explorations, in input order.
+    #[must_use]
+    pub fn explorations(&self) -> &[Exploration] {
+        &self.explorations
+    }
+
+    /// The per-depth minimum associativity such that **every** trace
+    /// individually meets `budget` (fractional budgets resolve against each
+    /// trace's own maximum): the max-fold of the per-application frontiers.
+    ///
+    /// # Errors
+    ///
+    /// [`ExploreError::InvalidBudgetFraction`] as in
+    /// [`Exploration::result`].
+    pub fn result(&self, budget: MissBudget) -> Result<Vec<DesignPoint>, ExploreError> {
+        let mut combined: Vec<DesignPoint> = Vec::new();
+        for exploration in &self.explorations {
+            let result = exploration.result(budget)?;
+            if combined.is_empty() {
+                combined = result.pairs().to_vec();
+            } else {
+                for (c, p) in combined.iter_mut().zip(result.pairs()) {
+                    debug_assert_eq!(c.depth, p.depth);
+                    c.associativity = c.associativity.max(p.associativity);
+                }
+            }
+        }
+        Ok(combined)
+    }
+}
+
+/// One-shot shared-cache exploration: [`SharedExploration::prepare`]
+/// followed by a single [`SharedExploration::result`]. Callers sweeping
+/// several budgets should hold on to a [`SharedExploration`] instead, which
+/// runs each trace's prelude only once.
 ///
 /// # Errors
 ///
@@ -489,13 +599,17 @@ impl ExplorationResult {
 /// # Examples
 ///
 /// ```
-/// use cachedse_core::{explore_shared, MissBudget};
+/// use cachedse_core::{explore_shared, Engine, MissBudget};
 /// use cachedse_trace::generate;
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let app_a = generate::loop_pattern(0, 32, 50);
 /// let app_b = generate::strided(0, 8, 16, 50);
-/// let shared = explore_shared(&[&app_a, &app_b], MissBudget::Absolute(0))?;
+/// let shared = explore_shared(
+///     &[&app_a, &app_b],
+///     MissBudget::Absolute(0),
+///     Engine::default(),
+/// )?;
 /// assert!(!shared.is_empty());
 /// # Ok(())
 /// # }
@@ -503,27 +617,9 @@ impl ExplorationResult {
 pub fn explore_shared(
     traces: &[&Trace],
     budget: MissBudget,
+    engine: Engine,
 ) -> Result<Vec<DesignPoint>, ExploreError> {
-    let bits = traces
-        .iter()
-        .map(|t| t.address_bits())
-        .max()
-        .ok_or(ExploreError::EmptyTrace)?;
-    let mut combined: Vec<DesignPoint> = Vec::new();
-    for trace in traces {
-        let result = DesignSpaceExplorer::new(trace)
-            .max_index_bits(bits)
-            .explore(budget)?;
-        if combined.is_empty() {
-            combined = result.pairs().to_vec();
-        } else {
-            for (c, p) in combined.iter_mut().zip(result.pairs()) {
-                debug_assert_eq!(c.depth, p.depth);
-                c.associativity = c.associativity.max(p.associativity);
-            }
-        }
-    }
-    Ok(combined)
+    SharedExploration::prepare(traces, engine, None)?.result(budget)
 }
 
 #[cfg(test)]
@@ -554,7 +650,7 @@ mod tests {
         let mrct = Mrct::build(&stripped);
 
         let owning = DesignSpaceExplorer::new(&trace).prepare().unwrap();
-        let via_stripped = prepare_stripped(&stripped, None, Engine::default()).unwrap();
+        let via_stripped = prepare_stripped(&stripped, None, Engine::default(), None).unwrap();
         let via_artifacts = Exploration::from_artifacts(&bcat, &mrct, &stripped, max_bits).unwrap();
 
         for budget in [MissBudget::Absolute(0), MissBudget::FractionOfMax(0.10)] {
@@ -570,12 +666,12 @@ mod tests {
     fn borrowed_artifact_entry_points_propagate_errors() {
         let empty = StrippedTrace::from_trace(&Trace::new());
         assert_eq!(
-            prepare_stripped(&empty, None, Engine::default()).unwrap_err(),
+            prepare_stripped(&empty, None, Engine::default(), None).unwrap_err(),
             ExploreError::EmptyTrace
         );
         let stripped = StrippedTrace::from_trace(&paper_running_example());
         assert_eq!(
-            prepare_stripped(&stripped, Some(32), Engine::default()).unwrap_err(),
+            prepare_stripped(&stripped, Some(32), Engine::default(), None).unwrap_err(),
             ExploreError::IndexBitsTooLarge(32)
         );
         let bcat = Bcat::from_stripped(&stripped, 4);
@@ -745,7 +841,8 @@ mod tests {
         ];
         let refs: Vec<&Trace> = apps.iter().collect();
         let budget = 25u64;
-        let shared = explore_shared(&refs, MissBudget::Absolute(budget)).unwrap();
+        let shared =
+            explore_shared(&refs, MissBudget::Absolute(budget), Engine::default()).unwrap();
         for point in &shared {
             let config = CacheConfig::lru(point.depth, point.associativity).unwrap();
             for app in &apps {
@@ -769,8 +866,59 @@ mod tests {
     #[test]
     fn shared_exploration_of_nothing_is_an_error() {
         assert_eq!(
-            explore_shared(&[], MissBudget::Absolute(0)).unwrap_err(),
+            explore_shared(&[], MissBudget::Absolute(0), Engine::default()).unwrap_err(),
             ExploreError::EmptyTrace
         );
+        assert_eq!(
+            SharedExploration::prepare(&[], Engine::default(), None).unwrap_err(),
+            ExploreError::EmptyTrace
+        );
+    }
+
+    /// One `prepare()` serves many budgets, matching the one-shot helper
+    /// budget for budget, for every engine.
+    #[test]
+    fn shared_exploration_reuses_preludes_across_budgets() {
+        let apps = [
+            generate::loop_pattern(0, 48, 40),
+            generate::working_set_phases(3, 200, 24, 7),
+        ];
+        let refs: Vec<&Trace> = apps.iter().collect();
+        for engine in [
+            Engine::DepthFirst,
+            Engine::DepthFirstParallel,
+            Engine::TreeTable,
+        ] {
+            let shared = SharedExploration::prepare(&refs, engine, None).unwrap();
+            assert_eq!(shared.explorations().len(), refs.len());
+            for budget in [
+                MissBudget::Absolute(0),
+                MissBudget::Absolute(10),
+                MissBudget::FractionOfMax(0.15),
+            ] {
+                assert_eq!(
+                    shared.result(budget).unwrap(),
+                    explore_shared(&refs, budget, engine).unwrap(),
+                    "{engine}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pinned_thread_counts_do_not_change_results() {
+        let trace = generate::working_set_phases(4, 300, 40, 3);
+        let baseline = DesignSpaceExplorer::new(&trace)
+            .engine(Engine::DepthFirst)
+            .explore(MissBudget::Absolute(25))
+            .unwrap();
+        for threads in [1, 2, 5] {
+            let pinned = DesignSpaceExplorer::new(&trace)
+                .engine(Engine::DepthFirstParallel)
+                .threads(std::num::NonZeroUsize::new(threads).expect("nonzero"))
+                .explore(MissBudget::Absolute(25))
+                .unwrap();
+            assert_eq!(baseline, pinned, "threads = {threads}");
+        }
     }
 }

@@ -81,7 +81,7 @@ pub use bcat::Bcat;
 pub use error::ExploreError;
 pub use explorer::{
     explore_shared, prepare_stripped, DesignSpaceExplorer, Engine, Exploration, ExplorationResult,
-    MissBudget,
+    MissBudget, SharedExploration,
 };
 pub use mrct::Mrct;
 pub use report::BudgetGrid;

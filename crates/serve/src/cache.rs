@@ -19,7 +19,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use cachedse_core::{Bcat, Exploration, ExploreError, Mrct, ZeroOneSets};
+use cachedse_core::{prepare_stripped, Bcat, Engine, Exploration, ExploreError, Mrct, ZeroOneSets};
 use cachedse_trace::digest::{Fnv1a, TraceDigest};
 use cachedse_trace::strip::StrippedTrace;
 use cachedse_trace::Trace;
@@ -54,43 +54,88 @@ impl ArtifactKey {
     }
 }
 
-/// The shared, budget-independent artifacts of one analyzed trace.
+/// The materialized tree/table structures of the paper's Algorithms 1–2,
+/// retained only when something downstream consumes them (validation, or
+/// the tree-table engine itself).
 #[derive(Debug)]
-pub struct TraceArtifacts {
-    /// The stripped trace (unique references + id sequence).
-    pub stripped: StrippedTrace,
+pub struct TreeArtifacts {
     /// Per-address-bit zero/one sets (Table 3).
     pub zero_one: ZeroOneSets,
     /// The binary cache allocation tree (Algorithm 1).
     pub bcat: Bcat,
     /// The memory reference conflict table (Algorithm 2).
     pub mrct: Mrct,
+}
+
+/// The shared, budget-independent artifacts of one analyzed trace.
+///
+/// All engines produce byte-identical [`Exploration`]s (the workspace
+/// differential suite is the oracle), so the cache key stays engine-free:
+/// a hit is valid whatever engine built the entry.
+#[derive(Debug)]
+pub struct TraceArtifacts {
+    /// The stripped trace (unique references + id sequence).
+    pub stripped: StrippedTrace,
+    /// The materialized BCAT/MRCT structures, when retained.
+    pub tree: Option<TreeArtifacts>,
     /// The per-depth miss profiles, queryable under any budget.
     pub exploration: Exploration,
 }
 
 impl TraceArtifacts {
-    /// Runs the full prelude + postlude once for `trace`.
+    /// Runs the full tree+table prelude + postlude once for `trace`,
+    /// retaining the materialized structures.
     ///
     /// # Errors
     ///
     /// Propagates [`ExploreError`] (empty trace, oversized index cap).
     pub fn build(trace: &Trace, max_index_bits: u32) -> Result<Self, ExploreError> {
+        Self::build_with(trace, max_index_bits, Engine::TreeTable, None, true)
+    }
+
+    /// Analyzes `trace` with `engine`, materializing the BCAT/MRCT only
+    /// when `with_tree` asks for them (or the engine builds them anyway).
+    /// The depth-first engines go through
+    /// [`prepare_stripped`](cachedse_core::prepare_stripped) and allocate
+    /// nothing beyond their scratch arena; `threads` pins the parallel
+    /// engine's worker count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ExploreError`] (empty trace, oversized index cap).
+    pub fn build_with(
+        trace: &Trace,
+        max_index_bits: u32,
+        engine: Engine,
+        threads: Option<std::num::NonZeroUsize>,
+        with_tree: bool,
+    ) -> Result<Self, ExploreError> {
         let stripped = StrippedTrace::from_trace(trace);
         if stripped.is_empty() {
             return Err(ExploreError::EmptyTrace);
         }
-        let zero_one = ZeroOneSets::from_stripped(&stripped);
-        let bcat = Bcat::build(&zero_one, max_index_bits);
-        let mrct = Mrct::build(&stripped);
-        let exploration = Exploration::from_artifacts(&bcat, &mrct, &stripped, max_index_bits)?;
-        Ok(Self {
-            stripped,
-            zero_one,
-            bcat,
-            mrct,
-            exploration,
-        })
+        if with_tree || engine == Engine::TreeTable {
+            let zero_one = ZeroOneSets::from_stripped(&stripped);
+            let bcat = Bcat::build(&zero_one, max_index_bits);
+            let mrct = Mrct::build(&stripped);
+            let exploration = Exploration::from_artifacts(&bcat, &mrct, &stripped, max_index_bits)?;
+            Ok(Self {
+                stripped,
+                tree: Some(TreeArtifacts {
+                    zero_one,
+                    bcat,
+                    mrct,
+                }),
+                exploration,
+            })
+        } else {
+            let exploration = prepare_stripped(&stripped, Some(max_index_bits), engine, threads)?;
+            Ok(Self {
+                stripped,
+                tree: None,
+                exploration,
+            })
+        }
     }
 }
 
@@ -302,6 +347,33 @@ mod tests {
             .unwrap();
         assert_eq!(cache.misses(), 2);
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn engineless_build_matches_tree_table() {
+        let (trace, key) = key_of(5);
+        let full = TraceArtifacts::build(&trace, key.max_index_bits).unwrap();
+        assert!(full.tree.is_some());
+        for engine in [Engine::DepthFirst, Engine::DepthFirstParallel] {
+            let lean = TraceArtifacts::build_with(&trace, key.max_index_bits, engine, None, false)
+                .unwrap();
+            assert!(
+                lean.tree.is_none(),
+                "{engine} should not materialize the tree"
+            );
+            for budget in [MissBudget::Absolute(0), MissBudget::FractionOfMax(0.10)] {
+                assert_eq!(
+                    lean.exploration.result(budget).unwrap(),
+                    full.exploration.result(budget).unwrap(),
+                    "{engine}"
+                );
+            }
+        }
+        // validate-style builds retain the tree whatever the engine.
+        let validated =
+            TraceArtifacts::build_with(&trace, key.max_index_bits, Engine::DepthFirst, None, true)
+                .unwrap();
+        assert!(validated.tree.is_some());
     }
 
     #[test]

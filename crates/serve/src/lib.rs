@@ -62,7 +62,7 @@ pub mod net;
 pub mod service;
 
 pub use batch::{run_batch, BatchSummary};
-pub use cache::{ArtifactCache, ArtifactKey, Found, TraceArtifacts};
+pub use cache::{ArtifactCache, ArtifactKey, Found, TraceArtifacts, TreeArtifacts};
 pub use job::{
     outcome_json, JobError, JobOutcome, JobOutput, JobSpec, PatternSpec, SpecError, TraceSide,
     TraceSource,

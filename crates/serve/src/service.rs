@@ -30,6 +30,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use cachedse_check::{check_artifacts, BcatSnapshot, MrctSnapshot};
+use cachedse_core::Engine;
 use cachedse_trace::io::read_din;
 use cachedse_trace::{generate, Trace};
 
@@ -51,7 +52,16 @@ pub struct ServiceConfig {
     /// (`None` = no default deadline).
     pub default_timeout_ms: Option<u64>,
     /// Re-verify cached artifacts with `cachedse-check` before every reuse.
+    /// Forces tree/table artifact retention whatever `engine` says, so the
+    /// checks have something to verify.
     pub validate: bool,
+    /// The analytical engine workers run. The default depth-first engine
+    /// analyzes without materializing the BCAT/MRCT; [`Engine::TreeTable`]
+    /// retains them (all engines produce identical results).
+    pub engine: Engine,
+    /// Worker count for [`Engine::DepthFirstParallel`] (`None` = available
+    /// parallelism). Ignored by the serial engines.
+    pub threads: Option<std::num::NonZeroUsize>,
 }
 
 impl Default for ServiceConfig {
@@ -62,6 +72,8 @@ impl Default for ServiceConfig {
             cache_capacity: 16,
             default_timeout_ms: None,
             validate: false,
+            engine: Engine::default(),
+            threads: None,
         }
     }
 }
@@ -362,7 +374,13 @@ fn run_job(inner: &Inner, label: &str, spec: &JobSpec) -> JobOutcome {
     let metrics = &inner.metrics;
     let (artifacts, found) = inner.cache.get_or_build(key, || {
         let analyze_start = Instant::now();
-        let built = TraceArtifacts::build(&trace, max_index_bits);
+        let built = TraceArtifacts::build_with(
+            &trace,
+            max_index_bits,
+            inner.config.engine,
+            inner.config.threads,
+            inner.config.validate,
+        );
         metrics.record_stage(Stage::Analyze, analyze_start.elapsed());
         built.map_err(JobError::from)
     })?;
@@ -400,10 +418,15 @@ fn validate_artifacts(
     artifacts: &TraceArtifacts,
 ) -> Result<(), JobError> {
     inner.metrics.validations.fetch_add(1, Ordering::Relaxed);
+    let Some(tree) = artifacts.tree.as_ref() else {
+        // Unreachable in practice: a validating service builds every cache
+        // entry with the tree retained (the cache is service-private).
+        return Ok(());
+    };
     let report = check_artifacts(
-        &artifacts.zero_one,
-        &BcatSnapshot::of(&artifacts.bcat),
-        &MrctSnapshot::of(&artifacts.mrct),
+        &tree.zero_one,
+        &BcatSnapshot::of(&tree.bcat),
+        &MrctSnapshot::of(&tree.mrct),
         &artifacts.stripped,
     );
     if report.is_clean() {
@@ -610,6 +633,50 @@ mod tests {
         // Only the cache hit (job b) is re-validated.
         assert_eq!(stats.validations, 1);
         assert_eq!(stats.cache_hits, 1);
+    }
+
+    /// The configured engine changes how workers analyze, never what they
+    /// answer.
+    #[test]
+    fn all_engines_answer_identically() {
+        let spec = || loop_spec("engines", 40, 2);
+        let mut results = Vec::new();
+        for engine in [
+            Engine::DepthFirst,
+            Engine::DepthFirstParallel,
+            Engine::TreeTable,
+        ] {
+            let service = Service::start(ServiceConfig {
+                workers: 1,
+                engine,
+                threads: std::num::NonZeroUsize::new(2),
+                ..ServiceConfig::default()
+            });
+            let id = service.submit(spec()).unwrap();
+            let (_, outcome) = service.wait(id);
+            results.push(outcome.unwrap().result);
+            let _ = service.shutdown();
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[0], results[2]);
+    }
+
+    /// Validation still works when the configured engine would not
+    /// normally materialize the tree: `validate` forces retention.
+    #[test]
+    fn validate_with_depth_first_engine() {
+        let service = Service::start(ServiceConfig {
+            workers: 1,
+            validate: true,
+            engine: Engine::DepthFirst,
+            ..ServiceConfig::default()
+        });
+        let a = service.submit(loop_spec("a", 10, 0)).unwrap();
+        let b = service.submit(loop_spec("b", 10, 1)).unwrap();
+        service.wait(a).1.unwrap();
+        service.wait(b).1.unwrap();
+        let stats = service.shutdown();
+        assert_eq!(stats.validations, 1);
     }
 
     #[test]

@@ -103,9 +103,11 @@ fn cached_frontiers_match_single_shot_runs_byte_for_byte() {
     }
 
     // All six jobs share one digest, and the cache built exactly once.
+    // Which job performs the build depends on worker scheduling (two
+    // workers race to claim the slot), so assert the count, not the index.
     assert!(served.windows(2).all(|w| w[0].digest == w[1].digest));
-    assert!(!served[0].cache_hit);
-    assert!(served[1..].iter().all(|o| o.cache_hit));
+    let misses = served.iter().filter(|o| !o.cache_hit).count();
+    assert_eq!(misses, 1, "exactly one job should have built the artifacts");
     assert_eq!(service.cached_traces(), 1);
     let stats = service.shutdown();
     assert_eq!(stats.cache_misses, 1, "expected exactly one artifact build");

@@ -47,16 +47,30 @@ impl Fenwick {
 
     /// Adds `delta` to the counter at `pos`.
     ///
+    /// Bounds and underflow are verified with debug assertions only: this
+    /// is the innermost operation of the depth-first engine's per-reference
+    /// sweep, and release builds keep it branch-lean. An out-of-range `pos`
+    /// cannot touch memory outside the tree in any build — the update loop's
+    /// own bound makes it a no-op in release.
+    ///
     /// # Panics
     ///
-    /// Panics if `pos` is out of range or the counter underflows.
+    /// In debug builds, panics if `pos` is out of range or the counter
+    /// underflows.
     pub fn add(&mut self, pos: usize, delta: i32) {
-        assert!(pos < self.len(), "fenwick position out of range");
+        debug_assert!(pos < self.len(), "fenwick position out of range");
         let mut i = pos + 1;
         while i < self.tree.len() {
-            self.tree[i] = self.tree[i]
-                .checked_add_signed(delta)
-                .expect("fenwick counter underflow");
+            #[cfg(debug_assertions)]
+            {
+                self.tree[i] = self.tree[i]
+                    .checked_add_signed(delta)
+                    .expect("fenwick counter underflow");
+            }
+            #[cfg(not(debug_assertions))]
+            {
+                self.tree[i] = self.tree[i].wrapping_add_signed(delta);
+            }
             i += i & i.wrapping_neg();
         }
     }
@@ -65,10 +79,11 @@ impl Fenwick {
     ///
     /// # Panics
     ///
-    /// Panics if `end > len`.
+    /// In debug builds, panics if `end > len` (release builds panic on the
+    /// slice index instead).
     #[must_use]
     pub fn prefix_sum(&self, end: usize) -> u32 {
-        assert!(end <= self.len(), "fenwick prefix out of range");
+        debug_assert!(end <= self.len(), "fenwick prefix out of range");
         let mut sum = 0;
         let mut i = end;
         while i > 0 {
@@ -82,10 +97,10 @@ impl Fenwick {
     ///
     /// # Panics
     ///
-    /// Panics if `start > end` or `end > len`.
+    /// In debug builds, panics if `start > end` or `end > len`.
     #[must_use]
     pub fn range_sum(&self, start: usize, end: usize) -> u32 {
-        assert!(start <= end, "fenwick range reversed");
+        debug_assert!(start <= end, "fenwick range reversed");
         self.prefix_sum(end) - self.prefix_sum(start)
     }
 }
@@ -118,15 +133,42 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "out of range")]
     fn add_out_of_range_panics() {
         Fenwick::new(3).add(3, 1);
     }
 
+    /// In release builds an out-of-range add must stay memory-safe and
+    /// leave the tree untouched.
     #[test]
+    #[cfg(not(debug_assertions))]
+    fn add_out_of_range_is_inert() {
+        let mut f = Fenwick::new(3);
+        f.add(3, 1);
+        assert_eq!(f.prefix_sum(3), 0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "underflow")]
     fn underflow_panics() {
         Fenwick::new(3).add(1, -1);
+    }
+
+    /// Release builds let a paired add/remove pass through wrapping
+    /// arithmetic; the net result is still exact.
+    #[test]
+    fn paired_add_remove_round_trips() {
+        let mut f = Fenwick::new(16);
+        for pos in [3usize, 7, 3, 11] {
+            f.add(pos, 1);
+        }
+        f.add(3, -1);
+        f.add(3, -1);
+        assert_eq!(f.range_sum(0, 16), 2);
+        assert_eq!(f.range_sum(7, 8), 1);
+        assert_eq!(f.range_sum(3, 4), 0);
     }
 
     /// Deterministic randomized sweep (formerly a proptest property).
