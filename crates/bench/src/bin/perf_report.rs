@@ -4,10 +4,10 @@
 //! §2.4 depth-first comparison (`depth_first`, `depth_first_parallel` at
 //! pinned worker counts, `tree_table`), and the end-to-end exploration over
 //! the benchmark kernels, then writes `BENCH_dfs.json` at the repo root —
-//! schema `cachedse-bench-dfs/v1`, documented in `DESIGN.md` §11.
+//! schema `cachedse-bench-dfs/v2`, documented in `DESIGN.md` §11.
 //!
 //! ```text
-//! perf_report [--quick] [--samples N] [--out FILE]
+//! perf_report [--quick] [--samples N] [--out FILE] [--gate]
 //! perf_report --check FILE        # validate an existing report's schema
 //! ```
 //!
@@ -16,10 +16,14 @@
 //! report is re-parsed with `cachedse-json` and schema-checked before it is
 //! written, so a zero exit status guarantees a well-formed file.
 //!
-//! Each kernel row also carries the recorded **pre-rewrite** serial
-//! depth-first median (captured on this workspace immediately before the
-//! scratch-arena engine landed) and the speedup against it, so the
-//! trajectory keeps its origin visible.
+//! Each kernel row carries the recorded **pre-rewrite** serial depth-first
+//! median (captured on this workspace immediately before the scratch-arena
+//! engine landed) plus versioned **phase baselines** for the MRCT and BCAT
+//! prelude phases: the medians captured immediately before and immediately
+//! after the output-optimal MRCT rewrite, so the trajectory keeps both
+//! origins visible. `--gate` turns the post-rewrite MRCT baseline into a
+//! regression gate: the run fails if any measured kernel's MRCT phase is
+//! more than [`GATE_FACTOR`]× its recorded post-rewrite median.
 
 use std::num::NonZeroUsize;
 use std::process::ExitCode;
@@ -31,7 +35,11 @@ use cachedse_trace::strip::StrippedTrace;
 use cachedse_trace::Trace;
 
 /// Schema tag of the emitted report.
-const SCHEMA: &str = "cachedse-bench-dfs/v1";
+const SCHEMA: &str = "cachedse-bench-dfs/v2";
+
+/// `--gate` fails when a measured MRCT phase exceeds its recorded
+/// post-rewrite baseline by more than this factor.
+const GATE_FACTOR: f64 = 2.0;
 
 /// The two small kernels `--quick` keeps (CI smoke coverage of one data and
 /// one instruction trace without the multi-minute full sweep).
@@ -70,6 +78,125 @@ const PRE_REWRITE_DEPTH_FIRST_NS: [(&str, f64); 24] = [
     ("ucbqsort.instr", 173_617_308.0),
 ];
 
+/// Median `Mrct::build` ns/iter per kernel recorded on this workspace
+/// immediately **before** the output-optimal rewrite (Vec-backed recency
+/// list with `O(N')` removal, per-set boxed slices).
+const PRE_REWRITE_MRCT_NS: [(&str, f64); 24] = [
+    ("adpcm.data", 3_451_262_059.0),
+    ("adpcm.instr", 70_606_200.0),
+    ("bcnt.data", 611_337_521.0),
+    ("bcnt.instr", 19_264_144.0),
+    ("blit.data", 65_197_109.0),
+    ("blit.instr", 3_070_405.0),
+    ("compress.data", 7_144_185_355.0),
+    ("compress.instr", 47_200_522.0),
+    ("crc.data", 1_140_086_140.0),
+    ("crc.instr", 13_002_846.0),
+    ("des.data", 233_947_652.0),
+    ("des.instr", 34_318_036.0),
+    ("engine.data", 20_610_984.0),
+    ("engine.instr", 34_804_500.0),
+    ("fir.data", 564_269_101.0),
+    ("fir.instr", 92_883_169.0),
+    ("g3fax.data", 2_837_057_891.0),
+    ("g3fax.instr", 30_725_990.0),
+    ("pocsag.data", 2_984_317.0),
+    ("pocsag.instr", 11_136_978.0),
+    ("qurt.data", 38_025_893.0),
+    ("qurt.instr", 7_925_637.0),
+    ("ucbqsort.data", 530_406_216.0),
+    ("ucbqsort.instr", 41_552_895.0),
+];
+
+/// Median `Bcat::from_stripped` ns/iter per kernel at the same pre-rewrite
+/// capture (the BCAT phase was not rewritten; the baseline pins its cost at
+/// the moment the MRCT work landed so later drift is attributable).
+const PRE_REWRITE_BCAT_NS: [(&str, f64); 24] = [
+    ("adpcm.data", 122_425_960.0),
+    ("adpcm.instr", 149_311.4),
+    ("bcnt.data", 1_317_621.3),
+    ("bcnt.instr", 132_962.6),
+    ("blit.data", 876_421.0),
+    ("blit.instr", 138_090.2),
+    ("compress.data", 93_801_552.0),
+    ("compress.instr", 114_117.1),
+    ("crc.data", 3_409_696.0),
+    ("crc.instr", 100_092.8),
+    ("des.data", 849_355.2),
+    ("des.instr", 128_526.7),
+    ("engine.data", 98_327.9),
+    ("engine.instr", 137_663.1),
+    ("fir.data", 7_938_234.0),
+    ("fir.instr", 122_964.2),
+    ("g3fax.data", 57_266_289.0),
+    ("g3fax.instr", 98_581.2),
+    ("pocsag.data", 1_300_055.5),
+    ("pocsag.instr", 101_284.7),
+    ("qurt.data", 1_119_882.3),
+    ("qurt.instr", 106_946.9),
+    ("ucbqsort.data", 1_951_971.0),
+    ("ucbqsort.instr", 114_275.2),
+];
+
+/// Median `Mrct::build` ns/iter per kernel recorded immediately **after**
+/// the output-optimal rewrite (Fenwick-sized CSR arena, tombstone recency
+/// array, thread-local arena recycling — DESIGN.md §12), same capture
+/// parameters and host class. This is the `--gate` reference.
+const POST_REWRITE_MRCT_NS: &[(&str, f64)] = &[
+    ("adpcm.data", 176_980_415.0),
+    ("adpcm.instr", 46_818_831.0),
+    ("bcnt.data", 46_159_787.0),
+    ("bcnt.instr", 17_842_551.0),
+    ("blit.data", 5_376_685.0),
+    ("blit.instr", 4_008_602.0),
+    ("compress.data", 350_815_274.0),
+    ("compress.instr", 49_009_496.0),
+    ("crc.data", 59_857_594.0),
+    ("crc.instr", 19_991_537.0),
+    ("des.data", 27_043_175.0),
+    ("des.instr", 15_476_173.0),
+    ("engine.data", 6_042_327.0),
+    ("engine.instr", 9_466_470.0),
+    ("fir.data", 139_087_776.0),
+    ("fir.instr", 116_184_412.0),
+    ("g3fax.data", 137_390_363.0),
+    ("g3fax.instr", 24_593_113.0),
+    ("pocsag.data", 2_397_205.0),
+    ("pocsag.instr", 8_441_076.0),
+    ("qurt.data", 1_025_644.0),
+    ("qurt.instr", 6_400_090.0),
+    ("ucbqsort.data", 71_448_031.0),
+    ("ucbqsort.instr", 27_186_217.0),
+];
+
+/// Median `Bcat::from_stripped` ns/iter at the same post-rewrite capture.
+const POST_REWRITE_BCAT_NS: &[(&str, f64)] = &[
+    ("adpcm.data", 111_765_146.0),
+    ("adpcm.instr", 139_030.0),
+    ("bcnt.data", 1_035_684.0),
+    ("bcnt.instr", 133_017.0),
+    ("blit.data", 890_995.0),
+    ("blit.instr", 141_127.0),
+    ("compress.data", 149_423_741.0),
+    ("compress.instr", 153_082.0),
+    ("crc.data", 3_087_372.0),
+    ("crc.instr", 119_770.0),
+    ("des.data", 811_723.0),
+    ("des.instr", 99_822.0),
+    ("engine.data", 89_437.0),
+    ("engine.instr", 96_495.0),
+    ("fir.data", 12_249_877.0),
+    ("fir.instr", 140_936.0),
+    ("g3fax.data", 92_415_259.0),
+    ("g3fax.instr", 90_732.0),
+    ("pocsag.data", 1_599_064.0),
+    ("pocsag.instr", 118_344.0),
+    ("qurt.data", 1_228_290.0),
+    ("qurt.instr", 97_993.0),
+    ("ucbqsort.data", 1_938_104.0),
+    ("ucbqsort.instr", 104_433.0),
+];
+
 fn default_out_path() -> String {
     format!("{}/../../BENCH_dfs.json", env!("CARGO_MANIFEST_DIR"))
 }
@@ -77,6 +204,7 @@ fn default_out_path() -> String {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
+    let mut gate = false;
     let mut samples: Option<usize> = None;
     let mut out = default_out_path();
     let mut check: Option<String> = None;
@@ -84,6 +212,7 @@ fn main() -> ExitCode {
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--gate" => gate = true,
             "--samples" => match iter.next().map(|v| v.parse::<usize>()) {
                 Some(Ok(n)) if n >= 2 => samples = Some(n),
                 _ => return usage("--samples expects an integer >= 2"),
@@ -116,15 +245,62 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!("wrote {out}");
+    if gate {
+        if let Err(failures) = gate_mrct_phase(&report) {
+            eprintln!("perf_report: MRCT phase regression gate failed:");
+            for f in failures {
+                eprintln!("  {f}");
+            }
+            return ExitCode::FAILURE;
+        }
+        eprintln!("perf_report: MRCT phase within {GATE_FACTOR}x of recorded baselines");
+    }
     ExitCode::SUCCESS
 }
 
 fn usage(problem: &str) -> ExitCode {
     eprintln!(
         "perf_report: {problem}\n\
-         usage: perf_report [--quick] [--samples N] [--out FILE] | --check FILE"
+         usage: perf_report [--quick] [--samples N] [--out FILE] [--gate] | --check FILE"
     );
     ExitCode::FAILURE
+}
+
+/// Fails when any measured kernel's MRCT phase exceeds its recorded
+/// post-rewrite baseline by more than [`GATE_FACTOR`]. Kernels without a
+/// recorded baseline are skipped (they cannot regress against nothing).
+fn gate_mrct_phase(report: &Value) -> Result<(), Vec<String>> {
+    let mut failures = Vec::new();
+    let kernels = report
+        .get("kernels")
+        .and_then(Value::as_array)
+        .unwrap_or(&[]);
+    for kernel in kernels {
+        let Some(label) = kernel.get("label").and_then(Value::as_str) else {
+            continue;
+        };
+        let Some(baseline) = lookup(POST_REWRITE_MRCT_NS, label) else {
+            continue;
+        };
+        let Some(measured) = kernel
+            .get("phases_ns")
+            .and_then(|p| p.get("mrct"))
+            .and_then(Value::as_f64)
+        else {
+            continue;
+        };
+        if measured > GATE_FACTOR * baseline {
+            failures.push(format!(
+                "{label}: mrct {measured:.0} ns/iter exceeds {GATE_FACTOR}x recorded \
+                 post-rewrite baseline {baseline:.0} ns/iter"
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures)
+    }
 }
 
 fn check_existing(path: &str) -> ExitCode {
@@ -159,8 +335,16 @@ fn run_report(quick: bool, samples: usize) -> Value {
         traces.len()
     );
     println!(
-        "{:<16} {:>13} {:>13} {:>13} {:>13} {:>13} {:>8} {:>8}",
-        "kernel", "dfs ns", "par1 ns", "par2 ns", "par4 ns", "tree ns", "vs-tree", "vs-base"
+        "{:<16} {:>13} {:>13} {:>13} {:>13} {:>13} {:>13} {:>8} {:>8}",
+        "kernel",
+        "mrct ns",
+        "dfs ns",
+        "par1 ns",
+        "par2 ns",
+        "par4 ns",
+        "tree ns",
+        "vs-tree",
+        "vs-base"
     );
 
     let kernels: Vec<Value> = traces
@@ -236,11 +420,16 @@ fn measure_trace(named: &NamedTrace, samples: usize) -> TraceRow {
     }
 }
 
-fn baseline_of(label: &str) -> Option<f64> {
-    PRE_REWRITE_DEPTH_FIRST_NS
+/// Finds `label` in a `(label, ns)` baseline table.
+fn lookup(table: &[(&str, f64)], label: &str) -> Option<f64> {
+    table
         .iter()
         .find(|(name, _)| *name == label)
         .map(|&(_, ns)| ns)
+}
+
+fn baseline_of(label: &str) -> Option<f64> {
+    lookup(&PRE_REWRITE_DEPTH_FIRST_NS, label)
 }
 
 fn print_row(named: &NamedTrace, row: &TraceRow) {
@@ -251,13 +440,39 @@ fn print_row(named: &NamedTrace, row: &TraceRow) {
         |b| format!("{:.2}x", b / row.depth_first_ns),
     );
     println!(
-        "{label:<16} {:>13.0} {:>13.0} {:>13.0} {:>13.0} {:>13.0} {vs_tree:>7.2}x {vs_base:>8}",
+        "{label:<16} {:>13.0} {:>13.0} {:>13.0} {:>13.0} {:>13.0} {:>13.0} {vs_tree:>7.2}x \
+         {vs_base:>8}",
+        row.mrct_ns,
         row.depth_first_ns,
         row.parallel_ns[0],
         row.parallel_ns[1],
         row.parallel_ns[2],
         row.tree_table_ns,
     );
+}
+
+/// One phase's versioned baseline entry: the recorded pre- and post-rewrite
+/// medians plus the measured value's relation to each. `Null` when the
+/// kernel has no recorded pre-rewrite number (e.g. future kernels).
+fn phase_baseline_json(
+    label: &str,
+    measured: f64,
+    pre_table: &[(&str, f64)],
+    post_table: &[(&str, f64)],
+) -> Value {
+    let Some(pre) = lookup(pre_table, label) else {
+        return Value::Null;
+    };
+    let post = lookup(post_table, label);
+    Value::object([
+        ("pre_rewrite_ns", Value::from(pre)),
+        ("speedup_vs_pre", Value::from(pre / measured)),
+        ("post_rewrite_ns", post.map_or(Value::Null, Value::from)),
+        (
+            "regression_vs_post",
+            post.map_or(Value::Null, |p| Value::from(measured / p)),
+        ),
+    ])
 }
 
 impl TraceRow {
@@ -284,6 +499,18 @@ impl TraceRow {
                 ("speedup", Value::from(ns / self.depth_first_ns)),
             ])
         });
+        let mrct_baseline = phase_baseline_json(
+            &label,
+            self.mrct_ns,
+            &PRE_REWRITE_MRCT_NS,
+            POST_REWRITE_MRCT_NS,
+        );
+        let bcat_baseline = phase_baseline_json(
+            &label,
+            self.bcat_ns,
+            &PRE_REWRITE_BCAT_NS,
+            POST_REWRITE_BCAT_NS,
+        );
         Value::object([
             ("label", Value::from(label)),
             ("refs", Value::from(self.refs)),
@@ -296,6 +523,10 @@ impl TraceRow {
                     ("bcat", Value::from(self.bcat_ns)),
                     ("mrct", Value::from(self.mrct_ns)),
                 ]),
+            ),
+            (
+                "phase_baselines",
+                Value::object([("mrct", mrct_baseline), ("bcat", bcat_baseline)]),
             ),
             ("engines_ns", engines),
             ("end_to_end_ns", Value::from(self.end_to_end_ns)),
@@ -374,6 +605,42 @@ fn validate_report(text: &str) -> Result<usize, String> {
             Some(baseline) => {
                 for field in ["depth_first_ns", "speedup"] {
                     positive(baseline.get(field), &context(field))?;
+                }
+            }
+        }
+        let phase_baselines = kernel
+            .get("phase_baselines")
+            .ok_or_else(|| format!("kernel {label:?} missing \"phase_baselines\""))?;
+        for phase in ["mrct", "bcat"] {
+            match phase_baselines.get(phase) {
+                Some(Value::Null) => {}
+                Some(entry) => {
+                    for field in ["pre_rewrite_ns", "speedup_vs_pre"] {
+                        positive(entry.get(field), &context(&format!("{phase}.{field}")))?;
+                    }
+                    // Post-rewrite numbers are nullable (kernels measured
+                    // before the post-rewrite capture), but must be
+                    // positive when present, and must come paired.
+                    let post = entry.get("post_rewrite_ns");
+                    let regression = entry.get("regression_vs_post");
+                    match (post, regression) {
+                        (Some(Value::Null), Some(Value::Null)) => {}
+                        (Some(_), Some(_)) => {
+                            positive(post, &context(&format!("{phase}.post_rewrite_ns")))?;
+                            positive(regression, &context(&format!("{phase}.regression_vs_post")))?;
+                        }
+                        _ => {
+                            return Err(format!(
+                                "kernel {label:?}: {phase} baseline must carry both \
+                                 \"post_rewrite_ns\" and \"regression_vs_post\""
+                            ));
+                        }
+                    }
+                }
+                None => {
+                    return Err(format!(
+                        "kernel {label:?} missing \"phase_baselines.{phase}\""
+                    ));
                 }
             }
         }

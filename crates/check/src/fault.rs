@@ -31,7 +31,8 @@ pub enum FaultKind {
     /// Drop the last conflict set of a recurring reference (breaks the
     /// one-set-per-non-first-occurrence count).
     MrctDropSet,
-    /// Reverse a multi-element conflict set (breaks sortedness).
+    /// Reverse a multi-element conflict set (breaks the canonical recency
+    /// member order, so the set no longer equals its recomputed window).
     MrctUnsortedSet,
 }
 
@@ -152,9 +153,9 @@ pub fn inject_mrct(snapshot: &mut MrctSnapshot, kind: FaultKind) -> bool {
         FaultKind::MrctSelfConflict => {
             for (id, sets) in snapshot.sets.iter_mut().enumerate() {
                 if let Some(set) = sets.first_mut() {
-                    set.push(id as u32);
-                    set.sort_unstable();
-                    set.dedup();
+                    // Front insertion keeps the other members' recency
+                    // order intact, so only the self-conflict is injected.
+                    set.insert(0, id as u32);
                     return true;
                 }
             }

@@ -2,11 +2,13 @@
 //!
 //! A well-formed Memory Reference Conflict Table has, for each unique
 //! reference, exactly one conflict set per non-first occurrence; each set is
-//! sorted, duplicate-free, in identifier range, never contains the reference
-//! it belongs to, and equals the distinct *other* references touched in the
-//! occurrence's reuse window. The window semantics are recomputed here with
-//! an independent single-pass scan, so the checker does not trust either of
-//! `cachedse-core`'s two builders.
+//! duplicate-free, in identifier range, never contains the reference it
+//! belongs to, and equals the distinct *other* references touched in the
+//! occurrence's reuse window, in recency order (each member at its last
+//! access inside the window, oldest first — the canonical order both
+//! `cachedse-core` builders emit). The window semantics are recomputed here
+//! with an independent single-pass scan, so the checker does not trust
+//! either builder.
 
 use cachedse_core::Mrct;
 use cachedse_trace::strip::StrippedTrace;
@@ -29,7 +31,7 @@ impl MrctSnapshot {
         Self {
             sets: mrct
                 .iter()
-                .map(|(_, sets)| sets.iter().map(|s| s.to_vec()).collect())
+                .map(|(_, sets)| sets.iter().map(<[u32]>::to_vec).collect())
                 .collect(),
         }
     }
@@ -48,22 +50,31 @@ fn fmt_set(set: &[u32]) -> String {
 }
 
 /// Independently recomputed reuse windows: for every non-first occurrence
-/// of each reference, the sorted distinct other references touched since
-/// its previous occurrence.
+/// of each reference, the distinct other references touched since its
+/// previous occurrence, in recency order (duplicates collapsed onto their
+/// last occurrence).
 fn reuse_windows(stripped: &StrippedTrace) -> Vec<Vec<Vec<u32>>> {
     let n = stripped.unique_len();
     let mut windows: Vec<Vec<Vec<u32>>> = vec![Vec::new(); n];
     let mut last_seen: Vec<Option<usize>> = vec![None; n];
+    let mut in_window = vec![false; n];
     let ids = stripped.id_sequence();
     for (t, &id) in ids.iter().enumerate() {
         if let Some(prev) = last_seen[id.index()] {
-            let mut window: Vec<u32> = ids[prev + 1..t]
-                .iter()
-                .map(|r| r.raw())
-                .filter(|&x| x != id.raw())
-                .collect();
-            window.sort_unstable();
-            window.dedup();
+            // A reversed scan keeping first-seen members picks each one's
+            // last occurrence; reversing back yields recency order.
+            let mut window: Vec<u32> = Vec::new();
+            for r in ids[prev + 1..t].iter().rev() {
+                let x = r.raw();
+                if x != id.raw() && !in_window[x as usize] {
+                    in_window[x as usize] = true;
+                    window.push(x);
+                }
+            }
+            for &x in &window {
+                in_window[x as usize] = false;
+            }
+            window.reverse();
             windows[id.index()].push(window);
         }
         last_seen[id.index()] = Some(t);
@@ -112,11 +123,14 @@ pub fn check_mrct(snapshot: &MrctSnapshot, stripped: &StrippedTrace) -> Vec<Viol
                 reference: id,
                 occurrence: k,
             };
-            if !set.windows(2).all(|w| w[0] < w[1]) {
+            let mut distinct = set.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            if distinct.len() != set.len() {
                 violations.push(Violation::new(
                     Invariant::MrctSetMalformed,
                     here,
-                    format!("set {} is not sorted and duplicate-free", fmt_set(set)),
+                    format!("set {} holds a member more than once", fmt_set(set)),
                 ));
             }
             if let Some(&bad) = set.iter().find(|&&x| (x as usize) >= n) {
@@ -225,13 +239,26 @@ mod tests {
     }
 
     #[test]
-    fn unsorted_set_is_detected() {
+    fn duplicated_member_is_detected() {
         let (stripped, mut snap) = snapshot_of(&paper_running_example());
-        snap.sets[0][0].reverse(); // {1,2,3} -> {3,2,1}
+        let member = snap.sets[0][0][0];
+        snap.sets[0][0].push(member); // [1,2,3] -> [1,2,3,1]
         let violations = check_mrct(&snap, &stripped);
         assert!(violations
             .iter()
             .any(|v| v.invariant == Invariant::MrctSetMalformed));
+    }
+
+    #[test]
+    fn scrambled_member_order_is_detected() {
+        // Recency order is canonical: a reversed set no longer equals the
+        // recomputed window even though its membership is intact.
+        let (stripped, mut snap) = snapshot_of(&paper_running_example());
+        snap.sets[0][0].reverse(); // [1,2,3] -> [3,2,1]
+        let violations = check_mrct(&snap, &stripped);
+        assert!(violations
+            .iter()
+            .any(|v| v.invariant == Invariant::MrctWindowMismatch));
     }
 
     #[test]

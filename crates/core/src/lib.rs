@@ -83,7 +83,7 @@ pub use explorer::{
     explore_shared, prepare_stripped, DesignSpaceExplorer, Engine, Exploration, ExplorationResult,
     MissBudget, SharedExploration,
 };
-pub use mrct::Mrct;
+pub use mrct::{ConflictSets, Mrct};
 pub use report::BudgetGrid;
 pub use zero_one::ZeroOneSets;
 

@@ -64,7 +64,16 @@ pub fn level_profiles(
                     continue;
                 }
                 for id in s.ones() {
-                    for conflict in mrct.conflict_sets(RefId::new(id as u32)) {
+                    // Each reference's sets are contiguous ranges of the
+                    // MRCT's flat arena: this walk streams one contiguous
+                    // `u32` buffer per reference, no per-set pointer
+                    // chasing. |S ∩ C| below is order-insensitive, so the
+                    // sets' recency member order costs nothing here.
+                    let sets = mrct.conflict_sets(RefId::new(id as u32));
+                    if sets.is_empty() {
+                        continue;
+                    }
+                    for conflict in sets {
                         let d = conflict
                             .iter()
                             .filter(|&&other| s.contains(other as usize))

@@ -35,6 +35,7 @@ mod record;
 #[allow(clippy::module_inception)]
 mod trace;
 
+pub mod addrmap;
 pub mod digest;
 pub mod generate;
 pub mod io;

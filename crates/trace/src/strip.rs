@@ -5,11 +5,12 @@
 //! address a numeric identifier in first-appearance order, then works on the
 //! identifier sequence. Section 2.4 of the paper notes that a hash table
 //! makes this linear; [`StrippedTrace::from_trace`] is that hash-based single
-//! pass.
+//! pass, over the vendored FNV-1a open-addressing map
+//! ([`AddrMap`](crate::addrmap::AddrMap)) rather than `std`'s SipHash map.
 
-use std::collections::HashMap;
 use std::fmt;
 
+use crate::addrmap::AddrMap;
 use crate::{Address, Trace};
 
 /// Identifier of a unique reference, assigned in first-appearance order
@@ -87,17 +88,17 @@ impl StrippedTrace {
     /// fixes a write-back policy out of scope).
     #[must_use]
     pub fn from_trace(trace: &Trace) -> Self {
-        let mut table: HashMap<Address, RefId> = HashMap::new();
+        let mut table = AddrMap::new();
         let mut unique = Vec::new();
         let mut counts: Vec<u32> = Vec::new();
         let mut ids = Vec::with_capacity(trace.len());
         for addr in trace.addresses() {
-            let next = RefId::new(unique.len() as u32);
-            let id = *table.entry(addr).or_insert_with(|| {
+            let next = unique.len() as u32;
+            let id = RefId::new(table.get_or_insert(addr, next));
+            if id.raw() == next {
                 unique.push(addr);
                 counts.push(0);
-                next
-            });
+            }
             counts[id.index()] += 1;
             ids.push(id);
         }

@@ -13,8 +13,10 @@
 //! threshold is thread-count independent, so every pinning must agree.
 
 use std::num::NonZeroUsize;
+use std::sync::OnceLock;
 
 use cachedse::core::{dfs, postlude, Bcat, Mrct};
+use cachedse::sim::onepass::DepthProfile;
 use cachedse::trace::strip::StrippedTrace;
 use cachedse::trace::{Address, Record, Trace};
 use cachedse::workloads::{
@@ -59,28 +61,71 @@ fn small_runs() -> Vec<KernelRun> {
 }
 
 /// Golden profiles from the tree+table pipeline.
-fn tree_table_profiles(
-    stripped: &StrippedTrace,
-    bits: u32,
-) -> Vec<cachedse::sim::onepass::DepthProfile> {
+fn tree_table_profiles(stripped: &StrippedTrace, bits: u32) -> Vec<DepthProfile> {
     let bcat = Bcat::from_stripped(stripped, bits);
     let mrct = Mrct::build(stripped);
     postlude::level_profiles(&bcat, &mrct, stripped, bits)
 }
 
-/// Asserts all three engines agree on `trace`, at every pinned worker count.
-fn assert_engines_agree(label: &str, trace: &Trace) {
-    let stripped = StrippedTrace::from_trace(trace);
-    let bits = trace.address_bits();
-    let golden = tree_table_profiles(&stripped, bits);
-    let serial = dfs::level_profiles(&stripped, bits);
+/// One (kernel, trace-kind) oracle: the stripped trace plus its tree+table
+/// golden, built exactly once and shared by every engine-variant test.
+struct OracleCase {
+    label: String,
+    stripped: StrippedTrace,
+    bits: u32,
+    golden: Vec<DepthProfile>,
+}
+
+impl OracleCase {
+    fn of(label: String, trace: &Trace) -> Self {
+        let stripped = StrippedTrace::from_trace(trace);
+        let bits = trace.address_bits();
+        let golden = tree_table_profiles(&stripped, bits);
+        Self {
+            label,
+            stripped,
+            bits,
+            golden,
+        }
+    }
+}
+
+/// The 24 kernel oracles (12 kernels × data+instr). The tree+table golden
+/// is the expensive part of this suite, so it is built once per
+/// (kernel, trace-kind) here and shared across the serial and the
+/// {1, 2, 8}-worker comparisons instead of being rebuilt per engine
+/// variant.
+fn kernel_oracles() -> &'static [OracleCase] {
+    static CASES: OnceLock<Vec<OracleCase>> = OnceLock::new();
+    CASES.get_or_init(|| {
+        small_runs()
+            .iter()
+            .flat_map(|run| {
+                [
+                    OracleCase::of(format!("{}.data", run.name), &run.data),
+                    OracleCase::of(format!("{}.instr", run.name), &run.instr),
+                ]
+            })
+            .collect()
+    })
+}
+
+/// Asserts the serial and every pinned-worker parallel engine reproduce a
+/// prebuilt golden.
+fn assert_engines_match_golden(
+    label: &str,
+    stripped: &StrippedTrace,
+    bits: u32,
+    golden: &[DepthProfile],
+) {
+    let serial = dfs::level_profiles(stripped, bits);
     assert_eq!(
         serial, golden,
         "{label}: serial dfs diverged from tree+table"
     );
     for workers in [1usize, 2, 8] {
         let workers = NonZeroUsize::new(workers).expect("nonzero");
-        let parallel = dfs::level_profiles_parallel(&stripped, bits, workers);
+        let parallel = dfs::level_profiles_parallel(stripped, bits, workers);
         assert_eq!(
             parallel, golden,
             "{label}: parallel dfs ({workers} workers) diverged from tree+table"
@@ -88,11 +133,16 @@ fn assert_engines_agree(label: &str, trace: &Trace) {
     }
 }
 
+/// Asserts all three engines agree on `trace`, at every pinned worker count.
+fn assert_engines_agree(label: &str, trace: &Trace) {
+    let case = OracleCase::of(label.to_owned(), trace);
+    assert_engines_match_golden(&case.label, &case.stripped, case.bits, &case.golden);
+}
+
 #[test]
 fn all_kernels_all_engines_agree() {
-    for run in small_runs() {
-        assert_engines_agree(&format!("{}.data", run.name), &run.data);
-        assert_engines_agree(&format!("{}.instr", run.name), &run.instr);
+    for case in kernel_oracles() {
+        assert_engines_match_golden(&case.label, &case.stripped, case.bits, &case.golden);
     }
 }
 

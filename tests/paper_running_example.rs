@@ -47,10 +47,16 @@ fn table_3_zero_one_sets() {
 fn table_4_mrct() {
     let stripped = StrippedTrace::from_trace(&paper_running_example());
     let mrct = Mrct::build(&stripped);
+    // Table 4 lists set *contents*; the table's canonical member order is
+    // recency, so sort each set before comparing against the paper.
     let sets_of = |paper_id: u32| -> Vec<Vec<u32>> {
         mrct.conflict_sets(RefId::new(paper_id - 1))
             .iter()
-            .map(|s| s.iter().map(|&x| x + 1).collect()) // back to 1-based
+            .map(|s| {
+                let mut set: Vec<u32> = s.iter().map(|&x| x + 1).collect(); // back to 1-based
+                set.sort_unstable();
+                set
+            })
             .collect()
     };
     assert_eq!(sets_of(1), vec![vec![2, 3, 4], vec![2, 4, 5]]);
