@@ -1,4 +1,9 @@
 //! BCAT construction (Algorithm 1): zero/one sets plus the tree build.
+//!
+//! `tree_build` exercises the production radix builder (stable-partition
+//! permutation arena, from the stripped trace); `tree_build_naive` keeps
+//! the bitset-intersection Algorithm 1 on the board as the comparison
+//! point, so the speedup of the rewrite stays visible in bench output.
 
 use cachedse_bench::crit::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -20,10 +25,17 @@ fn bench_bcat(c: &mut Criterion) {
                 b.iter(|| ZeroOneSets::from_stripped(std::hint::black_box(s)));
             },
         );
-        let zo = ZeroOneSets::from_stripped(&stripped);
-        group.bench_with_input(BenchmarkId::new("tree_build", unique), &zo, |b, zo| {
-            b.iter(|| Bcat::build(std::hint::black_box(zo), 16));
+        group.bench_with_input(BenchmarkId::new("tree_build", unique), &stripped, |b, s| {
+            b.iter(|| Bcat::from_stripped(std::hint::black_box(s), 16));
         });
+        let zo = ZeroOneSets::from_stripped(&stripped);
+        group.bench_with_input(
+            BenchmarkId::new("tree_build_naive", unique),
+            &zo,
+            |b, zo| {
+                b.iter(|| Bcat::build_naive(std::hint::black_box(zo), 16));
+            },
+        );
     }
     group.finish();
 }

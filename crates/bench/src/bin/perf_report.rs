@@ -4,7 +4,7 @@
 //! §2.4 depth-first comparison (`depth_first`, `depth_first_parallel` at
 //! pinned worker counts, `tree_table`), and the end-to-end exploration over
 //! the benchmark kernels, then writes `BENCH_dfs.json` at the repo root —
-//! schema `cachedse-bench-dfs/v2`, documented in `DESIGN.md` §11.
+//! schema `cachedse-bench-dfs/v3`, documented in `DESIGN.md` §11.
 //!
 //! ```text
 //! perf_report [--quick] [--samples N] [--out FILE] [--gate]
@@ -20,10 +20,17 @@
 //! median (captured on this workspace immediately before the scratch-arena
 //! engine landed) plus versioned **phase baselines** for the MRCT and BCAT
 //! prelude phases: the medians captured immediately before and immediately
-//! after the output-optimal MRCT rewrite, so the trajectory keeps both
-//! origins visible. `--gate` turns the post-rewrite MRCT baseline into a
-//! regression gate: the run fails if any measured kernel's MRCT phase is
-//! more than [`GATE_FACTOR`]× its recorded post-rewrite median.
+//! after each phase's own rewrite (the output-optimal MRCT arena and the
+//! radix permutation-arena BCAT respectively), so the trajectory keeps both
+//! origins visible. `--gate` turns the post-rewrite baselines into a
+//! regression gate: the run fails if any measured kernel's MRCT **or** BCAT
+//! phase is more than [`GATE_FACTOR`]× its recorded post-rewrite median.
+//!
+//! On single-core hosts the `depth_first_parallel_*` engine rows are
+//! skipped: worker-pool timings on a 1-wide machine measure scheduling
+//! overhead, not the engine. The report records the decision in the
+//! top-level `parallel_engines_measured` flag (v3), and `--check` requires
+//! the parallel engine fields exactly when that flag is `true`.
 
 use std::num::NonZeroUsize;
 use std::process::ExitCode;
@@ -35,9 +42,9 @@ use cachedse_trace::strip::StrippedTrace;
 use cachedse_trace::Trace;
 
 /// Schema tag of the emitted report.
-const SCHEMA: &str = "cachedse-bench-dfs/v2";
+const SCHEMA: &str = "cachedse-bench-dfs/v3";
 
-/// `--gate` fails when a measured MRCT phase exceeds its recorded
+/// `--gate` fails when a measured MRCT or BCAT phase exceeds its recorded
 /// post-rewrite baseline by more than this factor.
 const GATE_FACTOR: f64 = 2.0;
 
@@ -108,34 +115,36 @@ const PRE_REWRITE_MRCT_NS: [(&str, f64); 24] = [
     ("ucbqsort.instr", 41_552_895.0),
 ];
 
-/// Median `Bcat::from_stripped` ns/iter per kernel at the same pre-rewrite
-/// capture (the BCAT phase was not rewritten; the baseline pins its cost at
-/// the moment the MRCT work landed so later drift is attributable).
+/// Median `Bcat::from_stripped` ns/iter per kernel recorded on this
+/// workspace immediately **before** the radix permutation-arena rewrite
+/// (per-node `DenseBitSet` intersections of the zero/one sets; the v2
+/// report's measured medians, which had drifted up to 1.42× over the older
+/// capture on the big data traces — the regression the rewrite erases).
 const PRE_REWRITE_BCAT_NS: [(&str, f64); 24] = [
-    ("adpcm.data", 122_425_960.0),
-    ("adpcm.instr", 149_311.4),
-    ("bcnt.data", 1_317_621.3),
-    ("bcnt.instr", 132_962.6),
-    ("blit.data", 876_421.0),
-    ("blit.instr", 138_090.2),
-    ("compress.data", 93_801_552.0),
-    ("compress.instr", 114_117.1),
-    ("crc.data", 3_409_696.0),
-    ("crc.instr", 100_092.8),
-    ("des.data", 849_355.2),
-    ("des.instr", 128_526.7),
-    ("engine.data", 98_327.9),
-    ("engine.instr", 137_663.1),
-    ("fir.data", 7_938_234.0),
-    ("fir.instr", 122_964.2),
-    ("g3fax.data", 57_266_289.0),
-    ("g3fax.instr", 98_581.2),
-    ("pocsag.data", 1_300_055.5),
-    ("pocsag.instr", 101_284.7),
-    ("qurt.data", 1_119_882.3),
-    ("qurt.instr", 106_946.9),
-    ("ucbqsort.data", 1_951_971.0),
-    ("ucbqsort.instr", 114_275.2),
+    ("adpcm.data", 158_537_455.0),
+    ("adpcm.instr", 143_139.0),
+    ("bcnt.data", 1_133_434.7),
+    ("bcnt.instr", 116_506.3),
+    ("blit.data", 614_630.7),
+    ("blit.instr", 120_227.0),
+    ("compress.data", 110_088_827.0),
+    ("compress.instr", 135_408.2),
+    ("crc.data", 2_748_289.0),
+    ("crc.instr", 105_059.4),
+    ("des.data", 942_722.0),
+    ("des.instr", 119_370.3),
+    ("engine.data", 109_916.5),
+    ("engine.instr", 113_301.1),
+    ("fir.data", 10_469_635.0),
+    ("fir.instr", 121_079.4),
+    ("g3fax.data", 120_218_358.0),
+    ("g3fax.instr", 121_603.3),
+    ("pocsag.data", 1_596_915.5),
+    ("pocsag.instr", 118_549.8),
+    ("qurt.data", 1_403_488.7),
+    ("qurt.instr", 133_613.2),
+    ("ucbqsort.data", 2_703_244.0),
+    ("ucbqsort.instr", 113_661.2),
 ];
 
 /// Median `Mrct::build` ns/iter per kernel recorded immediately **after**
@@ -169,32 +178,36 @@ const POST_REWRITE_MRCT_NS: &[(&str, f64)] = &[
     ("ucbqsort.instr", 27_186_217.0),
 ];
 
-/// Median `Bcat::from_stripped` ns/iter at the same post-rewrite capture.
+/// Median `Bcat::from_stripped` ns/iter per kernel recorded immediately
+/// **after** the radix rewrite (single stable-partition permutation arena,
+/// per-level CSR row offsets, thread-local arena recycling — DESIGN.md
+/// §13), same capture parameters and host class. This is the BCAT half of
+/// the `--gate` reference.
 const POST_REWRITE_BCAT_NS: &[(&str, f64)] = &[
-    ("adpcm.data", 111_765_146.0),
-    ("adpcm.instr", 139_030.0),
-    ("bcnt.data", 1_035_684.0),
-    ("bcnt.instr", 133_017.0),
-    ("blit.data", 890_995.0),
-    ("blit.instr", 141_127.0),
-    ("compress.data", 149_423_741.0),
-    ("compress.instr", 153_082.0),
-    ("crc.data", 3_087_372.0),
-    ("crc.instr", 119_770.0),
-    ("des.data", 811_723.0),
-    ("des.instr", 99_822.0),
-    ("engine.data", 89_437.0),
-    ("engine.instr", 96_495.0),
-    ("fir.data", 12_249_877.0),
-    ("fir.instr", 140_936.0),
-    ("g3fax.data", 92_415_259.0),
-    ("g3fax.instr", 90_732.0),
-    ("pocsag.data", 1_599_064.0),
-    ("pocsag.instr", 118_344.0),
-    ("qurt.data", 1_228_290.0),
-    ("qurt.instr", 97_993.0),
-    ("ucbqsort.data", 1_938_104.0),
-    ("ucbqsort.instr", 104_433.0),
+    ("adpcm.data", 714_479.0),
+    ("adpcm.instr", 6_242.7),
+    ("bcnt.data", 46_367.8),
+    ("bcnt.instr", 5_792.3),
+    ("blit.data", 35_320.6),
+    ("blit.instr", 6_291.4),
+    ("compress.data", 1_374_954.3),
+    ("compress.instr", 6_749.7),
+    ("crc.data", 106_910.2),
+    ("crc.instr", 5_749.4),
+    ("des.data", 47_271.2),
+    ("des.instr", 9_302.5),
+    ("engine.data", 8_614.5),
+    ("engine.instr", 9_538.0),
+    ("fir.data", 227_421.3),
+    ("fir.instr", 5_638.1),
+    ("g3fax.data", 1_379_907.0),
+    ("g3fax.instr", 5_333.4),
+    ("pocsag.data", 70_400.3),
+    ("pocsag.instr", 5_826.7),
+    ("qurt.data", 55_118.2),
+    ("qurt.instr", 6_252.4),
+    ("ucbqsort.data", 100_154.4),
+    ("ucbqsort.instr", 5_678.7),
 ];
 
 fn default_out_path() -> String {
@@ -246,14 +259,18 @@ fn main() -> ExitCode {
     }
     eprintln!("wrote {out}");
     if gate {
-        if let Err(failures) = gate_mrct_phase(&report) {
-            eprintln!("perf_report: MRCT phase regression gate failed:");
+        let mut failures = Vec::new();
+        for (phase, table) in GATED_PHASES {
+            failures.extend(gate_phase(&report, phase, table));
+        }
+        if !failures.is_empty() {
+            eprintln!("perf_report: phase regression gate failed:");
             for f in failures {
                 eprintln!("  {f}");
             }
             return ExitCode::FAILURE;
         }
-        eprintln!("perf_report: MRCT phase within {GATE_FACTOR}x of recorded baselines");
+        eprintln!("perf_report: mrct and bcat phases within {GATE_FACTOR}x of recorded baselines");
     }
     ExitCode::SUCCESS
 }
@@ -266,10 +283,18 @@ fn usage(problem: &str) -> ExitCode {
     ExitCode::FAILURE
 }
 
-/// Fails when any measured kernel's MRCT phase exceeds its recorded
-/// post-rewrite baseline by more than [`GATE_FACTOR`]. Kernels without a
-/// recorded baseline are skipped (they cannot regress against nothing).
-fn gate_mrct_phase(report: &Value) -> Result<(), Vec<String>> {
+/// The prelude phases `--gate` covers, with their post-rewrite reference
+/// tables.
+const GATED_PHASES: [(&str, &[(&str, f64)]); 2] = [
+    ("mrct", POST_REWRITE_MRCT_NS),
+    ("bcat", POST_REWRITE_BCAT_NS),
+];
+
+/// Returns a failure line for every measured kernel whose `phase` median
+/// exceeds its recorded post-rewrite baseline by more than [`GATE_FACTOR`].
+/// Kernels without a recorded baseline are skipped (they cannot regress
+/// against nothing).
+fn gate_phase(report: &Value, phase: &str, table: &[(&str, f64)]) -> Vec<String> {
     let mut failures = Vec::new();
     let kernels = report
         .get("kernels")
@@ -279,28 +304,24 @@ fn gate_mrct_phase(report: &Value) -> Result<(), Vec<String>> {
         let Some(label) = kernel.get("label").and_then(Value::as_str) else {
             continue;
         };
-        let Some(baseline) = lookup(POST_REWRITE_MRCT_NS, label) else {
+        let Some(baseline) = lookup(table, label) else {
             continue;
         };
         let Some(measured) = kernel
             .get("phases_ns")
-            .and_then(|p| p.get("mrct"))
+            .and_then(|p| p.get(phase))
             .and_then(Value::as_f64)
         else {
             continue;
         };
         if measured > GATE_FACTOR * baseline {
             failures.push(format!(
-                "{label}: mrct {measured:.0} ns/iter exceeds {GATE_FACTOR}x recorded \
+                "{label}: {phase} {measured:.0} ns/iter exceeds {GATE_FACTOR}x recorded \
                  post-rewrite baseline {baseline:.0} ns/iter"
             ));
         }
     }
-    if failures.is_empty() {
-        Ok(())
-    } else {
-        Err(failures)
-    }
+    failures
 }
 
 fn check_existing(path: &str) -> ExitCode {
@@ -329,6 +350,12 @@ fn run_report(quick: bool, samples: usize) -> Value {
         traces.retain(|t| QUICK_KERNELS.contains(&t.label().as_str()));
     }
     let host = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+    // On a 1-wide host the worker-pool rows time scheduling overhead, not
+    // the engine; skip them and record the decision in the report.
+    let measure_parallel = host > 1;
+    if !measure_parallel {
+        eprintln!("perf_report: host parallelism is 1, skipping depth_first_parallel rows");
+    }
 
     eprintln!(
         "perf_report: {} trace(s), {samples} samples, host parallelism {host}",
@@ -350,7 +377,7 @@ fn run_report(quick: bool, samples: usize) -> Value {
     let kernels: Vec<Value> = traces
         .iter()
         .map(|named| {
-            let row = measure_trace(named, samples);
+            let row = measure_trace(named, samples, measure_parallel);
             print_row(named, &row);
             row.to_json(named)
         })
@@ -361,11 +388,14 @@ fn run_report(quick: bool, samples: usize) -> Value {
         ("mode", Value::from(if quick { "quick" } else { "full" })),
         ("samples", Value::from(samples as u64)),
         ("host_parallelism", Value::from(host as u64)),
+        ("parallel_engines_measured", Value::from(measure_parallel)),
         ("kernels", Value::array(kernels)),
     ])
 }
 
 /// All medians measured for one trace, in nanoseconds per iteration.
+/// `parallel_ns` is `None` when the host is too narrow to make worker-pool
+/// timings meaningful (see `run_report`).
 struct TraceRow {
     refs: u64,
     unique: u64,
@@ -374,12 +404,12 @@ struct TraceRow {
     bcat_ns: f64,
     mrct_ns: f64,
     depth_first_ns: f64,
-    parallel_ns: [f64; PARALLEL_WORKERS.len()],
+    parallel_ns: Option<[f64; PARALLEL_WORKERS.len()]>,
     tree_table_ns: f64,
     end_to_end_ns: f64,
 }
 
-fn measure_trace(named: &NamedTrace, samples: usize) -> TraceRow {
+fn measure_trace(named: &NamedTrace, samples: usize, measure_parallel: bool) -> TraceRow {
     let trace: &Trace = &named.trace;
     let stripped = StrippedTrace::from_trace(trace);
     let bits = trace.address_bits();
@@ -388,10 +418,12 @@ fn measure_trace(named: &NamedTrace, samples: usize) -> TraceRow {
     let bcat_ns = measure(samples, || Bcat::from_stripped(&stripped, bits));
     let mrct_ns = measure(samples, || Mrct::build(&stripped));
     let depth_first_ns = measure(samples, || dfs::level_profiles(&stripped, bits));
-    let parallel_ns = PARALLEL_WORKERS.map(|workers| {
-        let workers = NonZeroUsize::new(workers).expect("nonzero");
-        measure(samples, || {
-            dfs::level_profiles_parallel(&stripped, bits, workers)
+    let parallel_ns = measure_parallel.then(|| {
+        PARALLEL_WORKERS.map(|workers| {
+            let workers = NonZeroUsize::new(workers).expect("nonzero");
+            measure(samples, || {
+                dfs::level_profiles_parallel(&stripped, bits, workers)
+            })
         })
     });
     let tree_table_ns = measure(samples, || {
@@ -439,14 +471,18 @@ fn print_row(named: &NamedTrace, row: &TraceRow) {
         || "-".to_owned(),
         |b| format!("{:.2}x", b / row.depth_first_ns),
     );
+    let par = |i: usize| {
+        row.parallel_ns
+            .map_or_else(|| "-".to_owned(), |ns| format!("{:.0}", ns[i]))
+    };
     println!(
-        "{label:<16} {:>13.0} {:>13.0} {:>13.0} {:>13.0} {:>13.0} {:>13.0} {vs_tree:>7.2}x \
+        "{label:<16} {:>13.0} {:>13.0} {:>13} {:>13} {:>13} {:>13.0} {vs_tree:>7.2}x \
          {vs_base:>8}",
         row.mrct_ns,
         row.depth_first_ns,
-        row.parallel_ns[0],
-        row.parallel_ns[1],
-        row.parallel_ns[2],
+        par(0),
+        par(1),
+        par(2),
         row.tree_table_ns,
     );
 }
@@ -487,7 +523,7 @@ impl TraceRow {
             .chain(
                 PARALLEL_WORKERS
                     .iter()
-                    .zip(self.parallel_ns)
+                    .zip(self.parallel_ns.into_iter().flatten())
                     .map(|(workers, ns)| {
                         (format!("depth_first_parallel_{workers}"), Value::from(ns))
                     }),
@@ -540,7 +576,7 @@ impl TraceRow {
 }
 
 /// Parses `text` with `cachedse-json` and verifies every field the
-/// `cachedse-bench-dfs/v1` schema requires. Returns the kernel count.
+/// [`SCHEMA`] version requires. Returns the kernel count.
 fn validate_report(text: &str) -> Result<usize, String> {
     let value = Value::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
     let schema = value
@@ -560,6 +596,10 @@ fn validate_report(text: &str) -> Result<usize, String> {
             .and_then(Value::as_u64)
             .ok_or_else(|| format!("missing numeric {field:?}"))?;
     }
+    let parallel_measured = value
+        .get("parallel_engines_measured")
+        .and_then(Value::as_bool)
+        .ok_or("missing boolean \"parallel_engines_measured\"")?;
     let kernels = value
         .get("kernels")
         .and_then(Value::as_array)
@@ -591,14 +631,29 @@ fn validate_report(text: &str) -> Result<usize, String> {
         let engines = kernel
             .get("engines_ns")
             .ok_or_else(|| format!("kernel {label:?} missing \"engines_ns\""))?;
-        let mut engine_fields = vec!["depth_first".to_owned(), "tree_table".to_owned()];
-        engine_fields.extend(
-            PARALLEL_WORKERS
-                .iter()
-                .map(|w| format!("depth_first_parallel_{w}")),
-        );
-        for field in &engine_fields {
+        for field in ["depth_first", "tree_table"] {
             positive(engines.get(field), &context(field))?;
+        }
+        // Parallel engine rows are present exactly when the report says
+        // they were measured — a row appearing despite the skip flag (or
+        // vice versa) means the emitter and the flag disagree.
+        for field in PARALLEL_WORKERS
+            .iter()
+            .map(|w| format!("depth_first_parallel_{w}"))
+        {
+            match (parallel_measured, engines.get(&field)) {
+                (true, entry @ Some(_)) => {
+                    positive(entry, &context(&field))?;
+                }
+                (false, None) => {}
+                (true, None) => return Err(context(&field)),
+                (false, Some(_)) => {
+                    return Err(format!(
+                        "kernel {label:?} carries {field:?} although \
+                         \"parallel_engines_measured\" is false"
+                    ));
+                }
+            }
         }
         match kernel.get("pre_rewrite") {
             Some(Value::Null) | None => {}

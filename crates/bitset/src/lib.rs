@@ -120,6 +120,32 @@ impl DenseBitSet {
         self.words.len() * WORD_BITS
     }
 
+    /// Builds a set directly from packed words (bit `i` of word `w` encodes
+    /// membership of value `w * 64 + i`). The member count is derived by one
+    /// popcount pass; trailing zero words are permitted (capacity never
+    /// affects comparisons).
+    ///
+    /// This is the word-parallel construction path: producers that already
+    /// hold a whole membership column as machine words (the zero/one set
+    /// transpose, complements against a validity mask) hand it over without
+    /// `n` single-bit inserts.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cachedse_bitset::DenseBitSet;
+    ///
+    /// let s = DenseBitSet::from_words(vec![0b1001, 1]);
+    /// assert_eq!(s.ones().collect::<Vec<_>>(), vec![0, 3, 64]);
+    /// let t: DenseBitSet = [0, 3, 64].into_iter().collect();
+    /// assert_eq!(s, t);
+    /// ```
+    #[must_use]
+    pub fn from_words(words: Vec<u64>) -> Self {
+        let ones = words.iter().map(|w| w.count_ones() as usize).sum();
+        Self { words, ones }
+    }
+
     /// Number of values in the set. O(1): the count is cached.
     ///
     /// # Examples
@@ -461,6 +487,134 @@ impl Iterator for Ones<'_> {
     }
 }
 
+/// A borrowed set view over an ascending slice of `u32` identifiers.
+///
+/// This is the zero-copy counterpart of [`DenseBitSet`] for producers that
+/// keep their sets as sorted ranges of a flat arena (the BCAT permutation
+/// arena, CSR-style layouts): the view costs nothing to create, membership
+/// is a binary search, and iteration walks the slice directly. The member
+/// API deliberately mirrors `DenseBitSet` (`len`, `is_empty`, `contains`,
+/// `ones`) so call sites can switch representations without rewriting.
+///
+/// # Examples
+///
+/// ```
+/// use cachedse_bitset::SliceSet;
+///
+/// let arena = [0u32, 2, 3, 7, 9, 10];
+/// let s = SliceSet::new(&arena[1..4]); // the range {2, 3, 7}
+/// assert_eq!(s.len(), 3);
+/// assert!(s.contains(3));
+/// assert!(!s.contains(9));
+/// assert_eq!(s.ones().collect::<Vec<_>>(), vec![2, 3, 7]);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SliceSet<'a> {
+    ids: &'a [u32],
+}
+
+impl<'a> SliceSet<'a> {
+    /// Wraps a strictly ascending slice of identifiers.
+    ///
+    /// The ordering is the caller's contract (checked in debug builds):
+    /// `contains` relies on it for binary search.
+    #[must_use]
+    pub fn new(ids: &'a [u32]) -> Self {
+        debug_assert!(
+            ids.windows(2).all(|w| w[0] < w[1]),
+            "SliceSet members must be strictly ascending"
+        );
+        Self { ids }
+    }
+
+    /// Number of values in the set.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// `true` if the set holds no values.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Whether `value` is a member (binary search over the sorted slice).
+    #[must_use]
+    pub fn contains(&self, value: usize) -> bool {
+        u32::try_from(value).is_ok_and(|v| self.ids.binary_search(&v).is_ok())
+    }
+
+    /// Iterates over the values in ascending order, as `usize` (mirrors
+    /// [`DenseBitSet::ones`]).
+    #[must_use]
+    pub fn ones(&self) -> SliceOnes<'a> {
+        SliceOnes {
+            ids: self.ids.iter(),
+        }
+    }
+
+    /// The underlying ascending identifier slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &'a [u32] {
+        self.ids
+    }
+
+    /// Whether the two views share no member (merge walk, no allocation).
+    #[must_use]
+    pub fn is_disjoint(&self, other: &SliceSet<'_>) -> bool {
+        let (mut a, mut b) = (self.ids.iter().peekable(), other.ids.iter().peekable());
+        while let (Some(&&x), Some(&&y)) = (a.peek(), b.peek()) {
+            match x.cmp(&y) {
+                Ordering::Less => {
+                    a.next();
+                }
+                Ordering::Greater => {
+                    b.next();
+                }
+                Ordering::Equal => return false,
+            }
+        }
+        true
+    }
+
+    /// Copies the view into an owned [`DenseBitSet`].
+    #[must_use]
+    pub fn to_dense(&self) -> DenseBitSet {
+        self.ones().collect()
+    }
+}
+
+impl<'a> IntoIterator for SliceSet<'a> {
+    type Item = usize;
+    type IntoIter = SliceOnes<'a>;
+
+    fn into_iter(self) -> SliceOnes<'a> {
+        self.ones()
+    }
+}
+
+/// Ascending iterator over the values of a [`SliceSet`], returned by
+/// [`SliceSet::ones`].
+#[derive(Clone, Debug)]
+pub struct SliceOnes<'a> {
+    ids: std::slice::Iter<'a, u32>,
+}
+
+impl Iterator for SliceOnes<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        self.ids.next().map(|&v| v as usize)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.ids.size_hint()
+    }
+}
+
+impl ExactSizeIterator for SliceOnes<'_> {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -716,5 +870,59 @@ mod tests {
             assert_eq!(s.first(), values.iter().next().copied());
             assert_eq!(s.last(), values.iter().next_back().copied());
         }
+    }
+
+    /// `from_words` equals the insert-built set, including sets whose word
+    /// array carries trailing zeros.
+    #[test]
+    fn from_words_matches_inserts() {
+        let mut rng = Rng(0x0F00D);
+        for _ in 0..64 {
+            let values = rng.random_set(500, 120);
+            let mut words = vec![0u64; 500usize.div_ceil(64)];
+            for &v in &values {
+                words[v / 64] |= 1 << (v % 64);
+            }
+            let by_words = DenseBitSet::from_words(words);
+            let by_inserts: DenseBitSet = values.iter().copied().collect();
+            assert_eq!(by_words, by_inserts);
+            assert_eq!(by_words.len(), values.len());
+        }
+        assert!(DenseBitSet::from_words(Vec::new()).is_empty());
+        assert!(DenseBitSet::from_words(vec![0, 0, 0]).is_empty());
+    }
+
+    /// The slice view agrees with a dense set built from the same members,
+    /// on every operation the view offers.
+    #[test]
+    fn slice_set_matches_dense() {
+        let mut rng = Rng(0xBEEF);
+        for _ in 0..64 {
+            let values = rng.random_set(800, 100);
+            let ids: Vec<u32> = values.iter().map(|&v| v as u32).collect();
+            let view = SliceSet::new(&ids);
+            let dense: DenseBitSet = values.iter().copied().collect();
+            assert_eq!(view.len(), dense.len());
+            assert_eq!(view.is_empty(), dense.is_empty());
+            assert_eq!(
+                view.ones().collect::<Vec<_>>(),
+                dense.ones().collect::<Vec<_>>()
+            );
+            for probe in 0..810 {
+                assert_eq!(view.contains(probe), dense.contains(probe), "{probe}");
+            }
+            assert_eq!(view.to_dense(), dense);
+            assert_eq!(view.as_slice(), &ids[..]);
+        }
+    }
+
+    #[test]
+    fn slice_set_disjointness() {
+        let even: Vec<u32> = (0..50).map(|v| v * 2).collect();
+        let odd: Vec<u32> = (0..50).map(|v| v * 2 + 1).collect();
+        assert!(SliceSet::new(&even).is_disjoint(&SliceSet::new(&odd)));
+        assert!(!SliceSet::new(&even).is_disjoint(&SliceSet::new(&even[10..])));
+        assert!(SliceSet::new(&[]).is_disjoint(&SliceSet::new(&even)));
+        assert!(!SliceSet::new(&even).contains(usize::MAX));
     }
 }

@@ -8,7 +8,10 @@
 //!    exactly once, and no two nodes of a level describe the same row.
 //! 2. **Row selection** — a node's members all have low `level` address
 //!    bits equal to the node's row (the path from the root spells the row
-//!    index).
+//!    index). Checked directly against the stripped trace's addresses
+//!    (`addr & mask == row`), never by re-walking zero/one-set
+//!    intersections — so the verdict is independent of both builders and
+//!    catches a mis-partitioned permutation arena outright.
 //! 3. **Growth stop** — Algorithm 1 stops splitting exactly below
 //!    cardinality 2: a singleton or empty node must be a leaf, and a node
 //!    with ≥ 2 members may only be a leaf at the deepest materialized level
@@ -48,7 +51,9 @@ pub struct BcatSnapshot {
 }
 
 impl BcatSnapshot {
-    /// Extracts a snapshot from a live tree.
+    /// Extracts a snapshot from a live tree. Each node's member list is a
+    /// plain copy of its permutation-arena range (already ascending), so
+    /// the snapshot records exactly what the radix builder laid out.
     #[must_use]
     pub fn of(bcat: &Bcat) -> Self {
         let mut nodes = Vec::with_capacity(bcat.node_count());
@@ -57,7 +62,7 @@ impl BcatSnapshot {
                 nodes.push(BcatNodeSnapshot {
                     level,
                     row: node.row(),
-                    refs: node.refs().ones().map(|r| r as u32).collect(),
+                    refs: node.refs_slice().to_vec(),
                     is_leaf: node.is_leaf(),
                 });
             }

@@ -26,6 +26,11 @@ pub enum FaultKind {
     /// Freeze a splittable BCAT node as a leaf (breaks the growth-stop
     /// rule).
     BcatPrematureLeaf,
+    /// Swap one reference between two same-level BCAT nodes (breaks row
+    /// selection in both nodes while preserving every cardinality — the
+    /// signature of a botched stable-partition pass over the permutation
+    /// arena).
+    BcatPermutationSwap,
     /// Insert a reference into one of its own conflict sets.
     MrctSelfConflict,
     /// Drop the last conflict set of a recurring reference (breaks the
@@ -38,10 +43,11 @@ pub enum FaultKind {
 
 impl FaultKind {
     /// Every fault kind, for exhaustive detection tests and CLI help.
-    pub const ALL: [Self; 6] = [
+    pub const ALL: [Self; 7] = [
         Self::BcatDropRef,
         Self::BcatDuplicateRef,
         Self::BcatPrematureLeaf,
+        Self::BcatPermutationSwap,
         Self::MrctSelfConflict,
         Self::MrctDropSet,
         Self::MrctUnsortedSet,
@@ -52,7 +58,10 @@ impl FaultKind {
     pub fn targets_bcat(self) -> bool {
         matches!(
             self,
-            Self::BcatDropRef | Self::BcatDuplicateRef | Self::BcatPrematureLeaf
+            Self::BcatDropRef
+                | Self::BcatDuplicateRef
+                | Self::BcatPrematureLeaf
+                | Self::BcatPermutationSwap
         )
     }
 }
@@ -63,6 +72,7 @@ impl fmt::Display for FaultKind {
             Self::BcatDropRef => "bcat-drop-ref",
             Self::BcatDuplicateRef => "bcat-duplicate-ref",
             Self::BcatPrematureLeaf => "bcat-premature-leaf",
+            Self::BcatPermutationSwap => "bcat-permutation-swap",
             Self::MrctSelfConflict => "mrct-self-conflict",
             Self::MrctDropSet => "mrct-drop-set",
             Self::MrctUnsortedSet => "mrct-unsorted-set",
@@ -140,6 +150,32 @@ pub fn inject_bcat(snapshot: &mut BcatSnapshot, kind: FaultKind) -> bool {
                 .nodes
                 .retain(|n| n.level <= level || (n.row & ((1 << level) - 1)) != row);
             true
+        }
+        FaultKind::BcatPermutationSwap => {
+            // Exchange the first members of the first two non-empty nodes
+            // of some level ≥ 1. The two nodes describe different rows, so
+            // each transplanted reference's low address bits contradict its
+            // new row — while cardinalities, disjointness, and coverage all
+            // stay intact. Only the row-selection invariant can catch it.
+            for level in 1..snapshot.levels {
+                let mut sites = snapshot
+                    .nodes
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, n)| n.level == level && !n.refs.is_empty())
+                    .map(|(i, _)| i);
+                let (Some(a), Some(b)) = (sites.next(), sites.next()) else {
+                    continue;
+                };
+                let (ra, rb) = (snapshot.nodes[a].refs[0], snapshot.nodes[b].refs[0]);
+                snapshot.nodes[a].refs[0] = rb;
+                snapshot.nodes[b].refs[0] = ra;
+                // Restore the ascending member order the snapshot promises.
+                snapshot.nodes[a].refs.sort_unstable();
+                snapshot.nodes[b].refs.sort_unstable();
+                return true;
+            }
+            false
         }
         _ => false,
     }
@@ -226,6 +262,28 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The permutation swap corrupts nothing but row selection: every
+    /// cardinality, the per-level coverage, and the leaf structure survive,
+    /// so only the direct `addr & mask == row` check can fire — and it does,
+    /// for both transplanted references.
+    #[test]
+    fn permutation_swap_is_a_pure_row_selection_fault() {
+        use crate::report::Invariant;
+        let stripped = StrippedTrace::from_trace(&paper_running_example());
+        let bcat = Bcat::from_stripped(&stripped, 4);
+        let clean = BcatSnapshot::of(&bcat);
+        let mut snap = clean.clone();
+        assert!(inject_bcat(&mut snap, FaultKind::BcatPermutationSwap));
+        for (before, after) in clean.nodes.iter().zip(&snap.nodes) {
+            assert_eq!(before.refs.len(), after.refs.len());
+        }
+        let violations = check_bcat(&snap, &stripped);
+        assert!(violations.len() >= 2, "{violations:?}");
+        assert!(violations
+            .iter()
+            .all(|v| v.invariant == Invariant::BcatRowSelection));
     }
 
     #[test]

@@ -95,6 +95,7 @@ fn every_fault_kind_is_rejected() {
         "bcat-drop-ref",
         "bcat-duplicate-ref",
         "bcat-premature-leaf",
+        "bcat-permutation-swap",
         "mrct-self-conflict",
         "mrct-drop-set",
         "mrct-unsorted-set",

@@ -42,8 +42,10 @@ pub enum Engine {
     /// [`DesignSpaceExplorer::threads`] / [`prepare_stripped`].
     DepthFirstParallel,
     /// The paper's Algorithms 1–3 as published: build the BCAT and the MRCT,
-    /// then run the postlude over them. Higher memory, kept for fidelity and
-    /// cross-checking.
+    /// then run the postlude over them. Both tables are flat arenas (the
+    /// BCAT a radix-partitioned permutation of the reference ids, the MRCT
+    /// a CSR buffer), so the extra memory over depth-first is a handful of
+    /// contiguous allocations; kept for fidelity and cross-checking.
     TreeTable,
 }
 

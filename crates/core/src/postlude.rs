@@ -53,36 +53,58 @@ pub fn level_profiles(
     let unique = stripped.unique_len() as u64;
     let non_cold = total - unique;
 
+    // Per-level row map: `rows[id] = addr & mask`. A materialized BCAT node
+    // at level `l` holds *every* reference whose low `l` address bits equal
+    // its row (frozen shallower leaves own rows no deeper node revisits),
+    // so `other ∈ S` is exactly `rows[other] == s.row` — one array load per
+    // conflict-set member, no set representation at all.
+    let addrs: Vec<u32> = stripped
+        .unique_addresses()
+        .iter()
+        .map(|a| a.raw())
+        .collect();
+    let mut rows: Vec<u32> = vec![0; addrs.len()];
+
     (0..=max_index_bits)
         .map(|level| {
             let mut histogram: Vec<u64> = Vec::new();
-            for node in bcat.nodes_at(level) {
-                let s = node.refs();
-                if s.len() < 2 {
-                    // A lone reference never conflicts; its occurrences all
-                    // land in the d = 0 bucket reconstructed below.
-                    continue;
+            // Levels beyond the materialized tree (or with only singleton
+            // rows left) skip the row-map fill along with the sweep.
+            if bcat.nodes_at(level).any(|n| n.refs().len() >= 2) {
+                let mask = ((1u64 << level) - 1) as u32;
+                for (row, &addr) in rows.iter_mut().zip(&addrs) {
+                    *row = addr & mask;
                 }
-                for id in s.ones() {
-                    // Each reference's sets are contiguous ranges of the
-                    // MRCT's flat arena: this walk streams one contiguous
-                    // `u32` buffer per reference, no per-set pointer
-                    // chasing. |S ∩ C| below is order-insensitive, so the
-                    // sets' recency member order costs nothing here.
-                    let sets = mrct.conflict_sets(RefId::new(id as u32));
-                    if sets.is_empty() {
+                for node in bcat.nodes_at(level) {
+                    let s = node.refs_slice();
+                    if s.len() < 2 {
+                        // A lone reference never conflicts; its occurrences
+                        // all land in the d = 0 bucket reconstructed below.
                         continue;
                     }
-                    for conflict in sets {
-                        let d = conflict
-                            .iter()
-                            .filter(|&&other| s.contains(other as usize))
-                            .count();
-                        if d > 0 {
-                            if histogram.len() <= d {
-                                histogram.resize(d + 1, 0);
+                    let here = node.row();
+                    for &id in s {
+                        // Each reference's sets are contiguous ranges of
+                        // the MRCT's flat arena: this walk streams one
+                        // contiguous `u32` buffer per reference, one
+                        // `rows` load per member. |S ∩ C| is
+                        // order-insensitive, so the sets' recency member
+                        // order costs nothing here.
+                        let sets = mrct.conflict_sets(RefId::new(id));
+                        if sets.is_empty() {
+                            continue;
+                        }
+                        for conflict in sets {
+                            let d = conflict
+                                .iter()
+                                .filter(|&&other| rows[other as usize] == here)
+                                .count();
+                            if d > 0 {
+                                if histogram.len() <= d {
+                                    histogram.resize(d + 1, 0);
+                                }
+                                histogram[d] += 1;
                             }
-                            histogram[d] += 1;
                         }
                     }
                 }

@@ -35,26 +35,68 @@ pub struct ZeroOneSets {
 
 impl ZeroOneSets {
     /// Builds the zero/one sets of every significant address bit.
+    ///
+    /// Word-parallel: each `O_i` column is assembled as packed `u64` words
+    /// (one bit-scatter per *set* address bit, not one insert per
+    /// `(reference, bit)` pair), and each `Z_i` is its word-wise complement
+    /// under the `N'`-bit validity mask — the `(Z_i, O_i)` partition is a
+    /// complement by definition, so it is never computed element by
+    /// element.
     #[must_use]
     pub fn from_stripped(stripped: &StrippedTrace) -> Self {
         let bits = stripped.address_bits();
         let n = stripped.unique_len();
-        let mut zero = vec![DenseBitSet::with_capacity(n); bits as usize];
-        let mut one = vec![DenseBitSet::with_capacity(n); bits as usize];
+        let words = n.div_ceil(64);
+        let mut one_words: Vec<Vec<u64>> = vec![vec![0u64; words]; bits as usize];
         for (id, addr) in stripped.iter() {
-            for b in 0..bits {
-                if addr.bit(b) {
-                    one[b as usize].insert(id.index());
-                } else {
-                    zero[b as usize].insert(id.index());
-                }
+            let word = id.index() / 64;
+            let member = 1u64 << (id.index() % 64);
+            // Scatter the address's set bits; addresses have no bits at or
+            // above `address_bits`, so every index lands in a column.
+            let mut rest = addr.raw();
+            while rest != 0 {
+                one_words[rest.trailing_zeros() as usize][word] |= member;
+                rest &= rest - 1;
             }
+        }
+        let tail_mask = match n % 64 {
+            0 => u64::MAX,
+            tail => (1u64 << tail) - 1,
+        };
+        let mut zero = Vec::with_capacity(bits as usize);
+        let mut one = Vec::with_capacity(bits as usize);
+        for column in one_words {
+            let complement: Vec<u64> = column
+                .iter()
+                .enumerate()
+                .map(|(w, &x)| {
+                    let valid = if w + 1 == words { tail_mask } else { u64::MAX };
+                    !x & valid
+                })
+                .collect();
+            one.push(DenseBitSet::from_words(column));
+            zero.push(DenseBitSet::from_words(complement));
         }
         Self {
             zero,
             one,
             unique_len: n,
         }
+    }
+
+    /// Recovers every unique reference's address from the `O_i` columns
+    /// (bit `i` of `addrs[id]` is set iff `id ∈ O_i`): the bridge that lets
+    /// [`Bcat::build`](crate::Bcat::build) run the radix partition without
+    /// a [`StrippedTrace`] in hand. `O(|members|)` total, walking each
+    /// column's set bits once.
+    pub(crate) fn reconstruct_addresses(&self) -> Vec<u32> {
+        let mut addrs = vec![0u32; self.unique_len];
+        for (b, column) in self.one.iter().enumerate() {
+            for id in column.ones() {
+                addrs[id] |= 1 << b;
+            }
+        }
+        addrs
     }
 
     /// Number of address bits covered.

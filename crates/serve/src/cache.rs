@@ -56,12 +56,16 @@ impl ArtifactKey {
 
 /// The materialized tree/table structures of the paper's Algorithms 1–2,
 /// retained only when something downstream consumes them (validation, or
-/// the tree-table engine itself).
+/// the tree-table engine itself). Both tables are flat-arena backed: the
+/// BCAT's node sets are ranges of its permutation arena (DESIGN.md §13) and
+/// the MRCT is a CSR arena (§12), so a cached entry holds a handful of
+/// contiguous buffers rather than per-node allocations.
 #[derive(Debug)]
 pub struct TreeArtifacts {
     /// Per-address-bit zero/one sets (Table 3).
     pub zero_one: ZeroOneSets,
-    /// The binary cache allocation tree (Algorithm 1).
+    /// The binary cache allocation tree (Algorithm 1), owning its
+    /// permutation arena.
     pub bcat: Bcat,
     /// The memory reference conflict table (Algorithm 2).
     pub mrct: Mrct,
@@ -116,7 +120,10 @@ impl TraceArtifacts {
         }
         if with_tree || engine == Engine::TreeTable {
             let zero_one = ZeroOneSets::from_stripped(&stripped);
-            let bcat = Bcat::build(&zero_one, max_index_bits);
+            // The radix builder reads addresses straight off the stripped
+            // trace; the zero/one sets are still materialized for the
+            // validation path (`cachedse-check` consumes them).
+            let bcat = Bcat::from_stripped(&stripped, max_index_bits);
             let mrct = Mrct::build(&stripped);
             let exploration = Exploration::from_artifacts(&bcat, &mrct, &stripped, max_index_bits)?;
             Ok(Self {

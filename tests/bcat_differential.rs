@@ -1,0 +1,302 @@
+//! Differential oracle for the radix BCAT builder.
+//!
+//! `Bcat::from_stripped` / `Bcat::build` (the stable-partition permutation
+//! arena, see DESIGN.md §13) must be *exactly* equal — same nodes, same
+//! member order, same flat-arena representation — to `Bcat::build_naive`,
+//! the paper's Algorithm 1 with per-node zero/one-set intersections.
+//! Because a stable partition of the ascending identity permutation keeps
+//! every node slice ascending, the naive builder's bitset-order packing
+//! produces the *same* arena bytes, so the comparison is full structural
+//! equality (`PartialEq` over arena + nodes + level offsets), not just
+//! per-level set equality.
+//!
+//! Three corpora exercise it:
+//!
+//! 1. every bundled kernel (both captured sides) at small parameters, at
+//!    the trace's natural bit width and a clamped budget;
+//! 2. a seeded SplitMix64 sweep of synthetic traces across uniform,
+//!    walker, hot/cold, and modular shapes with varying bit budgets;
+//! 3. arena edge cases: the empty trace, a single reference, a bit budget
+//!    exceeding the address width, and all-same-row traces (every split
+//!    sends the entire parent into one child).
+//!
+//! A final oracle re-runs the *old* postlude — Algorithm 3 with
+//! `DenseBitSet` membership tests against the naive tree — and checks the
+//! rewritten row-array postlude reproduces its profiles bit for bit, tying
+//! exploration results to the published algorithms end to end.
+
+use cachedse::bitset::DenseBitSet;
+use cachedse::core::{postlude, Bcat, Mrct, ZeroOneSets};
+use cachedse::sim::onepass::DepthProfile;
+use cachedse::trace::strip::{RefId, StrippedTrace};
+use cachedse::trace::{Address, Record, Trace};
+use cachedse::workloads::{
+    adpcm::Adpcm, bcnt::Bcnt, blit::Blit, compress::Compress, crc::Crc, des::Des, engine::Engine,
+    fir::Fir, g3fax::G3fax, pocsag::Pocsag, qurt::Qurt, ucbqsort::Ucbqsort, Kernel, KernelRun,
+};
+
+/// Small-parameter instances of all twelve kernels (mirrors the corpora in
+/// `verify_workloads.rs` / `mrct_differential.rs`).
+fn small_runs() -> Vec<KernelRun> {
+    vec![
+        Adpcm { samples: 300 }.capture(),
+        Bcnt {
+            buffer_len: 256,
+            passes: 2,
+        }
+        .capture(),
+        Blit {
+            row_words: 8,
+            rows: 24,
+            ops: 6,
+        }
+        .capture(),
+        Compress { input_len: 600 }.capture(),
+        Crc {
+            message_len: 400,
+            passes: 2,
+        }
+        .capture(),
+        Des { blocks: 20 }.capture(),
+        Engine { ticks: 250 }.capture(),
+        Fir {
+            taps: 10,
+            samples: 400,
+        }
+        .capture(),
+        G3fax { lines: 12 }.capture(),
+        Pocsag { batches: 6 }.capture(),
+        Qurt { equations: 100 }.capture(),
+        Ucbqsort { elements: 300 }.capture(),
+    ]
+}
+
+fn assert_builders_agree(label: &str, trace: &Trace, bits: u32) {
+    let stripped = StrippedTrace::from_trace(trace);
+    let zo = ZeroOneSets::from_stripped(&stripped);
+    let radix = Bcat::from_stripped(&stripped, bits);
+    let naive = Bcat::build_naive(&zo, bits);
+    assert_eq!(
+        radix, naive,
+        "{label} (bits = {bits}): radix builder diverged from Algorithm 1"
+    );
+    // The zero/one-set entry point must land on the identical tree too.
+    assert_eq!(
+        Bcat::build(&zo, bits),
+        radix,
+        "{label} (bits = {bits}): build(zo) diverged from from_stripped"
+    );
+}
+
+#[test]
+fn all_kernels_builders_agree() {
+    for run in small_runs() {
+        for (side, trace) in [("data", &run.data), ("instr", &run.instr)] {
+            let bits = trace.address_bits();
+            assert_builders_agree(&format!("{}.{side}", run.name), trace, bits);
+            assert_builders_agree(&format!("{}.{side}", run.name), trace, bits.min(6));
+        }
+    }
+}
+
+/// SplitMix64: tiny, seedable, and good enough to scatter addresses.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `0..bound` (bound > 0).
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+/// A randomized trace whose shape is picked by `rng`: address-space width,
+/// length, and access pattern all vary, so the sweep covers skewed
+/// partitions, empty siblings, and early-frozen leaves alike.
+fn random_trace(rng: &mut SplitMix64) -> Trace {
+    let space = 1u64 << (1 + rng.below(9)); // 2 .. 1024 distinct addresses
+    let len = 8 + rng.below(900);
+    let pattern = rng.below(4);
+    let mut trace = Trace::new();
+    let mut walker = rng.below(space);
+    for t in 0..len {
+        let addr = match pattern {
+            0 => rng.below(space),
+            1 => {
+                walker = if rng.below(16) == 0 {
+                    rng.below(space)
+                } else {
+                    (walker + 1) % space
+                };
+                walker
+            }
+            2 => {
+                if rng.below(10) < 8 {
+                    rng.below(8.min(space))
+                } else {
+                    rng.below(space)
+                }
+            }
+            _ => t % (1 + space / 2),
+        };
+        trace.push(Record::read(Address::new(
+            u32::try_from(addr).expect("address fits u32"),
+        )));
+    }
+    trace
+}
+
+#[test]
+fn seeded_random_sweep_agrees() {
+    let mut rng = SplitMix64(0x0BCA_7BCA_7BCA_7001);
+    for case in 0..96 {
+        let trace = random_trace(&mut rng);
+        let bits = u32::try_from(rng.below(12)).expect("small");
+        assert_builders_agree(&format!("random[{case}]"), &trace, bits);
+    }
+}
+
+/// The empty trace: a lone empty root, no materialized splits, and both
+/// builders produce that same degenerate tree.
+#[test]
+fn empty_trace() {
+    let stripped = StrippedTrace::from_trace(&Trace::new());
+    let bcat = Bcat::from_stripped(&stripped, 8);
+    assert_eq!(bcat.unique_len(), 0);
+    assert_eq!(bcat.arena_len(), 0);
+    assert_eq!(bcat.levels(), 1);
+    assert!(bcat.root().is_leaf());
+    let zo = ZeroOneSets::from_stripped(&stripped);
+    assert_eq!(bcat, Bcat::build_naive(&zo, 8));
+}
+
+/// A single unique reference: the root is frozen immediately (cardinality
+/// < 2), the arena holds exactly one id, and no level beyond 0 exists.
+#[test]
+fn single_reference_trace() {
+    let trace: Trace = (0..40).map(|_| Record::read(Address::new(7))).collect();
+    let stripped = StrippedTrace::from_trace(&trace);
+    let bcat = Bcat::from_stripped(&stripped, 8);
+    assert_eq!(bcat.unique_len(), 1);
+    assert_eq!(bcat.arena_len(), 1);
+    assert_eq!(bcat.levels(), 1);
+    assert!(bcat.root().is_leaf());
+    assert_eq!(bcat.root().refs_slice(), &[0]);
+    let zo = ZeroOneSets::from_stripped(&stripped);
+    assert_eq!(bcat, Bcat::build_naive(&zo, 8));
+}
+
+/// A bit budget far beyond the address width: splitting stops once every
+/// address bit is consumed, and the trees still match node for node.
+#[test]
+fn budget_exceeds_address_bits() {
+    let trace: Trace = [0u32, 1, 2, 3, 0, 1, 2, 3]
+        .into_iter()
+        .map(|a| Record::read(Address::new(a)))
+        .collect();
+    let stripped = StrippedTrace::from_trace(&trace);
+    let bcat = Bcat::from_stripped(&stripped, 31);
+    // Two address bits suffice to isolate all four references.
+    assert!(bcat.levels() <= 3);
+    for node in bcat.nodes_at(bcat.levels() - 1) {
+        assert!(node.refs_slice().len() <= 1);
+    }
+    let zo = ZeroOneSets::from_stripped(&stripped);
+    assert_eq!(bcat, Bcat::build_naive(&zo, 31));
+}
+
+/// Addresses congruent modulo a power of two: every split sends the whole
+/// parent into one child, leaving an empty sibling at each level — the
+/// most lopsided partition the arena layout must represent.
+#[test]
+fn all_same_row_trace() {
+    let trace: Trace = (0..8u32)
+        .map(|i| Record::read(Address::new(i << 4)))
+        .collect();
+    let stripped = StrippedTrace::from_trace(&trace);
+    let bcat = Bcat::from_stripped(&stripped, 4);
+    // Levels 1..=4 select within the low four bits, which are all zero:
+    // one node holds every reference, its sibling is empty.
+    for level in 1..=4 {
+        let sizes: Vec<usize> = bcat.nodes_at(level).map(|n| n.refs_slice().len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 8, "level {level}");
+        assert_eq!(sizes.iter().filter(|&&s| s > 0).count(), 1, "level {level}");
+    }
+    let zo = ZeroOneSets::from_stripped(&stripped);
+    assert_eq!(bcat, Bcat::build_naive(&zo, 4));
+}
+
+/// The postlude as it was before the rewrite: resident sets as
+/// `DenseBitSet`s over the *naive* tree, membership via `contains`. The
+/// row-array postlude over the radix tree must reproduce its profiles
+/// exactly, so end-to-end exploration results are pinned to the published
+/// Algorithms 1 + 3.
+fn naive_level_profiles(
+    bcat: &Bcat,
+    mrct: &Mrct,
+    stripped: &StrippedTrace,
+    max_index_bits: u32,
+) -> Vec<DepthProfile> {
+    let total = stripped.total_len() as u64;
+    let unique = stripped.unique_len() as u64;
+    let non_cold = total - unique;
+    (0..=max_index_bits)
+        .map(|level| {
+            let mut histogram: Vec<u64> = Vec::new();
+            for node in bcat.nodes_at(level) {
+                if node.refs_slice().len() < 2 {
+                    continue;
+                }
+                let resident: DenseBitSet = node.refs_slice().iter().map(|&r| r as usize).collect();
+                for &id in node.refs_slice() {
+                    for conflict in mrct.conflict_sets(RefId::new(id)) {
+                        let d = conflict
+                            .iter()
+                            .filter(|&&other| resident.contains(other as usize))
+                            .count();
+                        if d > 0 {
+                            if histogram.len() <= d {
+                                histogram.resize(d + 1, 0);
+                            }
+                            histogram[d] += 1;
+                        }
+                    }
+                }
+            }
+            let tail: u64 = histogram.iter().sum();
+            if histogram.is_empty() {
+                histogram.push(non_cold - tail);
+            } else {
+                histogram[0] = non_cold - tail;
+            }
+            DepthProfile::from_parts(1 << level, histogram, unique, total)
+        })
+        .collect()
+}
+
+#[test]
+fn postlude_matches_bitset_membership_oracle_on_kernels() {
+    for run in small_runs() {
+        for (side, trace) in [("data", &run.data), ("instr", &run.instr)] {
+            let bits = trace.address_bits().min(8);
+            let stripped = StrippedTrace::from_trace(trace);
+            let zo = ZeroOneSets::from_stripped(&stripped);
+            let naive = Bcat::build_naive(&zo, bits);
+            let radix = Bcat::from_stripped(&stripped, bits);
+            let mrct = Mrct::build(&stripped);
+            assert_eq!(
+                postlude::level_profiles(&radix, &mrct, &stripped, bits),
+                naive_level_profiles(&naive, &mrct, &stripped, bits),
+                "{}.{side}: row-array postlude diverged from the bitset oracle",
+                run.name
+            );
+        }
+    }
+}

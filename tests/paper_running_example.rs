@@ -70,19 +70,15 @@ fn table_4_mrct() {
 fn figure_3_bcat() {
     let stripped = StrippedTrace::from_trace(&paper_running_example());
     let bcat = Bcat::from_stripped(&stripped, 4);
+    // Each node's member set is a range of the permutation arena; compare
+    // the slices (ascending ids) against Figure 3 directly.
     let level =
-        |l: u32| -> Vec<DenseBitSet> { bcat.nodes_at(l).map(|n| n.refs().clone()).collect() };
+        |l: u32| -> Vec<Vec<u32>> { bcat.nodes_at(l).map(|n| n.refs_slice().to_vec()).collect() };
     // Figure 3, 0-based ids.
-    assert_eq!(level(1), vec![set(&[1, 2, 4]), set(&[0, 3])]);
-    assert_eq!(
-        level(2),
-        vec![set(&[1, 4]), set(&[2]), set(&[]), set(&[0, 3])]
-    );
-    assert_eq!(
-        level(3),
-        vec![set(&[]), set(&[1, 4]), set(&[0, 3]), set(&[])]
-    );
-    assert_eq!(level(4), vec![set(&[4]), set(&[1]), set(&[3]), set(&[0])]);
+    assert_eq!(level(1), vec![vec![1, 2, 4], vec![0, 3]]);
+    assert_eq!(level(2), vec![vec![1, 4], vec![2], vec![], vec![0, 3]]);
+    assert_eq!(level(3), vec![vec![], vec![1, 4], vec![0, 3], vec![]]);
+    assert_eq!(level(4), vec![vec![4], vec![1], vec![3], vec![0]]);
 }
 
 #[test]
