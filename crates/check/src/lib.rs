@@ -39,6 +39,7 @@ pub mod bcat;
 pub mod engines;
 pub mod fault;
 pub mod frontier;
+pub mod model;
 pub mod mrct;
 pub mod report;
 pub mod zero_one;
@@ -53,6 +54,7 @@ pub use bcat::{check_bcat, check_bcat_live, BcatNodeSnapshot, BcatSnapshot};
 pub use engines::check_engines;
 pub use fault::{inject_bcat, inject_mrct, FaultKind};
 pub use frontier::{check_budget_monotonicity, check_frontier};
+pub use model::{model_report, violation_from_model};
 pub use mrct::{check_mrct, check_mrct_live, MrctSnapshot};
 pub use report::{CheckReport, Invariant, Location, Violation};
 pub use zero_one::check_zero_one;
@@ -90,6 +92,7 @@ pub fn check_artifacts(
         mrct: check_mrct(mrct_snapshot, stripped),
         frontier: Vec::new(),
         engine: Vec::new(),
+        model: Vec::new(),
     }
 }
 

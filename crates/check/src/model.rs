@@ -1,0 +1,132 @@
+//! Bridges the concurrency model checker into the violation-report format.
+//!
+//! `cachedse-sync` explores thread interleavings of a closed scenario and
+//! reports [`ModelViolation`]s (deadlock, lost wakeup, data race, misuse,
+//! panic) with a replayable schedule. This module folds those into the
+//! same [`Violation`]/[`CheckReport`](crate::CheckReport) machinery the
+//! artifact checkers use, so `cachedse check --model` renders concurrency
+//! findings with the identical JSON shape CI already greps.
+
+use cachedse_sync::model::{ModelViolation, Outcome, ViolationKind};
+
+use crate::report::{Invariant, Location, Violation};
+
+/// Maps a model violation into the report vocabulary. The concurrency
+/// checker has no artifact coordinates, so the location is
+/// [`Location::Global`] and the replayable schedule travels in the detail
+/// string (`schedule=<t0,t1,…>`), where the one-line report formats keep
+/// it greppable.
+#[must_use]
+pub fn violation_from_model(scenario: &str, v: &ModelViolation) -> Violation {
+    let invariant = match v.kind {
+        ViolationKind::Deadlock => Invariant::ModelDeadlock,
+        ViolationKind::LostWakeup => Invariant::ModelLostWakeup,
+        ViolationKind::DataRace => Invariant::ModelDataRace,
+        ViolationKind::SyncMisuse => Invariant::ModelSyncMisuse,
+        ViolationKind::Panic => Invariant::ModelPanic,
+    };
+    let schedule = if v.schedule.is_empty() {
+        "<run-to-completion>".to_owned()
+    } else {
+        v.schedule.clone()
+    };
+    Violation::new(
+        invariant,
+        Location::Global,
+        format!(
+            "scenario {scenario}: {} [schedule={schedule}]",
+            v.detail.trim_end()
+        ),
+    )
+}
+
+/// Folds labelled exploration outcomes into a violation list: one entry
+/// per scenario whose exploration surfaced a violation. Clean outcomes —
+/// complete or cap-truncated — contribute nothing; the caller decides
+/// whether an incomplete-but-clean exploration is acceptable (the CLI
+/// reports `complete` separately in its summary).
+#[must_use]
+pub fn model_report<'a>(
+    outcomes: impl IntoIterator<Item = (&'a str, &'a Outcome)>,
+) -> Vec<Violation> {
+    outcomes
+        .into_iter()
+        .filter_map(|(scenario, outcome)| {
+            outcome
+                .violation
+                .as_ref()
+                .map(|v| violation_from_model(scenario, v))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CheckReport;
+
+    fn sample(kind: ViolationKind) -> ModelViolation {
+        ModelViolation {
+            kind,
+            detail: "t1 waiting on c0 with no notifier left".to_owned(),
+            schedule: "0,1,0".to_owned(),
+            trace: vec!["t0 spawn".to_owned(), "t1 lock m0".to_owned()],
+        }
+    }
+
+    #[test]
+    fn kinds_map_to_model_invariants() {
+        for (kind, invariant) in [
+            (ViolationKind::Deadlock, Invariant::ModelDeadlock),
+            (ViolationKind::LostWakeup, Invariant::ModelLostWakeup),
+            (ViolationKind::DataRace, Invariant::ModelDataRace),
+            (ViolationKind::SyncMisuse, Invariant::ModelSyncMisuse),
+            (ViolationKind::Panic, Invariant::ModelPanic),
+        ] {
+            let v = violation_from_model("serve-pool", &sample(kind));
+            assert_eq!(v.invariant, invariant);
+            assert_eq!(v.location, Location::Global);
+            assert!(v.detail.contains("scenario serve-pool"), "{}", v.detail);
+            assert!(v.detail.contains("schedule=0,1,0"), "{}", v.detail);
+        }
+    }
+
+    #[test]
+    fn empty_schedule_is_labelled_run_to_completion() {
+        let mut v = sample(ViolationKind::SyncMisuse);
+        v.schedule.clear();
+        let mapped = violation_from_model("s", &v);
+        assert!(mapped.detail.contains("schedule=<run-to-completion>"));
+    }
+
+    #[test]
+    fn report_folds_only_violating_scenarios() {
+        let clean = Outcome {
+            executions: 10,
+            complete: true,
+            violation: None,
+        };
+        let dirty = Outcome {
+            executions: 3,
+            complete: false,
+            violation: Some(sample(ViolationKind::DataRace)),
+        };
+        let violations = model_report([("clean", &clean), ("dirty", &dirty)]);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].invariant, Invariant::ModelDataRace);
+
+        let report = CheckReport {
+            model: violations,
+            ..CheckReport::default()
+        };
+        assert_eq!(report.total(), 1);
+        assert!(!report.is_clean());
+        let json = report.to_json();
+        assert_eq!(
+            json.get("counts")
+                .and_then(|c| c.get("model"))
+                .and_then(cachedse_json::Value::as_u64),
+            Some(1)
+        );
+    }
+}

@@ -59,6 +59,20 @@ pub enum Invariant {
     /// per-level profile different from the tree+table reference; the
     /// engines are interchangeable only because they are byte-identical.
     EngineDivergence,
+    /// The concurrency model checker found a schedule in which every thread
+    /// is blocked (or stuck past the step bound) with no waiter involved.
+    ModelDeadlock,
+    /// The model checker found a schedule that strands a condition-variable
+    /// waiter forever (a notify was dropped or raced past the wait).
+    ModelLostWakeup,
+    /// The model checker's vector clocks found two unordered accesses to
+    /// the same cell, at least one a write.
+    ModelDataRace,
+    /// A primitive was used outside its contract under the model (e.g. a
+    /// mutex unlocked by a thread that does not own it).
+    ModelSyncMisuse,
+    /// A modeled thread panicked during exploration.
+    ModelPanic,
 }
 
 impl fmt::Display for Invariant {
@@ -79,6 +93,11 @@ impl fmt::Display for Invariant {
             Self::FrontierNonMonotoneDepth => "frontier-non-monotone-depth",
             Self::FrontierNonMonotoneBudget => "frontier-non-monotone-budget",
             Self::EngineDivergence => "engine-divergence",
+            Self::ModelDeadlock => "model-deadlock",
+            Self::ModelLostWakeup => "model-lost-wakeup",
+            Self::ModelDataRace => "model-data-race",
+            Self::ModelSyncMisuse => "model-sync-misuse",
+            Self::ModelPanic => "model-panic",
         };
         f.write_str(name)
     }
@@ -198,6 +217,10 @@ pub struct CheckReport {
     /// Engine-agreement violations (depth-first engines vs the tree+table
     /// reference).
     pub engine: Vec<Violation>,
+    /// Concurrency-model violations (deadlock, lost wakeup, data race,
+    /// misuse, panic) found by exploring the serve-pool and parallel-engine
+    /// scenarios under `cachedse-sync`'s model scheduler.
+    pub model: Vec<Violation>,
 }
 
 impl CheckReport {
@@ -215,6 +238,7 @@ impl CheckReport {
             + self.mrct.len()
             + self.frontier.len()
             + self.engine.len()
+            + self.model.len()
     }
 
     /// Iterates every violation, family by family.
@@ -225,6 +249,7 @@ impl CheckReport {
             .chain(&self.mrct)
             .chain(&self.frontier)
             .chain(&self.engine)
+            .chain(&self.model)
     }
 
     /// Renders the whole report as one JSON object: `clean`, per-family
@@ -239,6 +264,7 @@ impl CheckReport {
             ("mrct", Value::from(self.mrct.len())),
             ("frontier", Value::from(self.frontier.len())),
             ("engine", Value::from(self.engine.len())),
+            ("model", Value::from(self.model.len())),
         ]);
         Value::object([
             ("clean", Value::from(self.is_clean())),
@@ -256,12 +282,13 @@ impl fmt::Display for CheckReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "zero/one: {}, bcat: {}, mrct: {}, frontier: {}, engine: {} violation(s)",
+            "zero/one: {}, bcat: {}, mrct: {}, frontier: {}, engine: {}, model: {} violation(s)",
             self.zero_one.len(),
             self.bcat.len(),
             self.mrct.len(),
             self.frontier.len(),
-            self.engine.len()
+            self.engine.len(),
+            self.model.len()
         )?;
         for v in self.iter() {
             writeln!(f, "  {v}")?;

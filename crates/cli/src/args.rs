@@ -48,7 +48,7 @@ impl std::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Options that never take a value.
-const BARE_FLAGS: [&str; 4] = ["verify", "help", "quiet", "validate"];
+const BARE_FLAGS: [&str; 5] = ["verify", "help", "quiet", "validate", "model"];
 
 impl Args {
     /// Parses raw arguments (without the program/subcommand names).

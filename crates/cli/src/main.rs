@@ -12,6 +12,10 @@
 //! cachedse sweep trace.din [--max-bits B]        # the paper's K-grid table
 //! cachedse check trace.din [--misses K | --fraction F] [--max-bits B]
 //!                          [--inject-fault <kind>] [--quiet] [--format json]
+//! cachedse check --model [--preemptions N] [--walks N --seed S]
+//!                        [--max-executions M] [--format json]
+//!                        # concurrency model gate; needs a build with
+//!                        # RUSTFLAGS="--cfg cachedse_model"
 //! cachedse batch [jobs.jsonl] [--workers N] [--queue N] [--cache N]
 //!                [--engine dfs|parallel|tree] [--threads N]
 //!                [--timeout-ms MS] [--validate]   # JSONL jobs in, results out
@@ -25,6 +29,7 @@
 #![warn(missing_docs)]
 
 mod args;
+mod model_gate;
 
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter};
@@ -49,6 +54,7 @@ commands:
   sweep      print the paper-style table for K in {5,10,15,20}%
   rank       order the budget-satisfying configurations by dynamic energy
   check      statically verify every pipeline invariant on a trace
+             (--model explores the service/engine concurrency instead)
   batch      run JSONL job specs through the shared-artifact worker pool
   serve      answer JSONL jobs over TCP until told to shut down
   workloads  list the embedded benchmark kernels
@@ -383,6 +389,9 @@ fn cmd_rank(args: &Args) -> CliResult {
 
 fn cmd_check(args: &Args) -> CliResult {
     use cachedse_check::{check_pipeline, CheckOptions};
+    if args.flag("model") {
+        return model_gate::run(args, format_is_json(args)?);
+    }
     let trace = load_trace(args)?;
     let budgets = match (args.opt::<u64>("misses")?, args.opt::<f64>("fraction")?) {
         (Some(k), None) => vec![MissBudget::Absolute(k)],

@@ -581,8 +581,13 @@ pub fn level_profiles_parallel(
         // and each worker's arena is sized once, by its first item.
         work.sort_by_key(|item| std::cmp::Reverse(item.2.len()));
         let worker_count = threads.get().min(work.len());
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let locals = std::thread::scope(|scope| {
+        // Work-stealing cursor. `Relaxed` is sufficient: the cursor only
+        // needs each `fetch_add` to be atomic (every index claimed exactly
+        // once); the claimed items themselves are read-only shared slices,
+        // and the per-worker results are published by the scope join, which
+        // synchronizes-with every worker exit.
+        let next = cachedse_sync::atomic::AtomicUsize::new(0);
+        let locals = cachedse_sync::thread::scope(|scope| {
             let handles: Vec<_> = (0..worker_count)
                 .map(|_| {
                     let next = &next;
@@ -593,7 +598,7 @@ pub fn level_profiles_parallel(
                             vec![Vec::new(); max_index_bits as usize + 1];
                         let mut scratch = Scratch::new(addrs.len());
                         loop {
-                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            let i = next.fetch_add(1, cachedse_sync::atomic::Ordering::Relaxed);
                             let Some((level, node_unique, sub)) = work.get(i) else {
                                 break;
                             };

@@ -16,8 +16,10 @@
 //! loser gets a hit), while jobs on distinct traces build in parallel.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use cachedse_sync::atomic::{AtomicU64, Ordering};
+use cachedse_sync::Mutex;
 
 use cachedse_core::{prepare_stripped, Bcat, Engine, Exploration, ExploreError, Mrct, ZeroOneSets};
 use cachedse_trace::digest::{Fnv1a, TraceDigest};
@@ -220,7 +222,7 @@ impl ArtifactCache {
     /// Panics if the cache lock was poisoned (a builder panicked).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("cache lock poisoned").map.len()
+        self.inner.lock().map.len()
     }
 
     /// `true` when nothing is cached.
@@ -248,7 +250,7 @@ impl ArtifactCache {
         build: impl FnOnce() -> Result<TraceArtifacts, E>,
     ) -> Result<(Arc<TraceArtifacts>, Found), E> {
         let slot = {
-            let mut inner = self.inner.lock().expect("cache lock poisoned");
+            let mut inner = self.inner.lock();
             if let Some(slot) = inner.map.get(&key) {
                 Arc::clone(slot)
             } else {
@@ -264,7 +266,7 @@ impl ArtifactCache {
                 slot
             }
         };
-        let mut guard = slot.artifacts.lock().expect("artifact slot poisoned");
+        let mut guard = slot.artifacts.lock();
         if let Some(artifacts) = guard.as_ref() {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok((Arc::clone(artifacts), Found::Hit));
@@ -280,7 +282,7 @@ impl ArtifactCache {
                 // Remove the placeholder so later callers rebuild rather
                 // than treating the empty slot as theirs to fill while the
                 // map still points at it.
-                let mut inner = self.inner.lock().expect("cache lock poisoned");
+                let mut inner = self.inner.lock();
                 inner.map.remove(&key);
                 inner.order.retain(|k| k != &key);
                 Err(e)
@@ -295,7 +297,7 @@ impl ArtifactCache {
     ///
     /// Panics if the cache lock was poisoned.
     pub fn evict(&self, key: &ArtifactKey) {
-        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        let mut inner = self.inner.lock();
         inner.map.remove(key);
         inner.order.retain(|k| k != key);
     }
@@ -435,7 +437,7 @@ mod tests {
         let cache = Arc::new(ArtifactCache::new(4));
         let (trace, key) = key_of(7);
         let trace = Arc::new(trace);
-        std::thread::scope(|s| {
+        cachedse_sync::thread::scope(|s| {
             for _ in 0..8 {
                 let cache = Arc::clone(&cache);
                 let trace = Arc::clone(&trace);

@@ -1,13 +1,24 @@
 //! Service metrics: lock-free counters and per-stage wall-clock histograms.
 //!
-//! Everything here is updated from worker threads with relaxed atomics —
-//! the counters are monotone and independently meaningful, so no cross-
-//! counter consistency is promised (a snapshot taken mid-job may show an
-//! accepted job that is neither completed nor rejected yet). That is the
-//! usual contract for service telemetry, and it keeps the hot path to a
-//! handful of uncontended atomic adds.
+//! # Memory-ordering audit
+//!
+//! Every atomic here uses `Ordering::Relaxed`, and that is deliberate.
+//! The counters are monotone statistics: each increment is an independent
+//! event, no reader derives a decision from the *relationship* between
+//! two counters, and no non-atomic data is published under any of them —
+//! so the only property needed is per-counter atomicity, which `Relaxed`
+//! already guarantees. Cross-counter consistency is explicitly not
+//! promised (a snapshot taken mid-job may show an accepted job that is
+//! neither completed nor rejected yet); that is the usual contract for
+//! service telemetry, and it keeps the hot path to a handful of
+//! uncontended atomic adds. Anything stronger (`Acquire`/`Release`)
+//! would buy nothing here and cost a fence on weakly-ordered targets.
+//!
+//! The one place the service *does* need ordering — the shutdown flag
+//! that gates worker exit — lives in `service.rs` with its own
+//! `Release`-store/`Acquire`-load pairing, documented there.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use cachedse_sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use cachedse_json::Value;

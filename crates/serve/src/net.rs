@@ -20,10 +20,11 @@
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 use cachedse_json::Value;
+use cachedse_sync::atomic::{AtomicBool, Ordering};
+use cachedse_sync::thread;
 
 use crate::job::{outcome_json, JobError, JobSpec};
 use crate::metrics::StatsSnapshot;
@@ -44,7 +45,7 @@ pub fn serve(listener: TcpListener, config: ServiceConfig) -> std::io::Result<St
     listener.set_nonblocking(true)?;
     let service = Service::start(config);
     let stop = AtomicBool::new(false);
-    std::thread::scope(|scope| -> std::io::Result<()> {
+    thread::scope(|scope| -> std::io::Result<()> {
         loop {
             match listener.accept() {
                 Ok((stream, _)) => {
@@ -60,7 +61,7 @@ pub fn serve(listener: TcpListener, config: ServiceConfig) -> std::io::Result<St
                     if stop.load(Ordering::Acquire) {
                         return Ok(());
                     }
-                    std::thread::sleep(POLL_INTERVAL);
+                    thread::sleep(POLL_INTERVAL);
                 }
                 Err(e) if e.kind() == ErrorKind::Interrupted => {}
                 Err(e) => return Err(e),

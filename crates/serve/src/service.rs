@@ -24,13 +24,14 @@
 //! the first check.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use cachedse_check::{check_artifacts, BcatSnapshot, MrctSnapshot};
 use cachedse_core::Engine;
+use cachedse_sync::atomic::{AtomicBool, Ordering};
+use cachedse_sync::thread::{self, JoinHandle};
+use cachedse_sync::{Condvar, Mutex};
 use cachedse_trace::io::read_din;
 use cachedse_trace::{generate, Trace};
 
@@ -110,6 +111,13 @@ struct Inner {
     outcome_ready: Condvar,
     cache: ArtifactCache,
     metrics: Metrics,
+    /// Drain signal. The `Release` store in `stop_and_join` pairs with the
+    /// `Acquire` loads in `admit` and the worker loop so that everything
+    /// written before the stop (the final queue state) is visible to a
+    /// thread that observes the flag; the flag is additionally re-checked
+    /// under the state mutex via the condvar wakeups, so `Relaxed` would
+    /// in fact suffice — the explicit pairing documents the intent and
+    /// costs nothing on the wake path.
     shutdown: AtomicBool,
 }
 
@@ -148,7 +156,7 @@ impl Service {
         let workers = (0..workers)
             .map(|_| {
                 let inner = Arc::clone(&inner);
-                std::thread::spawn(move || worker_loop(&inner))
+                thread::spawn(move || worker_loop(&inner))
             })
             .collect();
         Self { inner, workers }
@@ -177,7 +185,7 @@ impl Service {
 
     fn admit(&self, spec: JobSpec, block: bool) -> Result<JobId, JobError> {
         let inner = &self.inner;
-        let mut state = inner.state.lock().expect("service state poisoned");
+        let mut state = inner.state.lock();
         loop {
             if inner.shutdown.load(Ordering::Acquire) {
                 inner.metrics.rejected.fetch_add(1, Ordering::Relaxed);
@@ -192,10 +200,7 @@ impl Service {
                     depth: inner.config.queue_depth,
                 });
             }
-            state = inner
-                .space_ready
-                .wait(state)
-                .expect("service state poisoned");
+            state = inner.space_ready.wait(state);
         }
         let id = JobId(state.next_id);
         state.next_id += 1;
@@ -215,12 +220,7 @@ impl Service {
     /// Panics if a worker thread panicked while holding the state lock.
     #[must_use]
     pub fn poll(&self, id: JobId) -> Option<(String, JobOutcome)> {
-        self.inner
-            .state
-            .lock()
-            .expect("service state poisoned")
-            .outcomes
-            .remove(&id)
+        self.inner.state.lock().outcomes.remove(&id)
     }
 
     /// Blocks until `id` finishes and takes its outcome, returning the
@@ -233,7 +233,7 @@ impl Service {
     /// never arrive, so waiting would wedge forever.
     pub fn wait(&self, id: JobId) -> (String, JobOutcome) {
         let inner = &self.inner;
-        let mut state = inner.state.lock().expect("service state poisoned");
+        let mut state = inner.state.lock();
         loop {
             if let Some(outcome) = state.outcomes.remove(&id) {
                 return outcome;
@@ -248,10 +248,7 @@ impl Service {
                 pending || running,
                 "waited on a job whose outcome was already taken"
             );
-            state = inner
-                .outcome_ready
-                .wait(state)
-                .expect("service state poisoned");
+            state = inner.outcome_ready.wait(state);
         }
     }
 
@@ -263,12 +260,9 @@ impl Service {
     /// Panics if a worker thread panicked while holding the state lock.
     pub fn drain(&self) {
         let inner = &self.inner;
-        let mut state = inner.state.lock().expect("service state poisoned");
+        let mut state = inner.state.lock();
         while state.finished < state.admitted {
-            state = inner
-                .outcome_ready
-                .wait(state)
-                .expect("service state poisoned");
+            state = inner.outcome_ready.wait(state);
         }
     }
 
@@ -294,6 +288,14 @@ impl Service {
 
     fn stop_and_join(&mut self) {
         self.inner.shutdown.store(true, Ordering::Release);
+        // Bridge the waiters' check-then-wait window before notifying: a
+        // worker that loaded `shutdown == false` still holds the state
+        // lock until its wait enqueues it on the condvar, so acquiring
+        // (and immediately releasing) the lock here orders the notifies
+        // after every such enqueue. Without it the notify can fire inside
+        // that window and the worker sleeps forever — a lost wakeup the
+        // model checker surfaces at unbounded preemption depth.
+        drop(self.inner.state.lock());
         self.inner.work_ready.notify_all();
         self.inner.space_ready.notify_all();
         for handle in self.workers.drain(..) {
@@ -311,7 +313,7 @@ impl Drop for Service {
 fn worker_loop(inner: &Inner) {
     loop {
         let job = {
-            let mut state = inner.state.lock().expect("service state poisoned");
+            let mut state = inner.state.lock();
             loop {
                 if let Some(job) = state.queue.pop_front() {
                     inner.space_ready.notify_one();
@@ -320,10 +322,7 @@ fn worker_loop(inner: &Inner) {
                 if inner.shutdown.load(Ordering::Acquire) {
                     return;
                 }
-                state = inner
-                    .work_ready
-                    .wait(state)
-                    .expect("service state poisoned");
+                state = inner.work_ready.wait(state);
             }
         };
         let outcome = run_job(inner, &job.label, &job.spec);
@@ -338,7 +337,7 @@ fn worker_loop(inner: &Inner) {
                 }
             }
         }
-        let mut state = inner.state.lock().expect("service state poisoned");
+        let mut state = inner.state.lock();
         state.outcomes.insert(job.id, (job.label, outcome));
         state.finished += 1;
         inner.outcome_ready.notify_all();

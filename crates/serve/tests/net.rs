@@ -61,7 +61,7 @@ fn server_survives_malformed_requests_timeouts_and_saturation() {
         cache_capacity: 64,
         ..ServiceConfig::default()
     };
-    let server = std::thread::spawn(move || serve(listener, config).expect("serve"));
+    let server = cachedse_sync::thread::spawn(move || serve(listener, config).expect("serve"));
 
     let mut client = Client::connect(addr);
 
@@ -168,7 +168,7 @@ fn two_connections_share_one_cache_and_shutdown_unwedges_both() {
         workers: 2,
         ..ServiceConfig::default()
     };
-    let server = std::thread::spawn(move || serve(listener, config).expect("serve"));
+    let server = cachedse_sync::thread::spawn(move || serve(listener, config).expect("serve"));
 
     let mut first = Client::connect(addr);
     let mut second = Client::connect(addr);

@@ -1,0 +1,280 @@
+//! Schedule exploration API for model builds.
+//!
+//! In a model build (`RUSTFLAGS="--cfg cachedse_model"`), [`explore`] runs
+//! a closure under the cooperative scheduler many times, steering every
+//! schedule point (each shim lock/unlock/wait/notify/atomic/spawn/join) to
+//! enumerate interleavings:
+//!
+//! - [`Mode::Exhaustive`]: depth-first search over the tree of scheduling
+//!   choices, with an iterative preemption bound — switching away from a
+//!   thread that could still run costs one preemption; forced switches
+//!   (the running thread blocked or finished) are free. Bound `Some(n)`
+//!   prunes the tree to schedules with at most `n` preemptions, which
+//!   catches the overwhelming majority of concurrency bugs at small `n`
+//!   (the CHESS observation) while keeping small-configuration state
+//!   spaces exhaustively checkable in CI.
+//! - [`Mode::Walks`]: seeded pseudo-random walks (vendored SplitMix64)
+//!   for state spaces too large to exhaust; deterministic for a fixed
+//!   seed.
+//! - [`replay`]: re-runs one exact interleaving from a recorded schedule
+//!   string, turning any violation report into a deterministic
+//!   regression test.
+//!
+//! Detected violations ([`ViolationKind`]): deadlock (no runnable
+//! thread), lost wakeup (every unfinished thread blocked and at least one
+//! parked in a condvar wait nothing will ever notify), data race (two
+//! accesses to a [`crate::RaceCell`] unordered by the vector-clock
+//! happens-before relation, at least one a write), synchronization misuse
+//! (waiting on or unlocking a mutex the thread does not own), and a real
+//! panic inside a modeled thread. Every violation carries the schedule
+//! string that triggers it — feed it back through [`replay`].
+//!
+//! In normal builds both entry points return [`ModelUnavailable`] so
+//! harnesses can degrade gracefully; gate model tests on
+//! [`crate::model_enabled`] or `#![cfg(cachedse_model)]`.
+
+use std::fmt;
+
+/// How [`explore`] steers scheduling decisions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Bounded exhaustive DFS over all schedules (within the preemption
+    /// bound). [`Outcome::complete`] reports whether the tree was fully
+    /// enumerated before `max_executions` ran out.
+    Exhaustive,
+    /// `count` seeded pseudo-random walks through the schedule tree.
+    Walks {
+        /// Number of random executions to run.
+        count: u64,
+        /// SplitMix64 seed; identical seeds reproduce identical walks.
+        seed: u64,
+    },
+}
+
+/// Configuration for [`explore`].
+#[derive(Clone, Copy, Debug)]
+pub struct ModelConfig {
+    /// Maximum number of *preemptions* (switches away from a runnable
+    /// thread) per schedule; `None` removes the bound. Forced switches
+    /// are always free.
+    pub preemption_bound: Option<u32>,
+    /// Hard cap on executions; exhaustive runs that hit it report
+    /// `complete: false` instead of looping unboundedly.
+    pub max_executions: u64,
+    /// Exhaustive DFS or seeded random walks.
+    pub mode: Mode,
+}
+
+impl Default for ModelConfig {
+    /// Exhaustive exploration at preemption bound 2, capped at 1M
+    /// executions — the sweet spot for the small harness configurations
+    /// checked in CI.
+    fn default() -> Self {
+        Self {
+            preemption_bound: Some(2),
+            max_executions: 1_000_000,
+            mode: Mode::Exhaustive,
+        }
+    }
+}
+
+/// The class of concurrency defect a schedule exposed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ViolationKind {
+    /// No runnable thread and at least one unfinished thread blocked on a
+    /// lock or join.
+    Deadlock,
+    /// No runnable thread and at least one unfinished thread parked in a
+    /// condvar wait that no remaining thread can ever notify.
+    LostWakeup,
+    /// Two [`crate::RaceCell`] accesses unordered by happens-before, at
+    /// least one of them a write.
+    DataRace,
+    /// A wait or unlock on a mutex the calling thread does not own.
+    SyncMisuse,
+    /// A modeled thread panicked for a reason other than scheduler
+    /// cancellation.
+    Panic,
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::Deadlock => "deadlock",
+            Self::LostWakeup => "lost-wakeup",
+            Self::DataRace => "data-race",
+            Self::SyncMisuse => "sync-misuse",
+            Self::Panic => "panic",
+        })
+    }
+}
+
+/// A concurrency defect plus the exact interleaving that triggers it.
+#[derive(Clone, Debug)]
+pub struct ModelViolation {
+    /// Defect class.
+    pub kind: ViolationKind,
+    /// Human-readable description (which threads, which objects).
+    pub detail: String,
+    /// Replayable schedule: the thread chosen at every decision point
+    /// that had more than one candidate, comma-separated. Feed to
+    /// [`replay`] to reproduce this execution deterministically.
+    pub schedule: String,
+    /// The full interleaving trace: one `t<tid>: <op>` line per visible
+    /// operation of the failing execution, in execution order.
+    pub trace: Vec<String>,
+}
+
+impl fmt::Display for ModelViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} [schedule {}]",
+            self.kind,
+            self.detail,
+            if self.schedule.is_empty() {
+                "<empty>"
+            } else {
+                &self.schedule
+            }
+        )
+    }
+}
+
+/// Result of an [`explore`] or [`replay`] run.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// Number of executions actually run.
+    pub executions: u64,
+    /// `true` iff an exhaustive run enumerated its whole (bounded) tree.
+    /// Walk and replay runs are complete by definition.
+    pub complete: bool,
+    /// First violation found, if any; exploration stops at the first.
+    pub violation: Option<ModelViolation>,
+}
+
+/// Returned by [`explore`]/[`replay`] in builds compiled without
+/// `--cfg cachedse_model`: the scheduler is not present, so no schedule
+/// exploration is possible.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ModelUnavailable;
+
+impl fmt::Display for ModelUnavailable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(
+            "model scheduler not compiled in; rebuild with RUSTFLAGS=\"--cfg cachedse_model\"",
+        )
+    }
+}
+
+impl std::error::Error for ModelUnavailable {}
+
+#[cfg(cachedse_model)]
+pub(crate) mod rt;
+
+/// Explores schedules of `f` under the model scheduler.
+///
+/// `f` is run once per execution on the calling thread; any threads it
+/// spawns **through the shim** become modeled threads the scheduler
+/// interleaves. Runs stop at the first violation. Concurrent `explore`
+/// calls from different threads serialize on a global session lock.
+///
+/// # Errors
+///
+/// [`ModelUnavailable`] in builds without `--cfg cachedse_model`.
+///
+/// # Panics
+///
+/// Panics (in model builds) if called from inside a modeled thread, i.e.
+/// from within another exploration's closure.
+#[cfg(cachedse_model)]
+pub fn explore<F: Fn()>(config: &ModelConfig, f: F) -> Result<Outcome, ModelUnavailable> {
+    Ok(rt::run(config, &f))
+}
+
+/// Explores schedules of `f`; see the model-build documentation.
+///
+/// # Errors
+///
+/// Always returns [`ModelUnavailable`] in this build (compiled without
+/// `--cfg cachedse_model`).
+#[cfg(not(cachedse_model))]
+pub fn explore<F: Fn()>(config: &ModelConfig, f: F) -> Result<Outcome, ModelUnavailable> {
+    let _ = (config, &f);
+    Err(ModelUnavailable)
+}
+
+/// Replays one exact interleaving of `f` from a schedule string
+/// previously recorded in [`ModelViolation::schedule`].
+///
+/// At every decision point with more than one candidate thread the next
+/// entry of `schedule` is taken; if the string runs out (or names a
+/// thread that is not currently runnable, which cannot happen for a
+/// faithfully recorded schedule of a deterministic closure) the first
+/// runnable thread is chosen. Exactly one execution is run.
+///
+/// # Errors
+///
+/// [`ModelUnavailable`] in builds without `--cfg cachedse_model`.
+///
+/// # Panics
+///
+/// Panics (in model builds) on a malformed schedule string or when called
+/// from inside a modeled thread.
+#[cfg(cachedse_model)]
+pub fn replay<F: Fn()>(schedule: &str, f: F) -> Result<Outcome, ModelUnavailable> {
+    Ok(rt::run_replay(schedule, &f))
+}
+
+/// Replays one exact interleaving; see the model-build documentation.
+///
+/// # Errors
+///
+/// Always returns [`ModelUnavailable`] in this build (compiled without
+/// `--cfg cachedse_model`).
+#[cfg(not(cachedse_model))]
+pub fn replay<F: Fn()>(schedule: &str, f: F) -> Result<Outcome, ModelUnavailable> {
+    let _ = (schedule, &f);
+    Err(ModelUnavailable)
+}
+
+#[cfg(all(test, not(cachedse_model)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passthrough_builds_report_model_unavailable() {
+        assert!(!crate::model_enabled());
+        let err = explore(&ModelConfig::default(), || {}).unwrap_err();
+        assert_eq!(err, ModelUnavailable);
+        assert!(err.to_string().contains("cachedse_model"));
+        assert_eq!(replay("0,1", || {}).unwrap_err(), ModelUnavailable);
+    }
+
+    #[test]
+    fn violation_kind_names_are_kebab_case() {
+        let kinds = [
+            (ViolationKind::Deadlock, "deadlock"),
+            (ViolationKind::LostWakeup, "lost-wakeup"),
+            (ViolationKind::DataRace, "data-race"),
+            (ViolationKind::SyncMisuse, "sync-misuse"),
+            (ViolationKind::Panic, "panic"),
+        ];
+        for (kind, name) in kinds {
+            assert_eq!(kind.to_string(), name);
+        }
+    }
+
+    #[test]
+    fn violation_display_includes_schedule() {
+        let v = ModelViolation {
+            kind: ViolationKind::LostWakeup,
+            detail: "t1 waiting on c0".to_owned(),
+            schedule: "0,1,0".to_owned(),
+            trace: vec!["t0: lock m0".to_owned()],
+        };
+        let text = v.to_string();
+        assert!(text.contains("lost-wakeup"));
+        assert!(text.contains("0,1,0"));
+    }
+}

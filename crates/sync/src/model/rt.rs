@@ -1,0 +1,1156 @@
+//! The cooperative model-checking runtime (compiled only under
+//! `--cfg cachedse_model`).
+//!
+//! Real OS threads are used, but a token discipline keeps exactly one
+//! *modeled* thread running at any instant: every thread owns a park
+//! token (a flag + condvar), and the only way to run is to be granted the
+//! token at a schedule point. Each visible shim operation calls
+//! [`schedule_point`] first, where the active [`Policy`] (DFS, random
+//! walk, or replay) picks the next thread to run among the runnable set;
+//! handing off grants the chosen thread's token and parks the current
+//! one. Blocking operations mark themselves `Blocked` and hand off
+//! without remaining runnable; an empty runnable set is a global block,
+//! classified as a deadlock or a lost wakeup from the blocked threads'
+//! reasons.
+//!
+//! Happens-before is tracked with vector clocks: spawn, join, mutex
+//! release→acquire, condvar notify→wakeup, and release/acquire atomics
+//! all create edges; `Relaxed` atomics are schedule points without edges.
+//! [`crate::RaceCell`] accesses are checked against the clocks
+//! (FastTrack-style write epoch + read vector) and unordered conflicting
+//! accesses raise a data-race violation.
+//!
+//! Violations cancel the execution: a global flag is set, every token is
+//! granted, and each modeled thread unwinds with a [`ModelAbort`] panic
+//! (silenced by a panic hook) so guard destructors run and
+//! `std::thread::scope` can collect its children. The explorer joins all
+//! real threads (a live counter + condvar) before resetting state for the
+//! next execution, so executions never overlap.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+
+use crate::model::{Mode, ModelConfig, ModelViolation, Outcome, ViolationKind};
+
+/// Index of a modeled thread within the execution's thread table.
+pub(crate) type Tid = usize;
+
+/// Panic payload used to unwind modeled threads when an execution is
+/// cancelled. The panic hook silences it; it must never escape
+/// [`run`]'s `catch_unwind`.
+pub(crate) struct ModelAbort;
+
+/// Schedule points per execution before declaring a livelock.
+const STEP_LIMIT: u64 = 1_000_000;
+/// Trace lines kept per execution (violation reports clone the trace).
+const TRACE_CAP: usize = 20_000;
+
+fn lock_resilient<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+// ---------------------------------------------------------------------------
+// Vector clocks
+// ---------------------------------------------------------------------------
+
+/// A vector clock, indexed by `Tid` and grown on demand.
+#[derive(Clone, Debug, Default)]
+struct VClock(Vec<u64>);
+
+impl VClock {
+    fn get(&self, tid: Tid) -> u64 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    fn set(&mut self, tid: Tid, value: u64) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] = value;
+    }
+
+    fn tick(&mut self, tid: Tid) {
+        self.set(tid, self.get(tid) + 1);
+    }
+
+    fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (mine, theirs) in self.0.iter_mut().zip(other.0.iter()) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// `self ≤ other` pointwise (happens-before or equal).
+    fn leq(&self, other: &VClock) -> bool {
+        self.0
+            .iter()
+            .enumerate()
+            .all(|(tid, &clock)| clock <= other.get(tid))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling policies
+// ---------------------------------------------------------------------------
+
+/// Candidate ordering at a decision point: the currently running thread
+/// first (run-to-completion is the first schedule DFS tries), then the
+/// rest in ascending tid order.
+fn ordered_alts(current: Tid, runnable: &[Tid]) -> Vec<Tid> {
+    let mut alts = Vec::with_capacity(runnable.len());
+    if runnable.contains(&current) {
+        alts.push(current);
+    }
+    alts.extend(runnable.iter().copied().filter(|&t| t != current));
+    alts
+}
+
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+struct Choice {
+    alts: Vec<Tid>,
+    idx: usize,
+}
+
+struct Dfs {
+    /// Choice points persisted across executions; `advance` increments
+    /// the deepest non-exhausted index and truncates below it.
+    stack: Vec<Choice>,
+    /// Per-execution position while replaying the persisted prefix.
+    cursor: usize,
+    bound: Option<u32>,
+    used: u32,
+}
+
+struct Walks {
+    rng: SplitMix64,
+    remaining: u64,
+    bound: Option<u32>,
+    used: u32,
+}
+
+struct Replay {
+    script: Vec<Tid>,
+    pos: usize,
+}
+
+enum Policy {
+    Dfs(Dfs),
+    Walks(Walks),
+    Replay(Replay),
+}
+
+impl Policy {
+    fn begin_execution(&mut self) {
+        match self {
+            Policy::Dfs(d) => {
+                d.cursor = 0;
+                d.used = 0;
+            }
+            Policy::Walks(w) => w.used = 0,
+            Policy::Replay(r) => r.pos = 0,
+        }
+    }
+
+    /// Picks the next thread to run. Returns `(choice, record)` where
+    /// `record` is true when the point had more than one candidate before
+    /// preemption-bound pruning — exactly those points appear in the
+    /// replayable schedule string.
+    fn decide(&mut self, current: Tid, runnable: &[Tid]) -> (Tid, bool) {
+        let current_runnable = runnable.contains(&current);
+        let full = ordered_alts(current, runnable);
+        let record = full.len() > 1;
+        let prune = |bound: Option<u32>, used: u32| -> bool {
+            current_runnable && bound.is_some_and(|b| used >= b)
+        };
+        let choice = match self {
+            Policy::Dfs(d) => {
+                let choice = if d.cursor < d.stack.len() {
+                    let c = &d.stack[d.cursor];
+                    c.alts[c.idx]
+                } else {
+                    let alts = if prune(d.bound, d.used) {
+                        vec![current]
+                    } else {
+                        full
+                    };
+                    let first = alts[0];
+                    d.stack.push(Choice { alts, idx: 0 });
+                    first
+                };
+                d.cursor += 1;
+                if current_runnable && choice != current {
+                    d.used += 1;
+                }
+                choice
+            }
+            Policy::Walks(w) => {
+                let alts = if prune(w.bound, w.used) {
+                    vec![current]
+                } else {
+                    full
+                };
+                let idx = (w.rng.next() % alts.len() as u64) as usize;
+                let choice = alts[idx];
+                if current_runnable && choice != current {
+                    w.used += 1;
+                }
+                choice
+            }
+            Policy::Replay(r) => {
+                if record {
+                    let want = r.script.get(r.pos).copied();
+                    r.pos += 1;
+                    match want {
+                        Some(t) if full.contains(&t) => t,
+                        _ => full[0],
+                    }
+                } else {
+                    full[0]
+                }
+            }
+        };
+        (choice, record)
+    }
+
+    /// Prepares the next execution; `false` when exploration is done.
+    fn advance(&mut self) -> bool {
+        match self {
+            Policy::Dfs(d) => {
+                while let Some(last) = d.stack.last_mut() {
+                    if last.idx + 1 < last.alts.len() {
+                        last.idx += 1;
+                        return true;
+                    }
+                    d.stack.pop();
+                }
+                false
+            }
+            Policy::Walks(w) => {
+                w.remaining = w.remaining.saturating_sub(1);
+                w.remaining > 0
+            }
+            Policy::Replay(_) => false,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime state
+// ---------------------------------------------------------------------------
+
+/// Park token: a thread runs only while its flag is granted.
+struct Token {
+    granted: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Token {
+    fn new() -> Arc<Token> {
+        Arc::new(Token {
+            granted: Mutex::new(false),
+            cv: Condvar::new(),
+        })
+    }
+}
+
+fn grant(token: &Token) {
+    let mut g = lock_resilient(&token.granted);
+    *g = true;
+    token.cv.notify_all();
+}
+
+fn park(token: &Token) {
+    let mut g = lock_resilient(&token.granted);
+    loop {
+        if *g {
+            *g = false;
+            break;
+        }
+        if CANCELLED.load(Ordering::SeqCst) {
+            break;
+        }
+        g = token.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+    }
+    drop(g);
+    if CANCELLED.load(Ordering::SeqCst) {
+        abort_now();
+    }
+}
+
+fn abort_now() -> ! {
+    std::panic::panic_any(ModelAbort)
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Block {
+    Mutex(usize),
+    Cond(usize),
+    Join(Tid),
+    Scope(usize),
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Run {
+    Runnable,
+    Blocked(Block),
+    Finished,
+}
+
+struct ThreadSlot {
+    run: Run,
+    vc: VClock,
+    token: Arc<Token>,
+}
+
+struct MutexState {
+    owner: Option<Tid>,
+    /// Join of every releaser's clock; acquirers join it into their own.
+    release_vc: VClock,
+}
+
+struct CondState {
+    /// FIFO queue of threads parked in a wait.
+    waiters: Vec<Tid>,
+}
+
+struct AtomicState {
+    /// Join of every release-store clock; acquire loads join it.
+    vc: VClock,
+}
+
+struct CellState {
+    last_writer: Option<Tid>,
+    write_vc: VClock,
+    /// Per-thread clock of each thread's last read since the last write.
+    reads: VClock,
+}
+
+/// The kind of shimmed object being registered; selects the id space and
+/// the trace-label prefix.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum ObjKind {
+    /// Mutex (`m<i>` in traces).
+    Mutex,
+    /// Condvar (`c<i>`).
+    Cond,
+    /// Atomic (`a<i>`).
+    Atomic,
+    /// RaceCell (`x<i>`).
+    Cell,
+}
+
+struct ScopeState {
+    live: usize,
+}
+
+struct Rt {
+    epoch: u64,
+    threads: Vec<ThreadSlot>,
+    mutexes: Vec<MutexState>,
+    conds: Vec<CondState>,
+    atomics: Vec<AtomicState>,
+    cells: Vec<CellState>,
+    scopes: Vec<ScopeState>,
+    policy: Policy,
+    steps: u64,
+    trace: Vec<String>,
+    /// Chosen tid at every multi-candidate decision point this execution.
+    schedule: Vec<Tid>,
+    violation: Option<ModelViolation>,
+}
+
+static SESSION: Mutex<()> = Mutex::new(());
+static SESSION_ACTIVE: AtomicBool = AtomicBool::new(false);
+static CANCELLED: AtomicBool = AtomicBool::new(false);
+static RT: OnceLock<Mutex<Option<Rt>>> = OnceLock::new();
+static LIVE_REAL: Mutex<usize> = Mutex::new(0);
+static LIVE_REAL_CV: Condvar = Condvar::new();
+static HOOK_INSTALLED: OnceLock<()> = OnceLock::new();
+
+thread_local! {
+    static CURRENT: std::cell::Cell<Option<Tid>> = const { std::cell::Cell::new(None) };
+}
+
+fn rt_cell() -> &'static Mutex<Option<Rt>> {
+    RT.get_or_init(|| Mutex::new(None))
+}
+
+fn lock_rt() -> MutexGuard<'static, Option<Rt>> {
+    lock_resilient(rt_cell())
+}
+
+fn rt_mut<'a>(guard: &'a mut MutexGuard<'static, Option<Rt>>) -> &'a mut Rt {
+    guard.as_mut().expect("model runtime not initialised")
+}
+
+/// The current thread's modeled tid, if it was spawned through the shim
+/// inside an active exploration (the exploring thread itself is tid 0).
+pub(crate) fn attached() -> Option<Tid> {
+    if !SESSION_ACTIVE.load(Ordering::SeqCst) {
+        return None;
+    }
+    CURRENT.with(std::cell::Cell::get)
+}
+
+/// Best-effort extraction of a panic payload's message.
+pub(crate) fn payload_msg(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_owned()
+    }
+}
+
+fn schedule_string(schedule: &[Tid]) -> String {
+    schedule
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Cancels the current execution: every parked thread wakes, observes
+/// the flag, and unwinds with [`ModelAbort`].
+fn cancel_all(rt: &Rt) {
+    CANCELLED.store(true, Ordering::SeqCst);
+    for slot in &rt.threads {
+        grant(&slot.token);
+    }
+}
+
+/// Records a violation (first one wins), cancels the execution, and
+/// unwinds the calling thread.
+fn fail(mut guard: MutexGuard<'static, Option<Rt>>, kind: ViolationKind, detail: String) -> ! {
+    let rt = rt_mut(&mut guard);
+    if rt.violation.is_none() {
+        rt.violation = Some(ModelViolation {
+            kind,
+            detail,
+            schedule: schedule_string(&rt.schedule),
+            trace: rt.trace.clone(),
+        });
+    }
+    cancel_all(rt);
+    drop(guard);
+    abort_now()
+}
+
+fn block_label(block: Block) -> String {
+    match block {
+        Block::Mutex(id) => format!("locking m{id}"),
+        Block::Cond(id) => format!("waiting on c{id}"),
+        Block::Join(tid) => format!("joining t{tid}"),
+        Block::Scope(id) => format!("joining scope s{id}"),
+    }
+}
+
+/// No runnable thread: classify from the blocked threads' reasons. Any
+/// condvar waiter makes it a lost wakeup (no remaining thread can ever
+/// notify); otherwise it is a lock/join deadlock.
+fn on_global_block(mut guard: MutexGuard<'static, Option<Rt>>) -> ! {
+    let rt = rt_mut(&mut guard);
+    let mut any_cond = false;
+    let mut parts = Vec::new();
+    for (tid, slot) in rt.threads.iter().enumerate() {
+        if let Run::Blocked(block) = slot.run {
+            if matches!(block, Block::Cond(_)) {
+                any_cond = true;
+            }
+            parts.push(format!("t{tid} {}", block_label(block)));
+        }
+    }
+    let kind = if any_cond {
+        ViolationKind::LostWakeup
+    } else {
+        ViolationKind::Deadlock
+    };
+    let detail = format!("no runnable thread: {}", parts.join("; "));
+    fail(guard, kind, detail)
+}
+
+fn runnable_tids(rt: &Rt) -> Vec<Tid> {
+    rt.threads
+        .iter()
+        .enumerate()
+        .filter(|(_, slot)| slot.run == Run::Runnable)
+        .map(|(tid, _)| tid)
+        .collect()
+}
+
+fn abort_if_cancelled() {
+    if CANCELLED.load(Ordering::SeqCst) {
+        abort_now();
+    }
+}
+
+fn trace_push(rt: &mut Rt, me: Tid, label: &str) {
+    if rt.trace.len() < TRACE_CAP {
+        rt.trace.push(format!("t{me}: {label}"));
+    }
+}
+
+/// Hands the token to `choice` and parks `me` until it is scheduled
+/// again. Consumes the runtime guard (it must not be held while parked).
+fn switch_to(mut guard: MutexGuard<'static, Option<Rt>>, me: Tid, choice: Tid) {
+    let rt = rt_mut(&mut guard);
+    let next = rt.threads[choice].token.clone();
+    let mine = rt.threads[me].token.clone();
+    drop(guard);
+    grant(&next);
+    park(&mine);
+}
+
+/// A schedule point: the policy may switch execution to any runnable
+/// thread before the caller's next visible operation. Every shimmed
+/// operation calls this exactly once before performing the operation.
+pub(crate) fn schedule_point(me: Tid, label: &str) {
+    abort_if_cancelled();
+    let mut guard = lock_rt();
+    let rt = rt_mut(&mut guard);
+    rt.steps += 1;
+    if rt.steps > STEP_LIMIT {
+        let detail = format!("schedule-point limit ({STEP_LIMIT}) exceeded: possible livelock");
+        fail(guard, ViolationKind::Deadlock, detail);
+    }
+    trace_push(rt, me, label);
+    let runnable = runnable_tids(rt);
+    debug_assert!(runnable.contains(&me), "scheduled thread must be runnable");
+    let (choice, record) = rt.policy.decide(me, &runnable);
+    if record {
+        rt.schedule.push(choice);
+    }
+    if choice == me {
+        return;
+    }
+    switch_to(guard, me, choice);
+}
+
+/// Parks `me` (already marked `Blocked` by the caller under `guard`)
+/// after handing the token to some runnable thread; raises a global-block
+/// violation when none exists. Returns once `me` is scheduled again.
+fn yield_blocked(mut guard: MutexGuard<'static, Option<Rt>>, me: Tid) {
+    let rt = rt_mut(&mut guard);
+    let runnable = runnable_tids(rt);
+    if runnable.is_empty() {
+        on_global_block(guard);
+    }
+    let (choice, record) = rt.policy.decide(me, &runnable);
+    if record {
+        rt.schedule.push(choice);
+    }
+    switch_to(guard, me, choice);
+}
+
+// ---------------------------------------------------------------------------
+// Object registration
+// ---------------------------------------------------------------------------
+
+/// Resolves a shimmed object's id for the current execution, registering
+/// it on first use. The wrapper's cell packs `(epoch << 32) | (id + 1)`;
+/// a stale epoch (object created before this execution) re-registers, so
+/// ids are deterministic creation-order indices within each execution.
+pub(crate) fn obj_id(cell: &AtomicU64, kind: ObjKind) -> usize {
+    let mut guard = lock_rt();
+    let rt = rt_mut(&mut guard);
+    let packed = cell.load(Ordering::Relaxed);
+    if packed >> 32 == rt.epoch & 0xFFFF_FFFF && packed & 0xFFFF_FFFF != 0 {
+        return ((packed & 0xFFFF_FFFF) - 1) as usize;
+    }
+    let id = match kind {
+        ObjKind::Mutex => {
+            rt.mutexes.push(MutexState {
+                owner: None,
+                release_vc: VClock::default(),
+            });
+            rt.mutexes.len() - 1
+        }
+        ObjKind::Cond => {
+            rt.conds.push(CondState {
+                waiters: Vec::new(),
+            });
+            rt.conds.len() - 1
+        }
+        ObjKind::Atomic => {
+            rt.atomics.push(AtomicState {
+                vc: VClock::default(),
+            });
+            rt.atomics.len() - 1
+        }
+        ObjKind::Cell => {
+            rt.cells.push(CellState {
+                last_writer: None,
+                write_vc: VClock::default(),
+                reads: VClock::default(),
+            });
+            rt.cells.len() - 1
+        }
+    };
+    cell.store(
+        ((rt.epoch & 0xFFFF_FFFF) << 32) | (id as u64 + 1),
+        Ordering::Relaxed,
+    );
+    id
+}
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+/// Model-acquires mutex `id`. On return the calling thread logically
+/// owns the lock and may take the real mutex (uncontended by
+/// construction: contenders block here, never on the real lock).
+pub(crate) fn mutex_lock(me: Tid, id: usize) {
+    schedule_point(me, &format!("lock m{id}"));
+    loop {
+        abort_if_cancelled();
+        let mut guard = lock_rt();
+        let rt = rt_mut(&mut guard);
+        if rt.mutexes[id].owner.is_none() {
+            rt.mutexes[id].owner = Some(me);
+            let release_vc = rt.mutexes[id].release_vc.clone();
+            let slot = &mut rt.threads[me];
+            slot.vc.join(&release_vc);
+            slot.vc.tick(me);
+            return;
+        }
+        rt.threads[me].run = Run::Blocked(Block::Mutex(id));
+        yield_blocked(guard, me);
+        // Re-woken by an unlock; re-contend (another thread may have
+        // taken the lock first, in which case we block again).
+    }
+}
+
+fn release_mutex(rt: &mut Rt, me: Tid, id: usize) {
+    rt.mutexes[id].owner = None;
+    let vc = rt.threads[me].vc.clone();
+    rt.mutexes[id].release_vc.join(&vc);
+    rt.threads[me].vc.tick(me);
+    for slot in &mut rt.threads {
+        if slot.run == Run::Blocked(Block::Mutex(id)) {
+            slot.run = Run::Runnable;
+        }
+    }
+}
+
+/// Model-releases mutex `id`. Called *before* the real guard drops; no
+/// handoff happens here, so no other thread can touch the real mutex
+/// until the caller's next schedule point (by which time the real guard
+/// is gone).
+pub(crate) fn mutex_unlock(me: Tid, id: usize) {
+    schedule_point(me, &format!("unlock m{id}"));
+    let mut guard = lock_rt();
+    let rt = rt_mut(&mut guard);
+    if rt.mutexes[id].owner != Some(me) {
+        let detail = format!(
+            "t{me} unlocked m{id} it does not own (owner: {})",
+            match rt.mutexes[id].owner {
+                Some(t) => format!("t{t}"),
+                None => "none".to_owned(),
+            }
+        );
+        fail(guard, ViolationKind::SyncMisuse, detail);
+    }
+    release_mutex(rt, me, id);
+}
+
+// ---------------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------------
+
+/// First half of a condvar wait: validates ownership, model-releases the
+/// mutex, enqueues the caller FIFO, and marks it blocked — but does NOT
+/// hand off, because the caller still holds the real mutex guard. The
+/// caller must drop the real guard and then call [`cond_block`].
+pub(crate) fn cond_wait_prepare(me: Tid, cond: usize, mutex: usize) {
+    schedule_point(me, &format!("wait c{cond} (m{mutex})"));
+    let mut guard = lock_rt();
+    let rt = rt_mut(&mut guard);
+    if rt.mutexes[mutex].owner != Some(me) {
+        let detail = format!("t{me} waited on c{cond} without owning m{mutex}");
+        fail(guard, ViolationKind::SyncMisuse, detail);
+    }
+    release_mutex(rt, me, mutex);
+    rt.conds[cond].waiters.push(me);
+    rt.threads[me].run = Run::Blocked(Block::Cond(cond));
+}
+
+/// Second half of a condvar wait: parks until a notify makes the caller
+/// runnable again (the model generates no spurious wakeups). The caller
+/// then re-acquires the mutex through the normal lock path.
+pub(crate) fn cond_block(me: Tid) {
+    abort_if_cancelled();
+    let guard = lock_rt();
+    if guard
+        .as_ref()
+        .is_some_and(|rt| rt.threads[me].run == Run::Runnable)
+    {
+        return;
+    }
+    yield_blocked(guard, me);
+}
+
+/// Notifies one (FIFO) or all waiters; a notify with no waiters is a
+/// no-op — which is exactly how lost wakeups arise.
+pub(crate) fn cond_notify(me: Tid, cond: usize, all: bool) {
+    let label = if all { "notify-all" } else { "notify-one" };
+    schedule_point(me, &format!("{label} c{cond}"));
+    let mut guard = lock_rt();
+    let rt = rt_mut(&mut guard);
+    rt.threads[me].vc.tick(me);
+    let vc = rt.threads[me].vc.clone();
+    let count = if all { rt.conds[cond].waiters.len() } else { 1 };
+    for _ in 0..count {
+        if rt.conds[cond].waiters.is_empty() {
+            break;
+        }
+        let waiter = rt.conds[cond].waiters.remove(0);
+        let slot = &mut rt.threads[waiter];
+        slot.vc.join(&vc);
+        slot.run = Run::Runnable;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Atomics and race cells
+// ---------------------------------------------------------------------------
+
+/// A shimmed atomic operation: a schedule point plus the happens-before
+/// edges its ordering implies (`Relaxed` contributes none).
+pub(crate) fn atomic_access(me: Tid, id: usize, acquire: bool, release: bool, label: &str) {
+    schedule_point(me, &format!("{label} a{id}"));
+    let mut guard = lock_rt();
+    let rt = rt_mut(&mut guard);
+    rt.threads[me].vc.tick(me);
+    if release {
+        let vc = rt.threads[me].vc.clone();
+        rt.atomics[id].vc.join(&vc);
+    }
+    if acquire {
+        let vc = rt.atomics[id].vc.clone();
+        rt.threads[me].vc.join(&vc);
+    }
+}
+
+/// A `RaceCell` access: checked against the vector clocks; two accesses
+/// unordered by happens-before with at least one write raise a
+/// data-race violation.
+pub(crate) fn cell_access(me: Tid, id: usize, write: bool) {
+    let label = if write { "write" } else { "read" };
+    schedule_point(me, &format!("{label} x{id}"));
+    let mut guard = lock_rt();
+    let (races_write, races_read, prior_writer) = {
+        let rt = rt_mut(&mut guard);
+        let me_vc = rt.threads[me].vc.clone();
+        let cell = &rt.cells[id];
+        (
+            !cell.write_vc.leq(&me_vc),
+            write && !cell.reads.leq(&me_vc),
+            cell.last_writer
+                .map_or_else(|| "initialisation".to_owned(), |t| format!("write by t{t}")),
+        )
+    };
+    if races_write {
+        let detail = format!("t{me} {label} of x{id} races with {prior_writer}");
+        fail(guard, ViolationKind::DataRace, detail);
+    }
+    if races_read {
+        let detail = format!("t{me} write of x{id} races with a concurrent read");
+        fail(guard, ViolationKind::DataRace, detail);
+    }
+    let rt = rt_mut(&mut guard);
+    rt.threads[me].vc.tick(me);
+    let now = rt.threads[me].vc.clone();
+    let cell = &mut rt.cells[id];
+    if write {
+        cell.last_writer = Some(me);
+        cell.write_vc = now;
+        cell.reads = VClock::default();
+    } else {
+        cell.reads.set(me, now.get(me));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Threads, scopes, join
+// ---------------------------------------------------------------------------
+
+/// Registers a new modeled thread (runnable, parked until first granted)
+/// and returns its tid. The caller then really spawns it with
+/// [`child_main`] as the body.
+pub(crate) fn spawn_thread(me: Tid, scope: Option<usize>) -> Tid {
+    schedule_point(me, "spawn");
+    let mut guard = lock_rt();
+    let rt = rt_mut(&mut guard);
+    let tid = rt.threads.len();
+    trace_push(rt, me, &format!("spawn t{tid}"));
+    let mut child_vc = rt.threads[me].vc.clone();
+    child_vc.tick(tid);
+    rt.threads[me].vc.tick(me);
+    rt.threads.push(ThreadSlot {
+        run: Run::Runnable,
+        vc: child_vc,
+        token: Token::new(),
+    });
+    if let Some(sid) = scope {
+        rt.scopes[sid].live += 1;
+    }
+    drop(guard);
+    *lock_resilient(&LIVE_REAL) += 1;
+    tid
+}
+
+/// Records a real (non-abort) panic from a modeled thread as a
+/// violation and cancels the execution; the caller then resumes the
+/// original payload.
+pub(crate) fn report_real_panic(tid: Tid, msg: &str) {
+    let mut guard = lock_rt();
+    let rt = rt_mut(&mut guard);
+    if rt.violation.is_none() {
+        rt.violation = Some(ModelViolation {
+            kind: ViolationKind::Panic,
+            detail: format!("t{tid} panicked: {msg}"),
+            schedule: schedule_string(&rt.schedule),
+            trace: rt.trace.clone(),
+        });
+    }
+    cancel_all(rt);
+}
+
+/// Marks `tid` finished, wakes joiners and the owning scope, and hands
+/// the token onward without parking (the real thread is about to exit).
+fn child_finish(tid: Tid, scope: Option<usize>) {
+    abort_if_cancelled();
+    let mut guard = lock_rt();
+    let rt = rt_mut(&mut guard);
+    trace_push(rt, tid, "finish");
+    rt.threads[tid].run = Run::Finished;
+    for slot in &mut rt.threads {
+        if slot.run == Run::Blocked(Block::Join(tid)) {
+            slot.run = Run::Runnable;
+        }
+    }
+    if let Some(sid) = scope {
+        rt.scopes[sid].live -= 1;
+        if rt.scopes[sid].live == 0 {
+            for slot in &mut rt.threads {
+                if slot.run == Run::Blocked(Block::Scope(sid)) {
+                    slot.run = Run::Runnable;
+                }
+            }
+        }
+    }
+    let runnable = runnable_tids(rt);
+    if runnable.is_empty() {
+        on_global_block(guard);
+    }
+    let (choice, record) = rt.policy.decide(tid, &runnable);
+    if record {
+        rt.schedule.push(choice);
+    }
+    let next = rt.threads[choice].token.clone();
+    drop(guard);
+    grant(&next);
+}
+
+/// Decrements the live real-thread count on drop (including unwinds), so
+/// the explorer can wait for every real thread between executions.
+struct LiveGuard;
+
+impl Drop for LiveGuard {
+    fn drop(&mut self) {
+        let mut live = lock_resilient(&LIVE_REAL);
+        *live -= 1;
+        LIVE_REAL_CV.notify_all();
+    }
+}
+
+/// The body wrapper every modeled thread runs: park for the first grant,
+/// run the user closure, then finish (or report a real panic and
+/// cancel). `ModelAbort` unwinds propagate so real joins observe them.
+pub(crate) fn child_main<T>(tid: Tid, scope: Option<usize>, f: impl FnOnce() -> T) -> T {
+    let _live = LiveGuard;
+    let token = {
+        let mut guard = lock_rt();
+        rt_mut(&mut guard).threads[tid].token.clone()
+    };
+    CURRENT.with(|c| c.set(Some(tid)));
+    park(&token);
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(value) => {
+            child_finish(tid, scope);
+            value
+        }
+        Err(payload) => {
+            if !payload.is::<ModelAbort>() {
+                report_real_panic(tid, &payload_msg(payload.as_ref()));
+            }
+            std::panic::resume_unwind(payload)
+        }
+    }
+}
+
+/// Model-joins thread `target`: blocks until it finishes, then inherits
+/// its clock. The caller performs the (now immediate) real join after.
+pub(crate) fn join_thread(me: Tid, target: Tid) {
+    schedule_point(me, &format!("join t{target}"));
+    loop {
+        abort_if_cancelled();
+        let mut guard = lock_rt();
+        let rt = rt_mut(&mut guard);
+        if rt.threads[target].run == Run::Finished {
+            let vc = rt.threads[target].vc.clone();
+            let slot = &mut rt.threads[me];
+            slot.vc.join(&vc);
+            slot.vc.tick(me);
+            return;
+        }
+        rt.threads[me].run = Run::Blocked(Block::Join(target));
+        yield_blocked(guard, me);
+    }
+}
+
+/// Registers a new scope; scoped spawns increment its live count.
+pub(crate) fn scope_enter(_me: Tid) -> usize {
+    let mut guard = lock_rt();
+    let rt = rt_mut(&mut guard);
+    rt.scopes.push(ScopeState { live: 0 });
+    rt.scopes.len() - 1
+}
+
+/// Model-joins every live thread of the scope; called before the real
+/// `std::thread::scope` exit so its real joins cannot park forever.
+pub(crate) fn scope_join(me: Tid, sid: usize) {
+    schedule_point(me, &format!("scope-join s{sid}"));
+    loop {
+        abort_if_cancelled();
+        let mut guard = lock_rt();
+        let rt = rt_mut(&mut guard);
+        if rt.scopes[sid].live == 0 {
+            return;
+        }
+        rt.threads[me].run = Run::Blocked(Block::Scope(sid));
+        yield_blocked(guard, me);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Exploration driver
+// ---------------------------------------------------------------------------
+
+fn install_hook() {
+    HOOK_INSTALLED.get_or_init(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if SESSION_ACTIVE.load(Ordering::SeqCst) {
+                let abort = info.payload().is::<ModelAbort>();
+                let attached = CURRENT.try_with(std::cell::Cell::get).ok().flatten();
+                if let (false, Some(tid)) = (abort, attached) {
+                    // A real panic on an attached thread: record the
+                    // violation and cancel the session *at panic time*,
+                    // before the panicker's destructors run. During the
+                    // unwind every shim operation is pure passthrough
+                    // (see `modeled::me`), so the parked threads must
+                    // already be waking, aborting, and releasing their
+                    // real guards — otherwise a passthrough lock or join
+                    // in a destructor would block forever.
+                    if !CANCELLED.load(Ordering::SeqCst) {
+                        report_real_panic(tid, &payload_msg(info.payload()));
+                    }
+                    return;
+                }
+                if abort || attached.is_some() || CANCELLED.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            prev(info);
+        }));
+    });
+}
+
+fn reset_execution(guard: &mut MutexGuard<'static, Option<Rt>>) {
+    let rt = rt_mut(guard);
+    rt.epoch += 1;
+    rt.threads.clear();
+    rt.threads.push(ThreadSlot {
+        run: Run::Runnable,
+        vc: {
+            let mut vc = VClock::default();
+            vc.tick(0);
+            vc
+        },
+        token: Token::new(),
+    });
+    rt.mutexes.clear();
+    rt.conds.clear();
+    rt.atomics.clear();
+    rt.cells.clear();
+    rt.scopes.clear();
+    rt.steps = 0;
+    rt.trace.clear();
+    rt.schedule.clear();
+    rt.violation = None;
+    rt.policy.begin_execution();
+    CANCELLED.store(false, Ordering::SeqCst);
+}
+
+fn wait_all_real_threads_dead() {
+    let mut live = lock_resilient(&LIVE_REAL);
+    while *live > 0 {
+        live = LIVE_REAL_CV
+            .wait(live)
+            .unwrap_or_else(PoisonError::into_inner);
+    }
+}
+
+/// Tears down one execution: cancels leftover threads, waits for every
+/// real thread to exit, and extracts the violation (recording a `Panic`
+/// one if the root closure itself panicked for a non-abort reason).
+fn end_execution(root_result: Result<(), Box<dyn Any + Send>>) -> Option<ModelViolation> {
+    {
+        let mut guard = lock_rt();
+        let rt = rt_mut(&mut guard);
+        cancel_all(rt);
+    }
+    wait_all_real_threads_dead();
+    let mut guard = lock_rt();
+    let rt = rt_mut(&mut guard);
+    let mut violation = rt.violation.take();
+    if violation.is_none() {
+        if let Err(payload) = &root_result {
+            if !payload.is::<ModelAbort>() {
+                violation = Some(ModelViolation {
+                    kind: ViolationKind::Panic,
+                    detail: format!("t0 panicked: {}", payload_msg(payload.as_ref())),
+                    schedule: schedule_string(&rt.schedule),
+                    trace: rt.trace.clone(),
+                });
+            }
+        }
+    }
+    violation
+}
+
+fn run_with_policy(policy: Policy, max_executions: u64, f: &dyn Fn()) -> Outcome {
+    let _session = lock_resilient(&SESSION);
+    assert!(
+        CURRENT.with(std::cell::Cell::get).is_none(),
+        "explore/replay must not be called from inside a modeled thread"
+    );
+    install_hook();
+    {
+        let mut guard = lock_rt();
+        let epoch = guard.as_ref().map_or(0, |rt| rt.epoch);
+        *guard = Some(Rt {
+            epoch,
+            threads: Vec::new(),
+            mutexes: Vec::new(),
+            conds: Vec::new(),
+            atomics: Vec::new(),
+            cells: Vec::new(),
+            scopes: Vec::new(),
+            policy,
+            steps: 0,
+            trace: Vec::new(),
+            schedule: Vec::new(),
+            violation: None,
+        });
+    }
+    SESSION_ACTIVE.store(true, Ordering::SeqCst);
+    let mut executions = 0_u64;
+    let mut complete = true;
+    let mut violation = None;
+    loop {
+        if executions >= max_executions {
+            complete = false;
+            break;
+        }
+        {
+            let mut guard = lock_rt();
+            reset_execution(&mut guard);
+        }
+        CURRENT.with(|c| c.set(Some(0)));
+        let root_result = catch_unwind(AssertUnwindSafe(f));
+        CURRENT.with(|c| c.set(None));
+        executions += 1;
+        if let Some(v) = end_execution(root_result) {
+            violation = Some(v);
+            complete = false;
+            break;
+        }
+        let more = {
+            let mut guard = lock_rt();
+            rt_mut(&mut guard).policy.advance()
+        };
+        if !more {
+            break;
+        }
+    }
+    SESSION_ACTIVE.store(false, Ordering::SeqCst);
+    CANCELLED.store(false, Ordering::SeqCst);
+    Outcome {
+        executions,
+        complete,
+        violation,
+    }
+}
+
+/// Runs exploration per `config`; the entry point behind
+/// [`crate::model::explore`].
+pub(crate) fn run(config: &ModelConfig, f: &dyn Fn()) -> Outcome {
+    let policy = match config.mode {
+        Mode::Exhaustive => Policy::Dfs(Dfs {
+            stack: Vec::new(),
+            cursor: 0,
+            bound: config.preemption_bound,
+            used: 0,
+        }),
+        Mode::Walks { count, seed } => {
+            if count == 0 {
+                return Outcome {
+                    executions: 0,
+                    complete: true,
+                    violation: None,
+                };
+            }
+            Policy::Walks(Walks {
+                rng: SplitMix64(seed),
+                remaining: count,
+                bound: config.preemption_bound,
+                used: 0,
+            })
+        }
+    };
+    run_with_policy(policy, config.max_executions, f)
+}
+
+/// Replays one recorded schedule; the entry point behind
+/// [`crate::model::replay`].
+pub(crate) fn run_replay(schedule: &str, f: &dyn Fn()) -> Outcome {
+    let script: Vec<Tid> = schedule
+        .split(',')
+        .filter(|part| !part.is_empty())
+        .map(|part| {
+            part.trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("malformed schedule entry {part:?}"))
+        })
+        .collect();
+    run_with_policy(Policy::Replay(Replay { script, pos: 0 }), 1, f)
+}

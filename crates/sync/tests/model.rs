@@ -1,0 +1,271 @@
+//! Model-checker harness tests: clean scenarios explore completely with
+//! zero violations, and every deliberately broken variant (racy cell,
+//! AB-BA lock order, dropped notify, unlock-before-wait reorder, double
+//! unlock, real panic) yields its expected violation kind with a
+//! replayable schedule.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg cachedse_model"`; the CI
+//! `model-check` job runs this suite.
+#![cfg(cachedse_model)]
+
+use std::sync::Arc;
+
+use cachedse_sync::model::{explore, replay, Mode, ModelConfig, ViolationKind};
+use cachedse_sync::{thread, Condvar, Mutex, RaceCell};
+
+fn exhaustive(bound: Option<u32>) -> ModelConfig {
+    ModelConfig {
+        preemption_bound: bound,
+        max_executions: 200_000,
+        mode: Mode::Exhaustive,
+    }
+}
+
+#[test]
+fn clean_counter_explores_completely() {
+    let out = explore(&exhaustive(Some(2)), || {
+        let m = Arc::new(Mutex::new(0_u32));
+        let m2 = Arc::clone(&m);
+        let h = thread::spawn(move || {
+            *m2.lock() += 1;
+        });
+        *m.lock() += 1;
+        h.join().expect("child does not panic");
+        assert_eq!(*m.lock(), 2);
+    })
+    .expect("model build");
+    assert!(out.violation.is_none(), "unexpected: {:?}", out.violation);
+    assert!(out.complete, "exploration should finish within the cap");
+    assert!(out.executions >= 2, "lock order must produce >1 schedule");
+}
+
+#[test]
+fn clean_scoped_threads_explore_completely() {
+    let out = explore(&exhaustive(Some(2)), || {
+        let total = Mutex::new(0_u64);
+        thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    *total.lock() += 1;
+                });
+            }
+        });
+        assert_eq!(total.into_inner(), 2);
+    })
+    .expect("model build");
+    assert!(out.violation.is_none(), "unexpected: {:?}", out.violation);
+    assert!(out.complete);
+    assert!(out.executions >= 2);
+}
+
+fn racy_cell() -> impl Fn() {
+    || {
+        let cell = Arc::new(RaceCell::new(0_u32));
+        let c2 = Arc::clone(&cell);
+        let h = thread::spawn(move || {
+            let v = c2.get();
+            c2.set(v + 1);
+        });
+        let v = cell.get();
+        cell.set(v + 1);
+        let _ = h.join();
+    }
+}
+
+#[test]
+fn racy_cell_yields_data_race_with_replayable_schedule() {
+    let out = explore(&exhaustive(Some(2)), racy_cell()).expect("model build");
+    let v = out.violation.expect("unsynchronised increments must race");
+    assert_eq!(v.kind, ViolationKind::DataRace, "{v}");
+    assert!(v.detail.contains("races"), "{v}");
+    assert!(!v.trace.is_empty());
+
+    // The recorded schedule replays to the same violation.
+    let replayed = replay(&v.schedule, racy_cell()).expect("model build");
+    let rv = replayed.violation.expect("replay must reproduce the race");
+    assert_eq!(rv.kind, ViolationKind::DataRace);
+    assert_eq!(replayed.executions, 1);
+}
+
+fn abba_locks() -> impl Fn() {
+    || {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let h = thread::spawn(move || {
+            let ga = a2.lock();
+            let gb = b2.lock();
+            drop((ga, gb));
+        });
+        let gb = b.lock();
+        let ga = a.lock();
+        drop((gb, ga));
+        let _ = h.join();
+    }
+}
+
+#[test]
+fn abba_lock_order_deadlocks_only_with_a_preemption() {
+    // Bound 0 = run-to-completion schedules only: the windows never
+    // interleave, so no deadlock is reachable.
+    let bound0 = explore(&exhaustive(Some(0)), abba_locks()).expect("model build");
+    assert!(bound0.violation.is_none(), "{:?}", bound0.violation);
+    assert!(bound0.complete);
+
+    // One preemption suffices to interleave the two lock acquisitions.
+    let bound1 = explore(&exhaustive(Some(1)), abba_locks()).expect("model build");
+    let v = bound1.violation.expect("AB-BA must deadlock at bound 1");
+    assert_eq!(v.kind, ViolationKind::Deadlock, "{v}");
+    assert!(v.detail.contains("locking"), "{v}");
+}
+
+fn dropped_notify() -> impl Fn() {
+    || {
+        let shared = Arc::new((Mutex::new(false), Condvar::new()));
+        let s2 = Arc::clone(&shared);
+        let h = thread::spawn(move || {
+            let (m, cv) = &*s2;
+            let mut g = m.lock();
+            while !*g {
+                g = cv.wait(g);
+            }
+        });
+        let (m, _cv) = &*shared;
+        *m.lock() = true; // BUG: flag set but the notify was dropped.
+        let _ = h.join();
+    }
+}
+
+#[test]
+fn dropped_notify_yields_lost_wakeup() {
+    let out = explore(&exhaustive(Some(2)), dropped_notify()).expect("model build");
+    let v = out.violation.expect("waiter must strand in some schedule");
+    assert_eq!(v.kind, ViolationKind::LostWakeup, "{v}");
+    assert!(v.detail.contains("waiting on c"), "{v}");
+    assert!(
+        !v.schedule.is_empty(),
+        "a stranding schedule involves choices"
+    );
+}
+
+fn unlock_before_wait() -> impl Fn() {
+    || {
+        let shared = Arc::new((Mutex::new(false), Condvar::new()));
+        let s2 = Arc::clone(&shared);
+        let h = thread::spawn(move || {
+            let (m, cv) = &*s2;
+            let g = m.lock();
+            if !*g {
+                // BUG: the lock is released between the predicate check
+                // and the wait, and the predicate is not re-checked, so
+                // a notify landing in the gap is lost forever.
+                drop(g);
+                let g2 = m.lock();
+                let _g = cv.wait(g2);
+            }
+        });
+        let (m, cv) = &*shared;
+        *m.lock() = true;
+        cv.notify_one();
+        let _ = h.join();
+    }
+}
+
+#[test]
+fn unlock_before_wait_reorder_yields_lost_wakeup_and_replays() {
+    let out = explore(&exhaustive(Some(2)), unlock_before_wait()).expect("model build");
+    let v = out
+        .violation
+        .expect("notify must land in the gap somewhere");
+    assert_eq!(v.kind, ViolationKind::LostWakeup, "{v}");
+
+    // Seeded lost-wakeup regression: the recorded interleaving replays
+    // deterministically — same violation, same schedule, one execution.
+    let replayed = replay(&v.schedule, unlock_before_wait()).expect("model build");
+    let rv = replayed
+        .violation
+        .expect("replaying the stranding schedule must strand again");
+    assert_eq!(rv.kind, ViolationKind::LostWakeup);
+    assert_eq!(rv.schedule, v.schedule, "replay must walk the same path");
+    assert_eq!(replayed.executions, 1);
+}
+
+#[test]
+fn unowned_unlock_yields_sync_misuse() {
+    let out = explore(&exhaustive(Some(2)), || {
+        let m = Mutex::new(0_u8);
+        m.force_unlock(); // BUG: unlock without ever locking.
+    })
+    .expect("model build");
+    let v = out.violation.expect("unowned unlock must be flagged");
+    assert_eq!(v.kind, ViolationKind::SyncMisuse, "{v}");
+}
+
+#[test]
+fn double_unlock_yields_sync_misuse() {
+    let out = explore(&exhaustive(Some(2)), || {
+        let m = Mutex::new(0_u8);
+        let g = m.lock();
+        m.force_unlock(); // BUG: second release arrives when the guard drops.
+        drop(g);
+    })
+    .expect("model build");
+    let v = out.violation.expect("double unlock must be flagged");
+    assert_eq!(v.kind, ViolationKind::SyncMisuse, "{v}");
+    assert!(v.detail.contains("does not own"), "{v}");
+}
+
+#[test]
+fn real_panic_in_modeled_thread_is_reported() {
+    let out = explore(&exhaustive(Some(2)), || {
+        let h = thread::spawn(|| panic!("boom"));
+        let _ = h.join();
+    })
+    .expect("model build");
+    let v = out.violation.expect("a panicking thread is a violation");
+    assert_eq!(v.kind, ViolationKind::Panic, "{v}");
+    assert!(v.detail.contains("boom"), "{v}");
+}
+
+#[test]
+fn seeded_walks_are_deterministic_and_find_the_race() {
+    let cfg = ModelConfig {
+        preemption_bound: None,
+        max_executions: 10_000,
+        mode: Mode::Walks {
+            count: 50,
+            seed: 42,
+        },
+    };
+    let first = explore(&cfg, racy_cell()).expect("model build");
+    let second = explore(&cfg, racy_cell()).expect("model build");
+    let (a, b) = (
+        first.violation.expect("walks must stumble into the race"),
+        second.violation.expect("same seed, same stumble"),
+    );
+    assert_eq!(a.kind, ViolationKind::DataRace);
+    assert_eq!(a.schedule, b.schedule, "identical seeds walk identically");
+    assert_eq!(first.executions, second.executions);
+}
+
+#[test]
+fn clean_program_stays_clean_under_walks() {
+    let cfg = ModelConfig {
+        preemption_bound: None,
+        max_executions: 10_000,
+        mode: Mode::Walks { count: 25, seed: 7 },
+    };
+    let out = explore(&cfg, || {
+        let m = Arc::new(Mutex::new(0_u32));
+        let m2 = Arc::clone(&m);
+        let h = thread::spawn(move || {
+            *m2.lock() += 1;
+        });
+        *m.lock() += 1;
+        h.join().expect("no panic");
+    })
+    .expect("model build");
+    assert!(out.violation.is_none(), "{:?}", out.violation);
+    assert_eq!(out.executions, 25);
+    assert!(out.complete);
+}

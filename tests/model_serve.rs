@@ -1,0 +1,160 @@
+//! Exhaustive model exploration of the serve worker pool.
+//!
+//! The scenario the ISSUE pins down: two workers, three jobs, an admission
+//! queue of depth one. Every lock/condvar/atomic interaction of the pool
+//! goes through `cachedse-sync`, so under `--cfg cachedse_model` the
+//! scheduler can enumerate the interleavings and prove the pool free of
+//! deadlock, lost wakeups, and data races — with the functional assertions
+//! (all jobs complete, exactly one shared analysis) holding on *every*
+//! schedule, not just the ones the OS happens to produce.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg cachedse_model"`; the CI
+//! `model-check` job runs this suite.
+#![cfg(cachedse_model)]
+
+use cachedse_core::MissBudget;
+use cachedse_serve::{JobSpec, PatternSpec, Service, ServiceConfig, TraceSource};
+use cachedse_sync::model::{explore, Mode, ModelConfig};
+
+fn tiny_spec(id: &str, budget: u64) -> JobSpec {
+    JobSpec {
+        id: Some(id.to_owned()),
+        trace: TraceSource::Pattern(PatternSpec::Loop {
+            base: 0,
+            len: 8,
+            iterations: 2,
+        }),
+        budget: MissBudget::Absolute(budget),
+        max_index_bits: None,
+        line_bits: 0,
+        timeout_ms: None,
+    }
+}
+
+/// Two workers × three jobs × queue depth one, with the invariants
+/// asserted inside the explored closure so a violating schedule fails as
+/// a Panic violation even if it would not deadlock.
+fn pool_scenario() {
+    let service = Service::start(ServiceConfig {
+        workers: 2,
+        queue_depth: 1,
+        cache_capacity: 4,
+        ..ServiceConfig::default()
+    });
+    let ids: Vec<_> = (0u64..3)
+        .map(|i| {
+            service
+                .submit_blocking(tiny_spec(&format!("j{i}"), i))
+                .expect("blocking submission cannot be rejected before shutdown")
+        })
+        .collect();
+    for id in ids {
+        let (_, outcome) = service.wait(id);
+        outcome.expect("tiny loop job succeeds");
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.accepted, 3, "every submission admitted");
+    assert_eq!(stats.completed, 3, "every job completed");
+    assert_eq!(stats.rejected, 0, "blocking admission never rejects");
+    assert_eq!(stats.cache_misses, 1, "one shared trace, one analysis");
+    assert_eq!(stats.cache_hits, 2, "the other two jobs reuse the entry");
+}
+
+#[test]
+fn serve_pool_is_clean_under_exhaustive_bound_1() {
+    let out = explore(
+        &ModelConfig {
+            preemption_bound: Some(1),
+            max_executions: 100_000,
+            mode: Mode::Exhaustive,
+        },
+        pool_scenario,
+    )
+    .expect("model build");
+    assert!(
+        out.violation.is_none(),
+        "serve pool violated a concurrency invariant: {}",
+        out.violation.unwrap()
+    );
+    assert!(out.complete, "exploration must finish within the cap");
+    assert!(
+        out.executions > 1_000,
+        "a 3-thread pool with a depth-1 queue has many interleavings, got {}",
+        out.executions
+    );
+}
+
+#[test]
+fn serve_pool_is_clean_under_deep_seeded_walks() {
+    // Random walks with no preemption bound reach interleavings the
+    // bounded exhaustive pass prunes; the seed keeps CI reproducible.
+    let out = explore(
+        &ModelConfig {
+            preemption_bound: None,
+            max_executions: 10_000,
+            mode: Mode::Walks {
+                count: 200,
+                seed: 0xCAC4E,
+            },
+        },
+        pool_scenario,
+    )
+    .expect("model build");
+    assert!(
+        out.violation.is_none(),
+        "serve pool violated a concurrency invariant: {}",
+        out.violation.unwrap()
+    );
+    assert_eq!(out.executions, 200);
+}
+
+#[test]
+fn nonblocking_saturation_is_clean_and_rejects_consistently() {
+    // Rejecting admission at queue depth 1 with a single worker: however
+    // the schedules fall, accepted + rejected must account for every
+    // submission and all accepted jobs must complete.
+    let out = explore(
+        &ModelConfig {
+            preemption_bound: Some(1),
+            max_executions: 100_000,
+            mode: Mode::Exhaustive,
+        },
+        || {
+            let service = Service::start(ServiceConfig {
+                workers: 1,
+                queue_depth: 1,
+                cache_capacity: 4,
+                ..ServiceConfig::default()
+            });
+            let mut admitted = Vec::new();
+            let mut rejected = 0u64;
+            for i in 0u64..3 {
+                match service.submit(tiny_spec(&format!("j{i}"), i)) {
+                    Ok(id) => admitted.push(id),
+                    Err(cachedse_serve::JobError::QueueFull { depth }) => {
+                        assert_eq!(depth, 1);
+                        rejected += 1;
+                    }
+                    Err(other) => panic!("unexpected admission error: {other:?}"),
+                }
+            }
+            let accepted = admitted.len() as u64;
+            for id in admitted {
+                let (_, outcome) = service.wait(id);
+                outcome.expect("admitted job completes");
+            }
+            let stats = service.shutdown();
+            assert_eq!(stats.accepted, accepted);
+            assert_eq!(stats.rejected, rejected);
+            assert_eq!(stats.completed, accepted);
+            assert_eq!(accepted + rejected, 3, "every submission accounted for");
+        },
+    )
+    .expect("model build");
+    assert!(
+        out.violation.is_none(),
+        "saturated pool violated an invariant: {}",
+        out.violation.unwrap()
+    );
+    assert!(out.complete);
+}

@@ -1,0 +1,83 @@
+//! Workspace lint: concurrency primitives must go through `cachedse-sync`.
+//!
+//! The model checker can only explore operations it can see, and it sees
+//! them by interposing on the shim in `crates/sync`. A direct
+//! `std::sync` mutex/condvar or a raw `std::thread` spawn/scope anywhere
+//! else compiles fine and runs fine — and silently removes those
+//! interactions from every schedule the explorer enumerates. This test
+//! (and its CI twin, `tools/check_sync_shim.sh`) turns that silent gap
+//! into a red build.
+//!
+//! The forbidden patterns are assembled by string concatenation so this
+//! file never matches itself.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Recursively collects `.rs` files under `dir`, skipping the shim crate
+/// itself (the one place the raw primitives are allowed to live).
+fn rs_files(dir: &Path, skip: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path == skip {
+            continue;
+        }
+        if path.is_dir() {
+            rs_files(&path, skip, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn concurrency_primitives_go_through_the_shim() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let sync_crate = root.join("crates").join("sync");
+
+    let std_sync = String::from("std") + "::sync::";
+    let std_thread = String::from("std") + "::thread::";
+    let forbidden: Vec<String> = vec![
+        format!("{std_sync}Mutex"),
+        format!("{std_sync}Condvar"),
+        format!("{std_thread}spawn"),
+        format!("{std_thread}scope"),
+    ];
+
+    let mut files = Vec::new();
+    for top in ["crates", "tests", "src"] {
+        rs_files(&root.join(top), &sync_crate, &mut files);
+    }
+    assert!(
+        files.len() > 20,
+        "lint scanned only {} files — workspace layout changed?",
+        files.len()
+    );
+
+    let mut offenses = Vec::new();
+    for file in &files {
+        let text = fs::read_to_string(file).expect("workspace source is readable");
+        for (lineno, line) in text.lines().enumerate() {
+            for pat in &forbidden {
+                if line.contains(pat.as_str()) {
+                    offenses.push(format!(
+                        "{}:{}: {}",
+                        file.strip_prefix(root).unwrap_or(file).display(),
+                        lineno + 1,
+                        line.trim()
+                    ));
+                }
+            }
+        }
+    }
+    assert!(
+        offenses.is_empty(),
+        "direct std concurrency primitive use outside crates/sync — route it \
+         through the cachedse-sync shim so the model scheduler can see it \
+         (DESIGN.md section 14):\n{}",
+        offenses.join("\n")
+    );
+}

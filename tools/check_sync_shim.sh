@@ -1,0 +1,32 @@
+#!/usr/bin/env sh
+# Lint gate: every blocking/concurrency primitive in the workspace must go
+# through the `cachedse-sync` shim so the model scheduler can interpose on
+# it under `--cfg cachedse_model`. A direct `std::sync::Mutex`,
+# `std::sync::Condvar`, `std::thread::spawn`, or `std::thread::scope`
+# outside `crates/sync` is invisible to the schedule explorer and silently
+# shrinks the checked surface.
+#
+# The same scan runs as a workspace test (`tests/sync_shim_lint.rs`); this
+# script is the CI entry point so the failure is a first-class job.
+set -eu
+cd "$(dirname "$0")/.."
+
+# The pattern is assembled by concatenation so this script's own text can
+# never satisfy it.
+SYNC='std::sync'
+THREAD='std::thread'
+PATTERN="${SYNC}::Mutex|${SYNC}::Condvar|${THREAD}::spawn|${THREAD}::scope"
+
+matches=$(grep -rn --include='*.rs' -E "$PATTERN" crates tests src 2>/dev/null \
+  | grep -v '^crates/sync/' || true)
+
+if [ -n "$matches" ]; then
+  echo "direct std concurrency primitive use outside crates/sync:" >&2
+  echo "$matches" >&2
+  echo >&2
+  echo "Route it through the cachedse-sync shim (Mutex, Condvar," >&2
+  echo "thread::{spawn, scope}) so the model scheduler can see the" >&2
+  echo "operation under --cfg cachedse_model. See DESIGN.md section 14." >&2
+  exit 1
+fi
+echo "sync-shim lint clean: all concurrency goes through crates/sync"
