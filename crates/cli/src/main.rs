@@ -18,10 +18,14 @@
 //!                        # RUSTFLAGS="--cfg cachedse_model"
 //! cachedse batch [jobs.jsonl] [--workers N] [--queue N] [--cache N]
 //!                [--engine dfs|parallel|tree] [--threads N]
-//!                [--timeout-ms MS] [--validate]   # JSONL jobs in, results out
+//!                [--timeout-ms MS] [--validate]
+//!                [--store-dir DIR]               # JSONL jobs in, results out
 //! cachedse serve [--bind HOST:PORT] [--workers N] [--queue N] [--cache N]
 //!                [--engine dfs|parallel|tree] [--threads N]
-//!                [--timeout-ms MS] [--validate]   # long-running TCP service
+//!                [--timeout-ms MS] [--validate]
+//!                [--store-dir DIR]               # persistent artifact store
+//!                [--join HOST:PORT[,HOST:PORT…]] # enter a shard ring
+//!                [--advertise HOST:PORT]         # address peers dial back
 //! cachedse workloads                             # list the kernels
 //! ```
 
@@ -443,6 +447,17 @@ fn service_config_of(
     args: &Args,
 ) -> Result<cachedse_serve::ServiceConfig, Box<dyn std::error::Error>> {
     let default_workers = std::thread::available_parallelism().map_or(2, std::num::NonZero::get);
+    // `--store-dir DIR`: spill artifacts to a content-addressed disk store
+    // so analyses survive restarts (a corrupt or truncated file is
+    // quarantined and rebuilt, never served).
+    let store: Option<std::sync::Arc<dyn cachedse_store::ArtifactStore>> =
+        match args.opt_str("store-dir") {
+            Some(dir) => Some(std::sync::Arc::new(
+                cachedse_store::DiskStore::open(dir)
+                    .map_err(|e| format!("cannot open store {dir}: {e}"))?,
+            )),
+            None => None,
+        };
     Ok(cachedse_serve::ServiceConfig {
         workers: args.opt_or("workers", default_workers)?,
         queue_depth: args.opt_or("queue", 64)?,
@@ -451,6 +466,7 @@ fn service_config_of(
         validate: args.flag("validate"),
         engine: engine_of(args)?,
         threads: threads_of(args)?,
+        store,
     })
 }
 
@@ -478,9 +494,30 @@ fn cmd_serve(args: &Args) -> CliResult {
     let bind = args.opt_str("bind").unwrap_or("127.0.0.1:7333");
     let listener =
         std::net::TcpListener::bind(bind).map_err(|e| format!("cannot bind {bind}: {e}"))?;
+    let local = listener.local_addr()?;
     // The resolved address matters when the caller asked for port 0.
-    eprintln!("listening on {}", listener.local_addr()?);
-    let stats = cachedse_serve::serve(listener, config)?;
+    eprintln!("listening on {local}");
+    // `--join` and/or `--advertise` turn the node into a ring member:
+    // `--join` names existing members (comma-separated), `--advertise`
+    // the address peers dial back (defaults to the bound address —
+    // override it when binding a wildcard interface).
+    let join: Vec<String> = args
+        .opt_str("join")
+        .into_iter()
+        .flat_map(|list| list.split(','))
+        .map(str::trim)
+        .filter(|addr| !addr.is_empty())
+        .map(str::to_owned)
+        .collect();
+    let advertise = args.opt_str("advertise").map(str::to_owned);
+    let shard = (!join.is_empty() || advertise.is_some()).then(|| cachedse_serve::ShardOptions {
+        advertise: advertise.unwrap_or_else(|| local.to_string()),
+        join,
+    });
+    if let Some(shard) = &shard {
+        eprintln!("shard member {} joining {:?}", shard.advertise, shard.join);
+    }
+    let stats = cachedse_serve::serve_with(listener, config, shard)?;
     eprintln!("{stats}");
     Ok(())
 }

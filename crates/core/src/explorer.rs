@@ -209,7 +209,7 @@ pub fn prepare_stripped(
 
 /// The analyzed design space: exact per-depth miss profiles, queryable under
 /// any number of miss budgets.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Exploration {
     profiles: Vec<DepthProfile>,
     stats: TraceStats,
@@ -248,6 +248,42 @@ impl Exploration {
             profiles: postlude::level_profiles(bcat, mrct, stripped, max_index_bits),
             stats: TraceStats::of_stripped(stripped),
             engine: Engine::TreeTable,
+        })
+    }
+
+    /// Reassembles an exploration from already-computed per-depth
+    /// profiles plus the trace statistics — the path the persistent
+    /// artifact store takes on a warm start, where the profiles come off
+    /// disk instead of out of an engine. A reassembled exploration is
+    /// `==` to the one the named `engine` originally produced.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural violation: no
+    /// profiles, or depths that are not the strictly doubling sequence
+    /// `1, 2, 4, …` every query method assumes (loaded bytes are
+    /// untrusted and must never panic downstream).
+    pub fn from_parts(
+        profiles: Vec<DepthProfile>,
+        stats: TraceStats,
+        engine: Engine,
+    ) -> Result<Self, String> {
+        if profiles.is_empty() {
+            return Err("an exploration has at least the depth-1 profile".to_owned());
+        }
+        for (i, p) in profiles.iter().enumerate() {
+            let expected = 1u32 << i.min(31);
+            if p.depth() != expected {
+                return Err(format!(
+                    "profile {i} is for depth {}, expected {expected}",
+                    p.depth()
+                ));
+            }
+        }
+        Ok(Self {
+            profiles,
+            stats,
+            engine,
         })
     }
 

@@ -1,454 +1,20 @@
-//! The content-addressed artifact cache.
+//! The content-addressed artifact cache — re-exported from
+//! [`cachedse_store`], where it moved when the persistence tier landed
+//! (DESIGN.md §15).
 //!
 //! Every budget-independent structure of the analytical pipeline — the
-//! stripped trace, the zero/one sets, the BCAT, the MRCT, and the per-depth
-//! miss profiles they induce — depends only on the trace content and the
-//! index-bit cap. The cache keys a bundle of all five by the FNV-1a
-//! [`TraceDigest`] of the canonical trace (folded with the bit cap), so N
-//! jobs that query N budgets against one trace cost **one** analysis plus N
-//! cheap frontier walks, and the same trace arriving from different sources
-//! (two files with identical bytes, a workload captured twice) shares one
-//! entry.
+//! stripped trace, the zero/one sets, the BCAT, the MRCT, and the
+//! per-depth miss profiles they induce — depends only on the trace
+//! content and the index-bit cap. The cache keys a bundle of all five by
+//! the FNV-1a [`TraceDigest`](cachedse_trace::digest::TraceDigest) of
+//! the canonical trace (folded with the bit cap), so N jobs that query N
+//! budgets against one trace cost **one** analysis plus N cheap frontier
+//! walks. With a backing [`ArtifactStore`](cachedse_store::ArtifactStore)
+//! attached (`--store-dir`), the bundle also survives a restart: the
+//! first repeat-trace job on a fresh process warm-loads from disk
+//! instead of re-analyzing.
 //!
-//! Concurrency: the map itself is held only long enough to find or insert a
-//! *slot*; the expensive build happens under the slot's own lock, so two
-//! jobs racing on the same new trace serialize (exactly one build, the
-//! loser gets a hit), while jobs on distinct traces build in parallel.
+//! This module keeps the crate's original import paths working; new code
+//! can depend on `cachedse-store` directly.
 
-use std::collections::HashMap;
-use std::sync::Arc;
-
-use cachedse_sync::atomic::{AtomicU64, Ordering};
-use cachedse_sync::Mutex;
-
-use cachedse_core::{prepare_stripped, Bcat, Engine, Exploration, ExploreError, Mrct, ZeroOneSets};
-use cachedse_trace::digest::{Fnv1a, TraceDigest};
-use cachedse_trace::strip::StrippedTrace;
-use cachedse_trace::Trace;
-
-/// The cache key: trace content digest folded with the analysis parameters
-/// that shape the artifacts.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub struct ArtifactKey {
-    /// Content digest of the (already line-aligned) trace.
-    pub digest: TraceDigest,
-    /// The index-bit cap the artifacts were built under.
-    pub max_index_bits: u32,
-}
-
-impl ArtifactKey {
-    /// Builds the key for `trace` under `max_index_bits`.
-    #[must_use]
-    pub fn of(trace: &Trace, max_index_bits: u32) -> Self {
-        Self {
-            digest: TraceDigest::of_trace(trace),
-            max_index_bits,
-        }
-    }
-
-    /// A single `u64` folding both fields (handy for logs).
-    #[must_use]
-    pub fn fold(&self) -> u64 {
-        let mut h = Fnv1a::new();
-        h.update_u64(self.digest.raw());
-        h.update_u32(self.max_index_bits);
-        h.finish()
-    }
-}
-
-/// The materialized tree/table structures of the paper's Algorithms 1–2,
-/// retained only when something downstream consumes them (validation, or
-/// the tree-table engine itself). Both tables are flat-arena backed: the
-/// BCAT's node sets are ranges of its permutation arena (DESIGN.md §13) and
-/// the MRCT is a CSR arena (§12), so a cached entry holds a handful of
-/// contiguous buffers rather than per-node allocations.
-#[derive(Debug)]
-pub struct TreeArtifacts {
-    /// Per-address-bit zero/one sets (Table 3).
-    pub zero_one: ZeroOneSets,
-    /// The binary cache allocation tree (Algorithm 1), owning its
-    /// permutation arena.
-    pub bcat: Bcat,
-    /// The memory reference conflict table (Algorithm 2).
-    pub mrct: Mrct,
-}
-
-/// The shared, budget-independent artifacts of one analyzed trace.
-///
-/// All engines produce byte-identical [`Exploration`]s (the workspace
-/// differential suite is the oracle), so the cache key stays engine-free:
-/// a hit is valid whatever engine built the entry.
-#[derive(Debug)]
-pub struct TraceArtifacts {
-    /// The stripped trace (unique references + id sequence).
-    pub stripped: StrippedTrace,
-    /// The materialized BCAT/MRCT structures, when retained.
-    pub tree: Option<TreeArtifacts>,
-    /// The per-depth miss profiles, queryable under any budget.
-    pub exploration: Exploration,
-}
-
-impl TraceArtifacts {
-    /// Runs the full tree+table prelude + postlude once for `trace`,
-    /// retaining the materialized structures.
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`ExploreError`] (empty trace, oversized index cap).
-    pub fn build(trace: &Trace, max_index_bits: u32) -> Result<Self, ExploreError> {
-        Self::build_with(trace, max_index_bits, Engine::TreeTable, None, true)
-    }
-
-    /// Analyzes `trace` with `engine`, materializing the BCAT/MRCT only
-    /// when `with_tree` asks for them (or the engine builds them anyway).
-    /// The depth-first engines go through
-    /// [`prepare_stripped`](cachedse_core::prepare_stripped) and allocate
-    /// nothing beyond their scratch arena; `threads` pins the parallel
-    /// engine's worker count.
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`ExploreError`] (empty trace, oversized index cap).
-    pub fn build_with(
-        trace: &Trace,
-        max_index_bits: u32,
-        engine: Engine,
-        threads: Option<std::num::NonZeroUsize>,
-        with_tree: bool,
-    ) -> Result<Self, ExploreError> {
-        let stripped = StrippedTrace::from_trace(trace);
-        if stripped.is_empty() {
-            return Err(ExploreError::EmptyTrace);
-        }
-        if with_tree || engine == Engine::TreeTable {
-            let zero_one = ZeroOneSets::from_stripped(&stripped);
-            // The radix builder reads addresses straight off the stripped
-            // trace; the zero/one sets are still materialized for the
-            // validation path (`cachedse-check` consumes them).
-            let bcat = Bcat::from_stripped(&stripped, max_index_bits);
-            let mrct = Mrct::build(&stripped);
-            let exploration = Exploration::from_artifacts(&bcat, &mrct, &stripped, max_index_bits)?;
-            Ok(Self {
-                stripped,
-                tree: Some(TreeArtifacts {
-                    zero_one,
-                    bcat,
-                    mrct,
-                }),
-                exploration,
-            })
-        } else {
-            let exploration = prepare_stripped(&stripped, Some(max_index_bits), engine, threads)?;
-            Ok(Self {
-                stripped,
-                tree: None,
-                exploration,
-            })
-        }
-    }
-}
-
-/// What a cache lookup found.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Found {
-    /// The artifacts were already cached.
-    Hit,
-    /// This call built (and inserted) the artifacts.
-    Miss,
-}
-
-#[derive(Default)]
-struct Slot {
-    artifacts: Mutex<Option<Arc<TraceArtifacts>>>,
-}
-
-/// A bounded, content-addressed map from [`ArtifactKey`] to shared
-/// [`TraceArtifacts`].
-#[derive(Debug)]
-pub struct ArtifactCache {
-    inner: Mutex<CacheInner>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    capacity: usize,
-}
-
-struct CacheInner {
-    map: HashMap<ArtifactKey, Arc<Slot>>,
-    /// Insertion order, oldest first, for FIFO eviction.
-    order: Vec<ArtifactKey>,
-}
-
-impl std::fmt::Debug for CacheInner {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("CacheInner")
-            .field("entries", &self.map.len())
-            .finish()
-    }
-}
-
-impl ArtifactCache {
-    /// An empty cache holding at most `capacity` distinct traces (minimum
-    /// 1; the bound keeps a long-running service from accumulating every
-    /// trace it has ever seen).
-    #[must_use]
-    pub fn new(capacity: usize) -> Self {
-        Self {
-            inner: Mutex::new(CacheInner {
-                map: HashMap::new(),
-                order: Vec::new(),
-            }),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            capacity: capacity.max(1),
-        }
-    }
-
-    /// Total hits so far.
-    #[must_use]
-    pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
-    }
-
-    /// Total misses (= builds) so far.
-    #[must_use]
-    pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
-    }
-
-    /// Number of currently cached traces.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the cache lock was poisoned (a builder panicked).
-    #[must_use]
-    pub fn len(&self) -> usize {
-        self.inner.lock().map.len()
-    }
-
-    /// `true` when nothing is cached.
-    #[must_use]
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Looks up `key`, building and inserting via `build` on a miss.
-    ///
-    /// Exactly one caller builds a given key; concurrent callers for the
-    /// same key block until the build finishes and then count as hits.
-    ///
-    /// # Errors
-    ///
-    /// Propagates the builder's error. A failed build leaves no cache entry
-    /// (the next caller retries).
-    ///
-    /// # Panics
-    ///
-    /// Panics if a previous builder panicked while holding a slot lock.
-    pub fn get_or_build<E>(
-        &self,
-        key: ArtifactKey,
-        build: impl FnOnce() -> Result<TraceArtifacts, E>,
-    ) -> Result<(Arc<TraceArtifacts>, Found), E> {
-        let slot = {
-            let mut inner = self.inner.lock();
-            if let Some(slot) = inner.map.get(&key) {
-                Arc::clone(slot)
-            } else {
-                if inner.map.len() >= self.capacity {
-                    // FIFO eviction: drop the oldest distinct trace. In-flight
-                    // jobs holding its Arc keep it alive until they finish.
-                    let oldest = inner.order.remove(0);
-                    inner.map.remove(&oldest);
-                }
-                let slot = Arc::new(Slot::default());
-                inner.map.insert(key, Arc::clone(&slot));
-                inner.order.push(key);
-                slot
-            }
-        };
-        let mut guard = slot.artifacts.lock();
-        if let Some(artifacts) = guard.as_ref() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok((Arc::clone(artifacts), Found::Hit));
-        }
-        match build() {
-            Ok(artifacts) => {
-                let artifacts = Arc::new(artifacts);
-                *guard = Some(Arc::clone(&artifacts));
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                Ok((artifacts, Found::Miss))
-            }
-            Err(e) => {
-                // Remove the placeholder so later callers rebuild rather
-                // than treating the empty slot as theirs to fill while the
-                // map still points at it.
-                let mut inner = self.inner.lock();
-                inner.map.remove(&key);
-                inner.order.retain(|k| k != &key);
-                Err(e)
-            }
-        }
-    }
-
-    /// Drops the entry for `key`, if present (used when validation finds a
-    /// corrupt artifact set).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the cache lock was poisoned.
-    pub fn evict(&self, key: &ArtifactKey) {
-        let mut inner = self.inner.lock();
-        inner.map.remove(key);
-        inner.order.retain(|k| k != key);
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use cachedse_core::MissBudget;
-    use cachedse_trace::generate;
-
-    fn key_of(seed: u64) -> (Trace, ArtifactKey) {
-        let trace = generate::working_set_phases(2, 200, 32, seed);
-        let key = ArtifactKey::of(&trace, trace.address_bits());
-        (trace, key)
-    }
-
-    #[test]
-    fn one_build_then_hits() {
-        let cache = ArtifactCache::new(4);
-        let (trace, key) = key_of(1);
-        for round in 0..3 {
-            let (artifacts, found) = cache
-                .get_or_build(key, || TraceArtifacts::build(&trace, key.max_index_bits))
-                .unwrap();
-            if round == 0 {
-                assert_eq!(found, Found::Miss);
-            } else {
-                assert_eq!(found, Found::Hit);
-            }
-            assert!(artifacts
-                .exploration
-                .result(MissBudget::Absolute(0))
-                .is_ok());
-        }
-        assert_eq!(cache.hits(), 2);
-        assert_eq!(cache.misses(), 1);
-        assert_eq!(cache.len(), 1);
-    }
-
-    #[test]
-    fn distinct_keys_build_separately() {
-        let cache = ArtifactCache::new(4);
-        let (trace_a, key_a) = key_of(1);
-        let (trace_b, key_b) = key_of(2);
-        assert_ne!(key_a, key_b);
-        cache
-            .get_or_build(key_a, || {
-                TraceArtifacts::build(&trace_a, key_a.max_index_bits)
-            })
-            .unwrap();
-        cache
-            .get_or_build(key_b, || {
-                TraceArtifacts::build(&trace_b, key_b.max_index_bits)
-            })
-            .unwrap();
-        assert_eq!(cache.misses(), 2);
-        assert_eq!(cache.len(), 2);
-    }
-
-    #[test]
-    fn engineless_build_matches_tree_table() {
-        let (trace, key) = key_of(5);
-        let full = TraceArtifacts::build(&trace, key.max_index_bits).unwrap();
-        assert!(full.tree.is_some());
-        for engine in [Engine::DepthFirst, Engine::DepthFirstParallel] {
-            let lean = TraceArtifacts::build_with(&trace, key.max_index_bits, engine, None, false)
-                .unwrap();
-            assert!(
-                lean.tree.is_none(),
-                "{engine} should not materialize the tree"
-            );
-            for budget in [MissBudget::Absolute(0), MissBudget::FractionOfMax(0.10)] {
-                assert_eq!(
-                    lean.exploration.result(budget).unwrap(),
-                    full.exploration.result(budget).unwrap(),
-                    "{engine}"
-                );
-            }
-        }
-        // validate-style builds retain the tree whatever the engine.
-        let validated =
-            TraceArtifacts::build_with(&trace, key.max_index_bits, Engine::DepthFirst, None, true)
-                .unwrap();
-        assert!(validated.tree.is_some());
-    }
-
-    #[test]
-    fn same_content_same_key() {
-        let a = generate::loop_pattern(0, 32, 10);
-        let b = generate::loop_pattern(0, 32, 10);
-        assert_eq!(
-            ArtifactKey::of(&a, a.address_bits()),
-            ArtifactKey::of(&b, b.address_bits())
-        );
-        // Same content under a different bit cap is a different key.
-        assert_ne!(ArtifactKey::of(&a, 1), ArtifactKey::of(&a, 2));
-        assert_ne!(ArtifactKey::of(&a, 1).fold(), ArtifactKey::of(&a, 2).fold());
-    }
-
-    #[test]
-    fn capacity_evicts_fifo() {
-        let cache = ArtifactCache::new(2);
-        let traces: Vec<(Trace, ArtifactKey)> = (1..=3).map(key_of).collect();
-        for (trace, key) in &traces {
-            cache
-                .get_or_build(*key, || TraceArtifacts::build(trace, key.max_index_bits))
-                .unwrap();
-        }
-        assert_eq!(cache.len(), 2);
-        // The first key was evicted: looking it up again rebuilds.
-        let (trace, key) = &traces[0];
-        let (_, found) = cache
-            .get_or_build(*key, || TraceArtifacts::build(trace, key.max_index_bits))
-            .unwrap();
-        assert_eq!(found, Found::Miss);
-        assert_eq!(cache.misses(), 4);
-    }
-
-    #[test]
-    fn failed_build_leaves_no_entry() {
-        let cache = ArtifactCache::new(2);
-        let (trace, key) = key_of(1);
-        let err: Result<_, ExploreError> =
-            cache.get_or_build(key, || Err(ExploreError::EmptyTrace));
-        assert!(err.is_err());
-        assert_eq!(cache.len(), 0);
-        // A later caller gets a clean rebuild.
-        let (_, found) = cache
-            .get_or_build(key, || TraceArtifacts::build(&trace, key.max_index_bits))
-            .unwrap();
-        assert_eq!(found, Found::Miss);
-    }
-
-    #[test]
-    fn concurrent_same_key_builds_once() {
-        let cache = Arc::new(ArtifactCache::new(4));
-        let (trace, key) = key_of(7);
-        let trace = Arc::new(trace);
-        cachedse_sync::thread::scope(|s| {
-            for _ in 0..8 {
-                let cache = Arc::clone(&cache);
-                let trace = Arc::clone(&trace);
-                s.spawn(move || {
-                    cache
-                        .get_or_build(key, || TraceArtifacts::build(&trace, key.max_index_bits))
-                        .unwrap();
-                });
-            }
-        });
-        assert_eq!(cache.misses(), 1);
-        assert_eq!(cache.hits(), 7);
-    }
-}
+pub use cachedse_store::{ArtifactCache, ArtifactKey, Found, TraceArtifacts, TreeArtifacts};

@@ -16,9 +16,11 @@
 //!
 //! Trace sources: `{"file": "path.din"}` (Dinero text),
 //! `{"workload": name, "side": "data"|"instr", "seed": n}` (the twelve
-//! instrumented kernels), or `{"pattern": kind, …}` with the generator
-//! parameters of `cachedse_trace::generate`. Budgets: `{"misses": K}` or
-//! `{"fraction": F}`.
+//! instrumented kernels), `{"pattern": kind, …}` with the generator
+//! parameters of `cachedse_trace::generate`, or `{"digest": "<16 hex>"}`
+//! referencing the artifacts of an already-analyzed trace by content
+//! digest (answerable only from the cache/store — no trace bytes travel
+//! with the job). Budgets: `{"misses": K}` or `{"fraction": F}`.
 //!
 //! ## Result format
 //!
@@ -36,6 +38,7 @@ use std::fmt;
 
 use cachedse_core::{ExplorationResult, ExploreError, MissBudget};
 use cachedse_json::Value;
+use cachedse_store::Found;
 use cachedse_trace::digest::TraceDigest;
 
 /// Where a job's trace comes from.
@@ -59,6 +62,15 @@ pub enum TraceSource {
     Pattern(
         /// Which generator, with its parameters.
         PatternSpec,
+    ),
+    /// An already-analyzed trace, referenced by its content digest
+    /// (`{"digest":"<16 hex digits>"}`). Carries no trace bytes: the job
+    /// can only be answered from the artifact cache or its backing
+    /// store, and fails with a structured `digest-unknown` error when
+    /// neither has it.
+    Digest(
+        /// The FNV-1a content digest of the canonical trace.
+        TraceDigest,
     ),
 }
 
@@ -175,6 +187,12 @@ impl JobSpec {
         )?;
         let max_index_bits = opt_u32(value, "max_bits")?;
         let line_bits = opt_u32(value, "line_bits")?.unwrap_or(0);
+        if line_bits > 0 && matches!(trace, TraceSource::Digest(_)) {
+            return Err(SpecError::new(
+                "\"line_bits\" cannot apply to a digest source: the digest \
+                 names an already-aligned trace",
+            ));
+        }
         let timeout_ms = opt_u64(value, "timeout_ms")?;
         Ok(Self {
             id,
@@ -303,14 +321,29 @@ fn parse_trace_source(value: &Value) -> Result<TraceSource, SpecError> {
         };
         return Ok(TraceSource::Pattern(spec));
     }
+    if let Some(digest) = value.get("digest") {
+        let hex = digest
+            .as_str()
+            .ok_or_else(|| SpecError::new("\"digest\" must be a 16-hex-digit string"))?;
+        if hex.len() != 16 {
+            return Err(SpecError::new(format!(
+                "\"digest\" must be exactly 16 hex digits, got {} characters",
+                hex.len()
+            )));
+        }
+        let raw = u64::from_str_radix(hex, 16)
+            .map_err(|_| SpecError::new(format!("\"digest\" {hex:?} is not hexadecimal")))?;
+        return Ok(TraceSource::Digest(TraceDigest::from_raw(raw)));
+    }
     Err(SpecError::new(
-        "\"trace\" needs \"file\", \"workload\", or \"pattern\"",
+        "\"trace\" needs \"file\", \"workload\", \"pattern\", or \"digest\"",
     ))
 }
 
 fn trace_source_json(source: &TraceSource) -> Value {
     match source {
         TraceSource::File(path) => Value::object([("file", Value::from(path.as_str()))]),
+        TraceSource::Digest(digest) => Value::object([("digest", Value::from(digest.to_string()))]),
         TraceSource::Workload { name, side, seed } => {
             let mut pairs = vec![
                 ("workload".to_owned(), Value::from(name.as_str())),
@@ -416,8 +449,9 @@ pub struct JobOutput {
     pub id: String,
     /// The exploration result (pairs, misses, budget, trace stats).
     pub result: ExplorationResult,
-    /// Whether the artifacts came out of the cache.
-    pub cache_hit: bool,
+    /// Where the artifacts came from: in-memory cache (`Hit`), the
+    /// persistent store (`Warm`), or a fresh analysis (`Miss`).
+    pub cache: Found,
     /// The analyzed trace's content digest.
     pub digest: TraceDigest,
     /// End-to-end wall clock in microseconds (queue wait excluded).
@@ -444,10 +478,7 @@ impl JobOutput {
             ("id", Value::from(self.id.as_str())),
             ("ok", Value::from(true)),
             ("budget", Value::from(self.result.budget())),
-            (
-                "cache",
-                Value::from(if self.cache_hit { "hit" } else { "miss" }),
-            ),
+            ("cache", Value::from(self.cache.tag())),
             (
                 "trace",
                 Value::object([
@@ -499,6 +530,12 @@ pub enum JobError {
         /// The check report rendered as JSON text.
         String,
     ),
+    /// A digest-referenced job named a trace nobody has analyzed: the
+    /// digest is in neither the in-memory cache nor the backing store.
+    DigestUnknown {
+        /// The digest the job asked for.
+        digest: TraceDigest,
+    },
     /// The service is shutting down.
     Shutdown,
 }
@@ -514,6 +551,7 @@ impl JobError {
             Self::Timeout { .. } => "timeout",
             Self::QueueFull { .. } => "queue-full",
             Self::ArtifactCorrupt(_) => "artifact-corrupt",
+            Self::DigestUnknown { .. } => "digest-unknown",
             Self::Shutdown => "shutdown",
         }
     }
@@ -548,6 +586,10 @@ impl fmt::Display for JobError {
             Self::ArtifactCorrupt(report) => {
                 write!(f, "cached artifacts failed validation: {report}")
             }
+            Self::DigestUnknown { digest } => write!(
+                f,
+                "no stored artifacts for digest {digest}; submit the trace itself once first"
+            ),
             Self::Shutdown => f.write_str("service is shutting down"),
         }
     }
@@ -677,6 +719,48 @@ mod tests {
     }
 
     #[test]
+    fn parses_and_round_trips_digest_spec() {
+        let spec = JobSpec::parse(
+            r#"{"trace":{"digest":"00000000deadbeef"},"budget":{"misses":4},"max_bits":6}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            spec.trace,
+            TraceSource::Digest(TraceDigest::from_raw(0xDEAD_BEEF))
+        );
+        let line = spec.to_json().render();
+        assert_eq!(JobSpec::parse(&line).unwrap(), spec);
+    }
+
+    #[test]
+    fn rejects_malformed_digest_specs() {
+        for (line, needle) in [
+            (
+                r#"{"trace":{"digest":"abc"},"budget":{"misses":1}}"#,
+                "16 hex digits",
+            ),
+            (
+                r#"{"trace":{"digest":"zzzzzzzzzzzzzzzz"},"budget":{"misses":1}}"#,
+                "not hexadecimal",
+            ),
+            (
+                r#"{"trace":{"digest":12},"budget":{"misses":1}}"#,
+                "must be a 16-hex-digit string",
+            ),
+            (
+                r#"{"trace":{"digest":"00000000deadbeef"},"budget":{"misses":1},"line_bits":2}"#,
+                "cannot apply to a digest source",
+            ),
+        ] {
+            let err = JobSpec::parse(line).unwrap_err();
+            assert!(
+                err.to_string().contains(needle),
+                "{line} gave {err}, wanted {needle}"
+            );
+        }
+    }
+
+    #[test]
     fn error_json_shape() {
         let err = JobError::Timeout { limit_ms: 50 };
         let json = err.to_json("j9");
@@ -700,5 +784,10 @@ mod tests {
             JobError::ArtifactCorrupt(String::new()).kind(),
             "artifact-corrupt"
         );
+        let unknown = JobError::DigestUnknown {
+            digest: TraceDigest::from_raw(0xAB),
+        };
+        assert_eq!(unknown.kind(), "digest-unknown");
+        assert!(unknown.to_string().contains("00000000000000ab"));
     }
 }

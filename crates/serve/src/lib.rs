@@ -68,5 +68,5 @@ pub use job::{
     TraceSource,
 };
 pub use metrics::{Histogram, HistogramSnapshot, Metrics, Stage, StatsSnapshot};
-pub use net::serve;
+pub use net::{serve, serve_with, ShardOptions};
 pub use service::{JobId, Service, ServiceConfig};

@@ -121,6 +121,14 @@ pub struct Metrics {
     pub cache_misses: AtomicU64,
     /// Cached artifact sets re-validated by `cachedse-check` before reuse.
     pub validations: AtomicU64,
+    /// Jobs answered by loading the persistent store ([`Found::Warm`] —
+    /// codec + validation, no analysis). The store tier's own counters
+    /// (probe misses, evictions, bytes) live on the `ArtifactCache` and
+    /// are merged into the [`StatsSnapshot`] by `Service::stats`; this
+    /// one is job-level and increments alongside `completed`.
+    ///
+    /// [`Found::Warm`]: cachedse_store::Found::Warm
+    pub store_warm: AtomicU64,
     load_hist: Histogram,
     analyze_hist: Histogram,
     frontier_hist: Histogram,
@@ -151,6 +159,10 @@ impl Metrics {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             validations: self.validations.load(Ordering::Relaxed),
+            store_hits: self.store_warm.load(Ordering::Relaxed),
+            store_misses: 0,
+            store_evictions: 0,
+            store_bytes: 0,
             load: self.load_hist.snapshot(),
             analyze: self.analyze_hist.snapshot(),
             frontier: self.frontier_hist.snapshot(),
@@ -179,6 +191,16 @@ pub struct StatsSnapshot {
     pub cache_misses: u64,
     /// Artifact re-validations performed.
     pub validations: u64,
+    /// Jobs answered from the persistent store (warm loads).
+    pub store_hits: u64,
+    /// Persistent-store probes that found nothing (filled from the
+    /// cache's counters by `Service::stats`; 0 in a bare
+    /// `Metrics::snapshot`).
+    pub store_misses: u64,
+    /// In-memory FIFO evictions (the entries survive in the store).
+    pub store_evictions: u64,
+    /// Encoded bytes currently held by the persistent store.
+    pub store_bytes: u64,
     /// Trace load/generate stage latencies.
     pub load: HistogramSnapshot,
     /// Artifact-build stage latencies (cache misses only).
@@ -202,6 +224,10 @@ impl StatsSnapshot {
             ("cache_hits", Value::from(self.cache_hits)),
             ("cache_misses", Value::from(self.cache_misses)),
             ("validations", Value::from(self.validations)),
+            ("store_hits", Value::from(self.store_hits)),
+            ("store_misses", Value::from(self.store_misses)),
+            ("store_evictions", Value::from(self.store_evictions)),
+            ("store_bytes", Value::from(self.store_bytes)),
             (
                 "stage_histograms_us",
                 Value::object([
@@ -218,12 +244,15 @@ impl StatsSnapshot {
 impl std::fmt::Display for StatsSnapshot {
     /// The grep-friendly one-liner:
     /// `stats: accepted=… completed=… rejected=… failed=… timeouts=…
-    /// cache_hits=… cache_misses=… validations=…`.
+    /// cache_hits=… cache_misses=… validations=… store_hits=…
+    /// store_misses=… store_evictions=… store_bytes=…` — existing fields
+    /// keep their positions (CI greps them); store fields append.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
             "stats: accepted={} completed={} rejected={} failed={} timeouts={} \
-             cache_hits={} cache_misses={} validations={}",
+             cache_hits={} cache_misses={} validations={} store_hits={} \
+             store_misses={} store_evictions={} store_bytes={}",
             self.accepted,
             self.completed,
             self.rejected,
@@ -231,7 +260,11 @@ impl std::fmt::Display for StatsSnapshot {
             self.timeouts,
             self.cache_hits,
             self.cache_misses,
-            self.validations
+            self.validations,
+            self.store_hits,
+            self.store_misses,
+            self.store_evictions,
+            self.store_bytes
         )
     }
 }

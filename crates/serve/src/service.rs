@@ -29,6 +29,7 @@ use std::time::{Duration, Instant};
 
 use cachedse_check::{check_artifacts, BcatSnapshot, MrctSnapshot};
 use cachedse_core::Engine;
+use cachedse_store::ArtifactStore;
 use cachedse_sync::atomic::{AtomicBool, Ordering};
 use cachedse_sync::thread::{self, JoinHandle};
 use cachedse_sync::{Condvar, Mutex};
@@ -63,6 +64,11 @@ pub struct ServiceConfig {
     /// Worker count for [`Engine::DepthFirstParallel`] (`None` = available
     /// parallelism). Ignored by the serial engines.
     pub threads: Option<std::num::NonZeroUsize>,
+    /// Backing artifact store attached to the cache (`None` = memory-only).
+    /// With a store, analyses write through and survive both in-memory
+    /// eviction and process restart, and jobs may name their trace by
+    /// digest alone.
+    pub store: Option<Arc<dyn ArtifactStore>>,
 }
 
 impl Default for ServiceConfig {
@@ -75,6 +81,7 @@ impl Default for ServiceConfig {
             validate: false,
             engine: Engine::default(),
             threads: None,
+            store: None,
         }
     }
 }
@@ -143,8 +150,12 @@ impl Service {
     #[must_use]
     pub fn start(config: ServiceConfig) -> Self {
         let workers = config.workers.max(1);
+        let cache = match config.store.clone() {
+            Some(store) => ArtifactCache::with_store(config.cache_capacity, store),
+            None => ArtifactCache::new(config.cache_capacity),
+        };
         let inner = Arc::new(Inner {
-            cache: ArtifactCache::new(config.cache_capacity),
+            cache,
             config,
             state: Mutex::new(State::default()),
             work_ready: Condvar::new(),
@@ -266,10 +277,11 @@ impl Service {
         }
     }
 
-    /// A point-in-time metrics snapshot.
+    /// A point-in-time metrics snapshot, with the artifact cache's
+    /// store-tier counters merged in.
     #[must_use]
     pub fn stats(&self) -> StatsSnapshot {
-        self.inner.metrics.snapshot()
+        merged_stats(&self.inner)
     }
 
     /// Number of distinct traces currently cached.
@@ -278,12 +290,19 @@ impl Service {
         self.inner.cache.len()
     }
 
+    /// The shared artifact cache — the sharded serve tier uses this to
+    /// answer peer `artifact_get`/`artifact_put` requests directly.
+    #[must_use]
+    pub fn cache(&self) -> &ArtifactCache {
+        &self.inner.cache
+    }
+
     /// Stops accepting jobs, lets the queue drain, joins the workers, and
     /// returns the final stats.
     #[must_use]
     pub fn shutdown(mut self) -> StatsSnapshot {
         self.stop_and_join();
-        self.inner.metrics.snapshot()
+        merged_stats(&self.inner)
     }
 
     fn stop_and_join(&mut self) {
@@ -308,6 +327,17 @@ impl Drop for Service {
     fn drop(&mut self) {
         self.stop_and_join();
     }
+}
+
+/// The metrics snapshot plus the cache's store-tier counters, which live
+/// on the [`ArtifactCache`] rather than in [`Metrics`] (the cache owns
+/// the store and is the only component that probes it).
+fn merged_stats(inner: &Inner) -> StatsSnapshot {
+    let mut snap = inner.metrics.snapshot();
+    snap.store_misses = inner.cache.store_misses();
+    snap.store_evictions = inner.cache.evictions();
+    snap.store_bytes = inner.cache.stored_bytes();
+    snap
 }
 
 fn worker_loop(inner: &Inner) {
@@ -358,37 +388,46 @@ fn run_job(inner: &Inner, label: &str, spec: &JobSpec) -> JobOutcome {
     let limit_ms = spec.timeout_ms.or(inner.config.default_timeout_ms);
     check_deadline(start, limit_ms)?;
 
-    let load_start = Instant::now();
-    let mut trace = load_trace(&spec.trace)?;
-    if spec.line_bits > 0 {
-        trace = trace.block_aligned(spec.line_bits);
-    }
-    inner
-        .metrics
-        .record_stage(Stage::Load, load_start.elapsed());
-    check_deadline(start, limit_ms)?;
-
-    let max_index_bits = spec.max_index_bits.unwrap_or_else(|| trace.address_bits());
-    let key = ArtifactKey::of(&trace, max_index_bits);
     let metrics = &inner.metrics;
-    let (artifacts, found) = inner.cache.get_or_build(key, || {
-        let analyze_start = Instant::now();
-        let built = TraceArtifacts::build_with(
-            &trace,
-            max_index_bits,
-            inner.config.engine,
-            inner.config.threads,
-            inner.config.validate,
-        );
-        metrics.record_stage(Stage::Analyze, analyze_start.elapsed());
-        built.map_err(JobError::from)
-    })?;
+    let (key, artifacts, found) = if let TraceSource::Digest(digest) = spec.trace {
+        resolve_by_digest(inner, digest, spec.max_index_bits)?
+    } else {
+        let load_start = Instant::now();
+        let mut trace = load_trace(&spec.trace)?;
+        if spec.line_bits > 0 {
+            trace = trace.block_aligned(spec.line_bits);
+        }
+        metrics.record_stage(Stage::Load, load_start.elapsed());
+        check_deadline(start, limit_ms)?;
+
+        let max_index_bits = spec.max_index_bits.unwrap_or_else(|| trace.address_bits());
+        let key = ArtifactKey::of(&trace, max_index_bits);
+        let (artifacts, found) = inner.cache.get_or_build(key, || {
+            let analyze_start = Instant::now();
+            let built = TraceArtifacts::build_with(
+                &trace,
+                max_index_bits,
+                inner.config.engine,
+                inner.config.threads,
+                inner.config.validate,
+            );
+            metrics.record_stage(Stage::Analyze, analyze_start.elapsed());
+            built.map_err(JobError::from)
+        })?;
+        (key, artifacts, found)
+    };
     match found {
         Found::Hit => {
             metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
             if inner.config.validate {
                 validate_artifacts(inner, &key, &artifacts)?;
             }
+        }
+        // A warm load already passed the codec checksum and the full
+        // `check_artifacts` gate inside the store tier, so `validate`
+        // does not re-check it here.
+        Found::Warm => {
+            metrics.store_warm.fetch_add(1, Ordering::Relaxed);
         }
         Found::Miss => {
             metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
@@ -405,10 +444,39 @@ fn run_job(inner: &Inner, label: &str, spec: &JobSpec) -> JobOutcome {
     Ok(JobOutput {
         id: label.to_owned(),
         result,
-        cache_hit: found == Found::Hit,
+        cache: found,
         digest: key.digest,
         total_micros: u64::try_from(total.as_micros()).unwrap_or(u64::MAX),
     })
+}
+
+/// Resolves a digest-only job spec against the cache and its backing
+/// store — there is no trace to (re)analyze, so an absent digest is a
+/// structured [`JobError::DigestUnknown`], never a rebuild.
+fn resolve_by_digest(
+    inner: &Inner,
+    digest: cachedse_trace::digest::TraceDigest,
+    max_index_bits: Option<u32>,
+) -> Result<(ArtifactKey, Arc<TraceArtifacts>, Found), JobError> {
+    let key = match max_index_bits {
+        Some(bits) => ArtifactKey {
+            digest,
+            max_index_bits: bits,
+        },
+        // No cap given: serve the widest analysis stored for this digest
+        // (its frontier subsumes every narrower cap's).
+        None => inner
+            .cache
+            .keys_for(digest)
+            .into_iter()
+            .max_by_key(|k| k.max_index_bits)
+            .ok_or(JobError::DigestUnknown { digest })?,
+    };
+    let (artifacts, found) = inner
+        .cache
+        .get(&key)
+        .ok_or(JobError::DigestUnknown { digest })?;
+    Ok((key, artifacts, found))
 }
 
 fn validate_artifacts(
@@ -436,8 +504,11 @@ fn validate_artifacts(
     }
 }
 
-fn load_trace(source: &TraceSource) -> Result<Trace, JobError> {
+pub(crate) fn load_trace(source: &TraceSource) -> Result<Trace, JobError> {
     match source {
+        // Digest specs never reach here: `run_job` resolves them against
+        // the cache/store instead of loading a trace.
+        TraceSource::Digest(digest) => Err(JobError::DigestUnknown { digest: *digest }),
         TraceSource::File(path) => {
             let file = std::fs::File::open(path)
                 .map_err(|e| JobError::Trace(format!("cannot open {path}: {e}")))?;
@@ -507,7 +578,7 @@ mod tests {
         let (label, outcome) = service.wait(id);
         assert_eq!(label, "basic");
         let output = outcome.unwrap();
-        assert!(!output.cache_hit);
+        assert_eq!(output.cache, Found::Miss);
         assert!(!output.result.pairs().is_empty());
         let stats = service.shutdown();
         assert_eq!(stats.accepted, 1);
@@ -526,7 +597,8 @@ mod tests {
             .collect();
         for (i, id) in ids.iter().enumerate() {
             let (_, outcome) = service.wait(*id);
-            assert_eq!(outcome.unwrap().cache_hit, i > 0);
+            let expected = if i > 0 { Found::Hit } else { Found::Miss };
+            assert_eq!(outcome.unwrap().cache, expected);
         }
         let stats = service.shutdown();
         assert_eq!(stats.cache_misses, 1);
@@ -683,5 +755,97 @@ mod tests {
         let err = load_trace(&TraceSource::File("/nonexistent/trace.din".into())).unwrap_err();
         assert!(matches!(err, JobError::Trace(_)));
         assert!(err.to_string().contains("/nonexistent/trace.din"));
+    }
+
+    /// A job may name its trace by digest once another job has analyzed
+    /// it; the digest job answers from cache and matches the original.
+    #[test]
+    fn digest_job_reuses_a_cached_analysis() {
+        let service = Service::start(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let first = service.submit(loop_spec("seed", 10, 2)).unwrap();
+        let (_, outcome) = service.wait(first);
+        let seeded = outcome.unwrap();
+
+        let by_digest = JobSpec {
+            id: Some("replay".to_owned()),
+            trace: TraceSource::Digest(seeded.digest),
+            budget: MissBudget::Absolute(2),
+            max_index_bits: None,
+            line_bits: 0,
+            timeout_ms: None,
+        };
+        let id = service.submit(by_digest).unwrap();
+        let (_, outcome) = service.wait(id);
+        let replayed = outcome.unwrap();
+        assert_eq!(replayed.cache, Found::Hit);
+        assert_eq!(replayed.digest, seeded.digest);
+        assert_eq!(replayed.result, seeded.result);
+        let _ = service.shutdown();
+    }
+
+    #[test]
+    fn unknown_digest_is_a_structured_error() {
+        use cachedse_trace::digest::TraceDigest;
+        let service = Service::start(ServiceConfig::default());
+        let spec = JobSpec {
+            id: None,
+            trace: TraceSource::Digest(TraceDigest::from_raw(0xDEAD_BEEF)),
+            budget: MissBudget::Absolute(0),
+            max_index_bits: None,
+            line_bits: 0,
+            timeout_ms: None,
+        };
+        let id = service.submit(spec).unwrap();
+        let (_, outcome) = service.wait(id);
+        assert!(matches!(
+            outcome.unwrap_err(),
+            JobError::DigestUnknown { .. }
+        ));
+        let _ = service.shutdown();
+    }
+
+    /// A service restarted over the same backing store answers the first
+    /// repeat-trace job with a warm load — no re-analysis.
+    #[test]
+    fn restart_over_shared_store_serves_warm() {
+        let store: Arc<dyn ArtifactStore> = Arc::new(cachedse_store::MemoryStore::new());
+        let config = || ServiceConfig {
+            workers: 1,
+            store: Some(Arc::clone(&store)),
+            ..ServiceConfig::default()
+        };
+
+        let first = Service::start(config());
+        let id = first.submit(loop_spec("cold", 10, 0)).unwrap();
+        let (_, outcome) = first.wait(id);
+        let cold = outcome.unwrap();
+        assert_eq!(cold.cache, Found::Miss);
+        let stats = first.shutdown();
+        assert!(stats.store_bytes > 0);
+
+        let second = Service::start(config());
+        let id = second.submit(loop_spec("warm", 10, 0)).unwrap();
+        let (_, outcome) = second.wait(id);
+        let warm = outcome.unwrap();
+        assert_eq!(warm.cache, Found::Warm);
+        assert_eq!(warm.result, cold.result);
+        // And by digest alone, without resubmitting the trace.
+        let by_digest = JobSpec {
+            id: None,
+            trace: TraceSource::Digest(cold.digest),
+            budget: MissBudget::Absolute(0),
+            max_index_bits: None,
+            line_bits: 0,
+            timeout_ms: None,
+        };
+        let id = second.submit(by_digest).unwrap();
+        let (_, outcome) = second.wait(id);
+        assert_eq!(outcome.unwrap().result, cold.result);
+        let stats = second.shutdown();
+        assert_eq!(stats.store_hits, 1);
+        assert_eq!(stats.cache_misses, 0);
     }
 }

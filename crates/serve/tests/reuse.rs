@@ -106,7 +106,10 @@ fn cached_frontiers_match_single_shot_runs_byte_for_byte() {
     // Which job performs the build depends on worker scheduling (two
     // workers race to claim the slot), so assert the count, not the index.
     assert!(served.windows(2).all(|w| w[0].digest == w[1].digest));
-    let misses = served.iter().filter(|o| !o.cache_hit).count();
+    let misses = served
+        .iter()
+        .filter(|o| o.cache == cachedse_serve::Found::Miss)
+        .count();
     assert_eq!(misses, 1, "exactly one job should have built the artifacts");
     assert_eq!(service.cached_traces(), 1);
     let stats = service.shutdown();

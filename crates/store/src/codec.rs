@@ -1,0 +1,450 @@
+//! The versioned, checksummed on-disk artifact codec (format `CDSEART1`).
+//!
+//! Layout, all integers little-endian:
+//!
+//! ```text
+//! magic            8 bytes   b"CDSEART1"
+//! version          u32       1
+//! digest           u64       FNV-1a trace digest (the key)
+//! max_index_bits   u32       index-bit cap the artifacts were built under
+//! flags            u32       bit 0: BCAT/MRCT/zero-one tree present
+//! address_bits     u32       width of the stripped trace's addresses
+//! stats            3 × u64   total N, unique N', max_misses
+//! engine           u32       0 depth-first, 1 parallel, 2 tree-table
+//! unique           len + u32[]   unique addresses in identifier order
+//! ids              len + u32[]   the access order as identifiers
+//! profiles         len, then per profile:
+//!                    depth u32, cold u64, accesses u64, histogram len + u64[]
+//! tree (if flag)   bits u32, then per bit one O_i column of
+//!                    ceil(N'/64) raw u64 words (Z_i is recomputed as the
+//!                    complement on load, exactly as the builder derives it);
+//!                  bcat arena, packed nodes, level offsets (each len + u32[]);
+//!                  mrct ids, set bounds, ref sets     (each len + u32[])
+//! checksum         u64       FNV-1a over every preceding byte
+//! ```
+//!
+//! Array lengths are `u64` counts prefixed to each array and are checked
+//! against the bytes actually remaining **before** any allocation, so a
+//! header that lies about a length is rejected instead of triggering a
+//! huge reservation. The trailing checksum catches truncation and bit
+//! rot; everything after it decodes through the flat-parts constructors
+//! (`StrippedTrace::from_parts`, `ZeroOneSets::from_one_words`,
+//! `Bcat::from_flat`, `Mrct::from_flat`, `Exploration::from_parts`),
+//! which re-establish every structural invariant the in-memory accessors
+//! assume — untrusted bytes can surface only as [`StoreError::Corrupt`],
+//! never as a panic.
+
+use cachedse_core::{Bcat, Engine, Exploration, Mrct, ZeroOneSets};
+use cachedse_sim::onepass::DepthProfile;
+use cachedse_trace::digest::{Fnv1a, TraceDigest};
+use cachedse_trace::stats::TraceStats;
+use cachedse_trace::strip::{RefId, StrippedTrace};
+use cachedse_trace::Address;
+
+use crate::{ArtifactKey, StoreError, TraceArtifacts, TreeArtifacts};
+
+/// The 8-byte format magic.
+pub const MAGIC: [u8; 8] = *b"CDSEART1";
+/// The current format version.
+pub const VERSION: u32 = 1;
+/// Flag bit 0: the BCAT/MRCT/zero-one tree is present.
+const FLAG_TREE: u32 = 1;
+/// Smallest possible entry: magic + version + trailing checksum.
+const MIN_LEN: usize = MAGIC.len() + 4 + 8;
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32_array(buf: &mut Vec<u8>, values: impl ExactSizeIterator<Item = u32>) {
+    put_u64(buf, values.len() as u64);
+    for v in values {
+        put_u32(buf, v);
+    }
+}
+
+fn put_u64_array(buf: &mut Vec<u8>, values: &[u64]) {
+    put_u64(buf, values.len() as u64);
+    for &v in values {
+        put_u64(buf, v);
+    }
+}
+
+/// Encodes `artifacts` under `key` into a self-contained entry.
+#[must_use]
+pub fn encode(key: &ArtifactKey, artifacts: &TraceArtifacts) -> Vec<u8> {
+    let stripped = &artifacts.stripped;
+    let mut buf = Vec::with_capacity(256 + 4 * stripped.total_len());
+    buf.extend_from_slice(&MAGIC);
+    put_u32(&mut buf, VERSION);
+    put_u64(&mut buf, key.digest.raw());
+    put_u32(&mut buf, key.max_index_bits);
+    let flags = if artifacts.tree.is_some() {
+        FLAG_TREE
+    } else {
+        0
+    };
+    put_u32(&mut buf, flags);
+    put_u32(&mut buf, stripped.address_bits());
+    let stats = artifacts.exploration.stats();
+    put_u64(&mut buf, stats.total as u64);
+    put_u64(&mut buf, stats.unique as u64);
+    put_u64(&mut buf, stats.max_misses);
+    put_u32(&mut buf, engine_code(artifacts.exploration.engine()));
+    put_u32_array(
+        &mut buf,
+        stripped.unique_addresses().iter().map(|a| a.raw()),
+    );
+    put_u32_array(&mut buf, stripped.id_sequence().iter().map(|id| id.raw()));
+    put_u64(&mut buf, artifacts.exploration.profiles().len() as u64);
+    for profile in artifacts.exploration.profiles() {
+        put_u32(&mut buf, profile.depth());
+        put_u64(&mut buf, profile.cold());
+        put_u64(&mut buf, profile.accesses());
+        put_u64_array(&mut buf, profile.histogram());
+    }
+    if let Some(tree) = &artifacts.tree {
+        let words = stripped.unique_len().div_ceil(64);
+        put_u32(&mut buf, tree.zero_one.bits());
+        for bit in 0..tree.zero_one.bits() {
+            // A column's backing words never exceed the membership range
+            // here (the builder sizes them exactly); pad defensively so
+            // the on-disk word count is always ceil(N'/64).
+            let column = tree.zero_one.one(bit).as_words();
+            for w in 0..words {
+                put_u64(&mut buf, column.get(w).copied().unwrap_or(0));
+            }
+        }
+        put_u32_array(&mut buf, tree.bcat.arena().iter().copied());
+        put_u32_array(&mut buf, tree.bcat.packed_nodes().iter().copied());
+        put_u32_array(&mut buf, tree.bcat.level_offsets().iter().copied());
+        let (ids, set_bounds, ref_sets) = tree.mrct.flat_parts();
+        put_u32_array(&mut buf, ids.iter().copied());
+        put_u32_array(&mut buf, set_bounds.iter().copied());
+        put_u32_array(&mut buf, ref_sets.iter().copied());
+    }
+    let mut h = Fnv1a::new();
+    h.update(&buf);
+    let checksum = h.finish();
+    put_u64(&mut buf, checksum);
+    buf
+}
+
+fn engine_code(engine: Engine) -> u32 {
+    match engine {
+        Engine::DepthFirst => 0,
+        Engine::DepthFirstParallel => 1,
+        Engine::TreeTable => 2,
+    }
+}
+
+fn engine_of(code: u32) -> Result<Engine, StoreError> {
+    match code {
+        0 => Ok(Engine::DepthFirst),
+        1 => Ok(Engine::DepthFirstParallel),
+        2 => Ok(Engine::TreeTable),
+        other => Err(StoreError::Corrupt(format!("unknown engine code {other}"))),
+    }
+}
+
+/// A bounds-checked little-endian reader over the checksummed payload.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, at: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.at
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], StoreError> {
+        if self.remaining() < n {
+            return Err(StoreError::Corrupt(format!(
+                "truncated reading {what}: need {n} bytes, {} remain",
+                self.remaining()
+            )));
+        }
+        let slice = &self.bytes[self.at..self.at + n];
+        self.at += n;
+        Ok(slice)
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, StoreError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, StoreError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// A length prefix, verified to fit the remaining bytes at `width`
+    /// bytes per element before anything is allocated.
+    fn len_of(&mut self, width: usize, what: &str) -> Result<usize, StoreError> {
+        let len = self.u64(what)?;
+        let Ok(len) = usize::try_from(len) else {
+            return Err(StoreError::Corrupt(format!(
+                "{what} length {len} overflows"
+            )));
+        };
+        if len.checked_mul(width).is_none_or(|b| b > self.remaining()) {
+            return Err(StoreError::Corrupt(format!(
+                "{what} claims {len} elements but only {} bytes remain",
+                self.remaining()
+            )));
+        }
+        Ok(len)
+    }
+
+    fn u32_array(&mut self, what: &str) -> Result<Vec<u32>, StoreError> {
+        let len = self.len_of(4, what)?;
+        (0..len).map(|_| self.u32(what)).collect()
+    }
+
+    fn u64_array(&mut self, what: &str) -> Result<Vec<u64>, StoreError> {
+        let len = self.len_of(8, what)?;
+        (0..len).map(|_| self.u64(what)).collect()
+    }
+}
+
+/// Decodes one entry, re-establishing every structural invariant.
+///
+/// # Errors
+///
+/// [`StoreError::Corrupt`] naming the first gate the bytes failed:
+/// truncation, bad magic, unsupported version, checksum mismatch, a lying
+/// length prefix, trailing garbage, or a flat-parts constructor
+/// rejection.
+pub fn decode(bytes: &[u8]) -> Result<(ArtifactKey, TraceArtifacts), StoreError> {
+    if bytes.len() < MIN_LEN {
+        return Err(StoreError::Corrupt(format!(
+            "entry is {} bytes; even an empty one needs {MIN_LEN}",
+            bytes.len()
+        )));
+    }
+    if bytes[..MAGIC.len()] != MAGIC {
+        return Err(StoreError::Corrupt(
+            "bad magic (not a CDSEART1 entry)".into(),
+        ));
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().expect("split_at leaves 8 bytes"));
+    let mut h = Fnv1a::new();
+    h.update(body);
+    let computed = h.finish();
+    if stored != computed {
+        return Err(StoreError::Corrupt(format!(
+            "checksum mismatch: stored {stored:016x}, computed {computed:016x}"
+        )));
+    }
+
+    let mut c = Cursor::new(&body[MAGIC.len()..]);
+    let version = c.u32("version")?;
+    if version != VERSION {
+        return Err(StoreError::Corrupt(format!(
+            "unsupported format version {version} (this build reads {VERSION})"
+        )));
+    }
+    let digest = TraceDigest::from_raw(c.u64("digest")?);
+    let max_index_bits = c.u32("max_index_bits")?;
+    let flags = c.u32("flags")?;
+    if flags & !FLAG_TREE != 0 {
+        return Err(StoreError::Corrupt(format!("unknown flag bits {flags:#x}")));
+    }
+    let address_bits = c.u32("address_bits")?;
+    let stats = TraceStats {
+        total: usize::try_from(c.u64("stats.total")?)
+            .map_err(|_| StoreError::Corrupt("stats.total overflows usize".into()))?,
+        unique: usize::try_from(c.u64("stats.unique")?)
+            .map_err(|_| StoreError::Corrupt("stats.unique overflows usize".into()))?,
+        max_misses: c.u64("stats.max_misses")?,
+    };
+    let engine = engine_of(c.u32("engine")?)?;
+
+    let unique: Vec<Address> = c
+        .u32_array("unique addresses")?
+        .into_iter()
+        .map(Address::new)
+        .collect();
+    let ids: Vec<RefId> = c
+        .u32_array("id sequence")?
+        .into_iter()
+        .map(RefId::new)
+        .collect();
+    let stripped =
+        StrippedTrace::from_parts(unique, ids, address_bits).map_err(StoreError::Corrupt)?;
+
+    let profile_count = c.len_of(4 + 8 + 8 + 8, "profiles")?;
+    let mut profiles = Vec::with_capacity(profile_count);
+    for i in 0..profile_count {
+        let depth = c.u32("profile depth")?;
+        let cold = c.u64("profile cold")?;
+        let accesses = c.u64("profile accesses")?;
+        let histogram = c.u64_array("profile histogram")?;
+        if depth == 0 || !depth.is_power_of_two() {
+            return Err(StoreError::Corrupt(format!(
+                "profile {i} claims non-power-of-two depth {depth}"
+            )));
+        }
+        profiles.push(DepthProfile::from_parts(depth, histogram, cold, accesses));
+    }
+    let exploration =
+        Exploration::from_parts(profiles, stats, engine).map_err(StoreError::Corrupt)?;
+
+    let tree = if flags & FLAG_TREE != 0 {
+        let bits = c.u32("zero/one bit count")?;
+        let words = stripped.unique_len().div_ceil(64);
+        let mut one_words = Vec::new();
+        for _ in 0..bits {
+            let column = (0..words)
+                .map(|_| c.u64("zero/one column"))
+                .collect::<Result<Vec<u64>, _>>()?;
+            one_words.push(column);
+        }
+        let zero_one = ZeroOneSets::from_one_words(stripped.unique_len(), one_words)
+            .map_err(StoreError::Corrupt)?;
+        let arena = c.u32_array("bcat arena")?;
+        let packed = c.u32_array("bcat nodes")?;
+        let level_offsets = c.u32_array("bcat level offsets")?;
+        let bcat = Bcat::from_flat(arena, &packed, level_offsets, stripped.unique_len())
+            .map_err(StoreError::Corrupt)?;
+        let mrct_ids = c.u32_array("mrct ids")?;
+        let set_bounds = c.u32_array("mrct set bounds")?;
+        let ref_sets = c.u32_array("mrct ref sets")?;
+        let mrct = Mrct::from_flat(mrct_ids, set_bounds, ref_sets).map_err(StoreError::Corrupt)?;
+        Some(TreeArtifacts {
+            zero_one,
+            bcat,
+            mrct,
+        })
+    } else {
+        None
+    };
+
+    if c.remaining() != 0 {
+        return Err(StoreError::Corrupt(format!(
+            "{} trailing bytes after the last arena",
+            c.remaining()
+        )));
+    }
+
+    Ok((
+        ArtifactKey {
+            digest,
+            max_index_bits,
+        },
+        TraceArtifacts {
+            stripped,
+            tree,
+            exploration,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachedse_trace::generate;
+
+    fn sample(with_tree: bool) -> (ArtifactKey, TraceArtifacts) {
+        let trace = generate::working_set_phases(2, 150, 32, 9);
+        let key = ArtifactKey::of(&trace, trace.address_bits());
+        let artifacts = if with_tree {
+            TraceArtifacts::build(&trace, key.max_index_bits).unwrap()
+        } else {
+            TraceArtifacts::build_with(&trace, key.max_index_bits, Engine::DepthFirst, None, false)
+                .unwrap()
+        };
+        (key, artifacts)
+    }
+
+    #[test]
+    fn round_trips_with_and_without_tree() {
+        for with_tree in [true, false] {
+            let (key, artifacts) = sample(with_tree);
+            let bytes = encode(&key, &artifacts);
+            let (decoded_key, decoded) = decode(&bytes).unwrap();
+            assert_eq!(decoded_key, key);
+            assert_eq!(decoded, artifacts, "with_tree={with_tree}");
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_rejected_structurally() {
+        let (key, artifacts) = sample(true);
+        let bytes = encode(&key, &artifacts);
+        // Header, mid-arena, and checksum-straddling truncations all
+        // surface as Corrupt — never a panic, never a silent success.
+        for cut in [0, 3, MIN_LEN - 1, MIN_LEN, bytes.len() / 2, bytes.len() - 1] {
+            let err = decode(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, StoreError::Corrupt(_)),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_rejected() {
+        let (key, artifacts) = sample(true);
+        let bytes = encode(&key, &artifacts);
+        // Flip one byte at a spread of offsets: the checksum (or, for
+        // flips inside the checksum itself, the recomputation) fires.
+        for at in (0..bytes.len()).step_by(bytes.len() / 37 + 1) {
+            let mut bad = bytes.clone();
+            bad[at] ^= 0x40;
+            let err = decode(&bad).unwrap_err();
+            assert!(
+                matches!(err, StoreError::Corrupt(_)),
+                "flip at {at}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_named() {
+        let (key, artifacts) = sample(false);
+        let bytes = encode(&key, &artifacts);
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(decode(&bad).unwrap_err().to_string().contains("magic"));
+        // A future version with a valid checksum is still refused.
+        let mut future = bytes;
+        future[8] = 0xFF;
+        let body_len = future.len() - 8;
+        let mut h = Fnv1a::new();
+        h.update(&future[..body_len]);
+        let sum = h.finish().to_le_bytes();
+        future[body_len..].copy_from_slice(&sum);
+        assert!(decode(&future).unwrap_err().to_string().contains("version"));
+    }
+
+    #[test]
+    fn lying_length_prefix_is_rejected_before_allocating() {
+        let (key, artifacts) = sample(false);
+        let mut bytes = encode(&key, &artifacts);
+        // The unique-address array length sits right after the fixed
+        // header; claim 2^60 elements and re-seal the checksum.
+        let len_at = MAGIC.len() + 4 + 8 + 4 + 4 + 4 + 24 + 4;
+        bytes[len_at..len_at + 8].copy_from_slice(&(1u64 << 60).to_le_bytes());
+        let body_len = bytes.len() - 8;
+        let mut h = Fnv1a::new();
+        h.update(&bytes[..body_len]);
+        let sum = h.finish().to_le_bytes();
+        bytes[body_len..].copy_from_slice(&sum);
+        let err = decode(&bytes).unwrap_err().to_string();
+        assert!(err.contains("elements"), "{err}");
+    }
+}

@@ -1,0 +1,194 @@
+//! Persistent content-addressed artifact store (DESIGN.md §15).
+//!
+//! Every budget-independent structure of the analytical pipeline — the
+//! stripped trace, the zero/one sets, the BCAT, the MRCT, and the
+//! per-depth miss profiles — is flat-arena backed, which makes the whole
+//! bundle *spillable*: a handful of contiguous `u32`/`u64` arrays plus a
+//! few scalars round-trip through a versioned, checksummed on-disk codec
+//! ([`codec`]) and reassemble into artifacts that are `==` to the freshly
+//! built originals. Keyed by the FNV-1a [`TraceDigest`] of the canonical
+//! trace (folded with the index-bit cap into an [`ArtifactKey`]), the
+//! store lets a restarted node answer its first repeat-trace job with a
+//! load instead of an analysis.
+//!
+//! The crate is organized as tiers behind one trait:
+//!
+//! - [`ArtifactStore`] — the persistence contract: load/save/remove by
+//!   key, key enumeration by digest, byte accounting.
+//! - [`MemoryStore`] — encoded bytes in a map; the codec round-trips on
+//!   every load, so tests exercise the exact disk path without a disk.
+//! - [`DiskStore`] — one file per key, atomic tmp+rename writes, lazy
+//!   decode, quarantine of corrupt files.
+//! - [`ArtifactCache`] — the in-memory build-once cache (moved here from
+//!   `cachedse-serve`), now write-through to an optional backing store.
+//! - [`HashRing`] — consistent hashing of trace digests across serve
+//!   peers, so joined nodes agree on which of them owns a trace.
+//!
+//! Loaded bytes are untrusted: the codec bounds-checks every array
+//! against the checksummed payload, the flat-parts constructors
+//! (`StrippedTrace::from_parts`, `Bcat::from_flat`, …) re-establish every
+//! structural invariant, and [`validate_loaded`] re-certifies tree
+//! entries with `cachedse-check`'s external ground-truth checkers before
+//! anything downstream sees them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+mod artifacts;
+pub mod codec;
+mod disk;
+mod memory;
+mod ring;
+mod tier;
+
+pub use artifacts::{ArtifactKey, Found, TraceArtifacts, TreeArtifacts};
+pub use disk::DiskStore;
+pub use memory::MemoryStore;
+pub use ring::HashRing;
+pub use tier::ArtifactCache;
+
+use cachedse_check::{check_artifacts, BcatSnapshot, MrctSnapshot};
+use cachedse_trace::digest::TraceDigest;
+use cachedse_trace::stats::TraceStats;
+
+/// Why a store operation failed.
+///
+/// The distinction matters to callers: `Io` is the environment (retry or
+/// degrade to memory-only), `Corrupt` is bytes that failed the codec's
+/// structural gates (checksum, magic, truncation, malformed arenas — the
+/// entry should be rebuilt), and `Invalid` is bytes that *decoded* but
+/// failed semantic re-certification against the stripped trace (also
+/// rebuild, but worth a louder log: the codec was happy and the artifact
+/// checker was not).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// The underlying filesystem or network operation failed.
+    Io(String),
+    /// The bytes failed a structural gate: bad magic, unsupported
+    /// version, truncation, checksum mismatch, or a malformed arena.
+    Corrupt(String),
+    /// The bytes decoded but failed semantic validation
+    /// ([`validate_loaded`]).
+    Invalid(String),
+}
+
+impl StoreError {
+    /// A short machine-stable tag for metrics and JSON (`io`, `corrupt`,
+    /// `invalid`).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::Io(_) => "io",
+            Self::Corrupt(_) => "corrupt",
+            Self::Invalid(_) => "invalid",
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(m) => write!(f, "store i/o error: {m}"),
+            Self::Corrupt(m) => write!(f, "corrupt store entry: {m}"),
+            Self::Invalid(m) => write!(f, "invalid store entry: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// The persistence contract every store tier implements.
+///
+/// Implementations must be safe to share across the serve worker pool
+/// (`Send + Sync`); all three in-tree implementations route their locking
+/// through the `cachedse-sync` shim so the model checker can schedule
+/// them.
+pub trait ArtifactStore: Send + Sync + fmt::Debug {
+    /// Loads the artifacts stored under `key`, or `None` when the store
+    /// has no entry for it.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] / [`StoreError::Invalid`] when an entry
+    /// exists but fails the structural or semantic gates (the
+    /// implementation quarantines or drops it so a subsequent save can
+    /// rebuild), [`StoreError::Io`] when the medium fails.
+    fn load(&self, key: &ArtifactKey) -> Result<Option<TraceArtifacts>, StoreError>;
+
+    /// Persists `artifacts` under `key`, overwriting any prior entry.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the medium fails; a failed save leaves any
+    /// prior entry intact (writes are atomic).
+    fn save(&self, key: &ArtifactKey, artifacts: &TraceArtifacts) -> Result<(), StoreError>;
+
+    /// Drops the entry for `key`, if present (idempotent).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the medium fails.
+    fn remove(&self, key: &ArtifactKey) -> Result<(), StoreError>;
+
+    /// Every key stored under `digest` (one per index-bit cap the trace
+    /// was analyzed with), in unspecified order.
+    fn keys_for(&self, digest: TraceDigest) -> Vec<ArtifactKey>;
+
+    /// Total encoded bytes currently held by this store.
+    fn stored_bytes(&self) -> u64;
+}
+
+/// Re-certifies loaded artifacts from the outside before anything
+/// downstream trusts them: the exploration's trace statistics must match
+/// the stripped trace they claim to describe, and when the BCAT/MRCT
+/// tree is present it must pass `cachedse-check`'s ground-truth checkers
+/// ([`check_artifacts`]) — the same gate the serve tier's `--validate`
+/// mode applies to in-memory cache entries.
+///
+/// # Errors
+///
+/// [`StoreError::Invalid`] naming the first violated invariant.
+pub fn validate_loaded(artifacts: &TraceArtifacts) -> Result<(), StoreError> {
+    let stats = TraceStats::of_stripped(&artifacts.stripped);
+    if artifacts.exploration.stats() != stats {
+        return Err(StoreError::Invalid(format!(
+            "exploration stats {:?} disagree with the stripped trace's {stats:?}",
+            artifacts.exploration.stats()
+        )));
+    }
+    if let Some(tree) = &artifacts.tree {
+        let report = check_artifacts(
+            &tree.zero_one,
+            &BcatSnapshot::of(&tree.bcat),
+            &MrctSnapshot::of(&tree.mrct),
+            &artifacts.stripped,
+        );
+        if !report.is_clean() {
+            return Err(StoreError::Invalid(format!(
+                "loaded BCAT/MRCT failed re-certification: {report}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Decodes `bytes`, checks the decoded key matches the requested `key`,
+/// and runs [`validate_loaded`] — the shared load path of every tier.
+///
+/// # Errors
+///
+/// Propagates the codec's [`StoreError::Corrupt`] and
+/// [`validate_loaded`]'s [`StoreError::Invalid`]; a key mismatch (bytes
+/// filed under the wrong name) is `Corrupt`.
+pub fn decode_validated(key: &ArtifactKey, bytes: &[u8]) -> Result<TraceArtifacts, StoreError> {
+    let (decoded_key, artifacts) = codec::decode(bytes)?;
+    if decoded_key != *key {
+        return Err(StoreError::Corrupt(format!(
+            "entry is keyed {decoded_key:?} but was filed under {key:?}"
+        )));
+    }
+    validate_loaded(&artifacts)?;
+    Ok(artifacts)
+}

@@ -1,0 +1,132 @@
+//! The memory-only store tier: encoded entries in a map.
+//!
+//! Deliberately stores the *encoded* bytes rather than the live
+//! structures, so every load exercises the exact codec + validation path
+//! the disk tier uses — tests of the persistence pipeline need no
+//! filesystem, and a `MemoryStore` doubles as an honest stand-in when a
+//! node runs without `--store-dir`.
+
+use std::collections::HashMap;
+
+use cachedse_sync::Mutex;
+use cachedse_trace::digest::TraceDigest;
+
+use crate::{codec, decode_validated, ArtifactKey, ArtifactStore, StoreError, TraceArtifacts};
+
+/// An [`ArtifactStore`] holding encoded entries in memory.
+#[derive(Debug, Default)]
+pub struct MemoryStore {
+    entries: Mutex<HashMap<ArtifactKey, Vec<u8>>>,
+}
+
+impl MemoryStore {
+    /// An empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of entries held.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store lock was poisoned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// `true` when nothing is stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Overwrites the raw bytes stored under `key` — the corruption hook
+    /// the crash-recovery tests use to simulate torn writes and bit rot
+    /// without a filesystem.
+    pub fn corrupt(&self, key: &ArtifactKey, bytes: Vec<u8>) {
+        self.entries.lock().insert(*key, bytes);
+    }
+}
+
+impl ArtifactStore for MemoryStore {
+    fn load(&self, key: &ArtifactKey) -> Result<Option<TraceArtifacts>, StoreError> {
+        let bytes = match self.entries.lock().get(key) {
+            Some(bytes) => bytes.clone(),
+            None => return Ok(None),
+        };
+        match decode_validated(key, &bytes) {
+            Ok(artifacts) => Ok(Some(artifacts)),
+            Err(e) => {
+                // Drop the bad entry so the caller's rebuild can land.
+                self.entries.lock().remove(key);
+                Err(e)
+            }
+        }
+    }
+
+    fn save(&self, key: &ArtifactKey, artifacts: &TraceArtifacts) -> Result<(), StoreError> {
+        let bytes = codec::encode(key, artifacts);
+        self.entries.lock().insert(*key, bytes);
+        Ok(())
+    }
+
+    fn remove(&self, key: &ArtifactKey) -> Result<(), StoreError> {
+        self.entries.lock().remove(key);
+        Ok(())
+    }
+
+    fn keys_for(&self, digest: TraceDigest) -> Vec<ArtifactKey> {
+        self.entries
+            .lock()
+            .keys()
+            .filter(|k| k.digest == digest)
+            .copied()
+            .collect()
+    }
+
+    fn stored_bytes(&self) -> u64 {
+        self.entries.lock().values().map(|b| b.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachedse_trace::generate;
+
+    fn sample() -> (ArtifactKey, TraceArtifacts) {
+        let trace = generate::loop_pattern(0, 48, 6);
+        let key = ArtifactKey::of(&trace, trace.address_bits());
+        let artifacts = TraceArtifacts::build(&trace, key.max_index_bits).unwrap();
+        (key, artifacts)
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let store = MemoryStore::new();
+        let (key, artifacts) = sample();
+        assert_eq!(store.load(&key).unwrap(), None);
+        store.save(&key, &artifacts).unwrap();
+        assert_eq!(store.load(&key).unwrap().unwrap(), artifacts);
+        assert!(store.stored_bytes() > 0);
+        assert_eq!(store.keys_for(key.digest), vec![key]);
+        store.remove(&key).unwrap();
+        assert_eq!(store.load(&key).unwrap(), None);
+    }
+
+    #[test]
+    fn corrupt_entry_is_rejected_then_dropped() {
+        let store = MemoryStore::new();
+        let (key, artifacts) = sample();
+        store.save(&key, &artifacts).unwrap();
+        let mut bytes = codec::encode(&key, &artifacts);
+        bytes.truncate(bytes.len() / 2);
+        store.corrupt(&key, bytes);
+        let err = store.load(&key).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt(_)), "{err:?}");
+        // The bad entry is gone: the next load is a clean miss.
+        assert_eq!(store.load(&key).unwrap(), None);
+    }
+}

@@ -1,0 +1,183 @@
+//! Consistent hashing of trace digests across serve peers.
+//!
+//! Each member (a `host:port` string) is planted on a `u64` ring at
+//! [`VNODES`] pseudo-random points (FNV-1a of the member name folded
+//! with the vnode index); a digest is owned by the member whose point is
+//! the first at or after the digest's own hash, wrapping at the top.
+//! Virtual nodes smooth the load: with 64 points per member, two or
+//! three peers split a uniform digest population within a few percent of
+//! evenly.
+//!
+//! The ring is a pure value: peers that agree on the member list agree
+//! on every ownership decision, with no coordination beyond exchanging
+//! the list itself (the `join`/`peers` ops of the serve protocol).
+//! Members are deduplicated and the construction is order-independent,
+//! so lists exchanged in different orders still build identical rings.
+
+use cachedse_trace::digest::{Fnv1a, TraceDigest};
+
+/// Virtual nodes per member.
+pub const VNODES: u32 = 64;
+
+/// Murmur3-style 64-bit finalizer. FNV-1a alone has weak avalanche on
+/// short inputs that differ only in the trailing vnode index, which
+/// clusters a member's points and skews ownership badly; one mixing
+/// round spreads them uniformly.
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    x ^ (x >> 33)
+}
+
+/// A consistent-hash ring over member names.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HashRing {
+    /// Sorted member names (the canonical peer list).
+    members: Vec<String>,
+    /// `(point, member index)`, sorted by point.
+    points: Vec<(u64, u32)>,
+}
+
+impl HashRing {
+    /// Builds the ring over `members` (duplicates collapse; order is
+    /// irrelevant).
+    #[must_use]
+    pub fn new(members: impl IntoIterator<Item = String>) -> Self {
+        let mut members: Vec<String> = members.into_iter().collect();
+        members.sort();
+        members.dedup();
+        let mut points = Vec::with_capacity(members.len() * VNODES as usize);
+        for (index, member) in members.iter().enumerate() {
+            for vnode in 0..VNODES {
+                let mut h = Fnv1a::new();
+                h.update(member.as_bytes());
+                h.update_u32(vnode);
+                points.push((mix(h.finish()), index as u32));
+            }
+        }
+        points.sort_unstable();
+        Self { members, points }
+    }
+
+    /// The canonical (sorted, deduplicated) member list.
+    #[must_use]
+    pub fn members(&self) -> &[String] {
+        &self.members
+    }
+
+    /// Number of members.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` when the ring has no members.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// `true` when `member` is on the ring.
+    #[must_use]
+    pub fn contains(&self, member: &str) -> bool {
+        self.members
+            .binary_search_by(|m| m.as_str().cmp(member))
+            .is_ok()
+    }
+
+    /// The member owning `digest`, or `None` on an empty ring.
+    #[must_use]
+    pub fn owner(&self, digest: TraceDigest) -> Option<&str> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let mut h = Fnv1a::new();
+        h.update_u64(digest.raw());
+        let hash = mix(h.finish());
+        let at = self
+            .points
+            .partition_point(|&(point, _)| point < hash)
+            // Wrap: a hash past the last point belongs to the first.
+            % self.points.len();
+        let (_, index) = self.points[at];
+        Some(&self.members[index as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digest(i: u64) -> TraceDigest {
+        TraceDigest::from_raw(i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    #[test]
+    fn empty_ring_owns_nothing() {
+        let ring = HashRing::new([]);
+        assert!(ring.is_empty());
+        assert_eq!(ring.owner(digest(1)), None);
+    }
+
+    #[test]
+    fn single_member_owns_everything() {
+        let ring = HashRing::new(["a:1".to_owned()]);
+        for i in 0..100 {
+            assert_eq!(ring.owner(digest(i)), Some("a:1"));
+        }
+    }
+
+    #[test]
+    fn order_and_duplicates_do_not_matter() {
+        let a = HashRing::new(["x:1".to_owned(), "y:2".to_owned(), "z:3".to_owned()]);
+        let b = HashRing::new([
+            "z:3".to_owned(),
+            "x:1".to_owned(),
+            "y:2".to_owned(),
+            "x:1".to_owned(),
+        ]);
+        assert_eq!(a, b);
+        assert!(a.contains("y:2"));
+        assert!(!a.contains("w:9"));
+    }
+
+    #[test]
+    fn load_is_roughly_balanced() {
+        let members: Vec<String> = (0..3).map(|i| format!("node{i}:700{i}")).collect();
+        let ring = HashRing::new(members.clone());
+        let mut counts = vec![0usize; members.len()];
+        let total = 30_000;
+        for i in 0..total {
+            let owner = ring.owner(digest(i)).unwrap();
+            let at = members.iter().position(|m| m == owner).unwrap();
+            counts[at] += 1;
+        }
+        let ideal = total as usize / members.len();
+        for (member, &count) in members.iter().zip(&counts) {
+            assert!(
+                count > ideal / 2 && count < ideal * 2,
+                "{member} owns {count} of {total} (ideal {ideal})"
+            );
+        }
+    }
+
+    #[test]
+    fn adding_a_member_moves_only_a_fraction() {
+        let two = HashRing::new(["a:1".to_owned(), "b:2".to_owned()]);
+        let three = HashRing::new(["a:1".to_owned(), "b:2".to_owned(), "c:3".to_owned()]);
+        let total = 10_000;
+        let moved = (0..total)
+            .filter(|&i| {
+                let d = digest(i);
+                let before = two.owner(d).unwrap();
+                let after = three.owner(d).unwrap();
+                before != after && after != "c:3"
+            })
+            .count();
+        // Consistency: keys either stay put or move to the new member;
+        // none shuffle between the old two.
+        assert_eq!(moved, 0, "{moved} keys shuffled between surviving members");
+    }
+}

@@ -110,6 +110,74 @@ impl StrippedTrace {
         }
     }
 
+    /// Reassembles a stripped trace from its flat parts: the unique
+    /// addresses in identifier order and the identifier sequence — the two
+    /// arrays the persistent artifact store spills to disk. The
+    /// per-reference occurrence counts are recomputed (they are derived
+    /// data), so a reassembled trace is `==` to the original.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural violation: an
+    /// identifier out of range, a unique address repeated or out of
+    /// first-appearance order, or an `address_bits` that cannot hold the
+    /// addresses. Loaded (untrusted) bytes must never panic downstream, so
+    /// everything the other accessors assume is re-established here.
+    pub fn from_parts(
+        unique: Vec<Address>,
+        ids: Vec<RefId>,
+        address_bits: u32,
+    ) -> Result<Self, String> {
+        let n = unique.len();
+        if u32::try_from(n).is_err() {
+            return Err(format!("{n} unique references overflow u32 identifiers"));
+        }
+        let mut counts = vec![0u32; n];
+        // First-appearance order: walking the id sequence must introduce
+        // identifiers 0, 1, 2, … in order.
+        let mut introduced = 0u32;
+        for (pos, id) in ids.iter().enumerate() {
+            let raw = id.raw();
+            if raw as usize >= n {
+                return Err(format!(
+                    "id sequence position {pos} names reference {raw} of {n}"
+                ));
+            }
+            if raw > introduced {
+                return Err(format!(
+                    "id sequence position {pos} introduces reference {raw} before {introduced}"
+                ));
+            }
+            if raw == introduced {
+                introduced += 1;
+            }
+            counts[raw as usize] += 1;
+        }
+        if (introduced as usize) < n {
+            return Err(format!(
+                "only {introduced} of {n} unique references appear in the id sequence"
+            ));
+        }
+        let mut seen = crate::addrmap::AddrMap::new();
+        for (i, &addr) in unique.iter().enumerate() {
+            if seen.get_or_insert(addr, i as u32) != i as u32 {
+                return Err(format!("unique address {addr} repeated at index {i}"));
+            }
+            let needed = 32 - addr.raw().leading_zeros();
+            if needed > address_bits {
+                return Err(format!(
+                    "address {addr} needs {needed} bits but header claims {address_bits}"
+                ));
+            }
+        }
+        Ok(Self {
+            unique,
+            ids,
+            counts,
+            address_bits,
+        })
+    }
+
     /// Number of references in the original trace (the paper's `N`).
     #[must_use]
     pub fn total_len(&self) -> usize {
@@ -212,6 +280,44 @@ mod tests {
         let s = StrippedTrace::from_trace(&a);
         assert_eq!(s.unique_len(), 1);
         assert_eq!(s.occurrences(RefId::new(0)), 2);
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_rejects_malformed() {
+        let original = StrippedTrace::from_trace(&paper_running_example());
+        let rebuilt = StrippedTrace::from_parts(
+            original.unique_addresses().to_vec(),
+            original.id_sequence().to_vec(),
+            original.address_bits(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt, original);
+
+        let unique = original.unique_addresses().to_vec();
+        let ids = original.id_sequence().to_vec();
+        let bits = original.address_bits();
+        // Identifier out of range.
+        let mut bad = ids.clone();
+        bad[3] = RefId::new(99);
+        assert!(StrippedTrace::from_parts(unique.clone(), bad, bits)
+            .unwrap_err()
+            .contains("names reference 99"));
+        // First-appearance order broken (id 1 before id 0).
+        let mut bad = ids.clone();
+        bad.swap(0, 1);
+        assert!(StrippedTrace::from_parts(unique.clone(), bad, bits)
+            .unwrap_err()
+            .contains("introduces reference"));
+        // Repeated unique address.
+        let mut bad_unique = unique.clone();
+        bad_unique[1] = bad_unique[0];
+        assert!(StrippedTrace::from_parts(bad_unique, ids.clone(), bits)
+            .unwrap_err()
+            .contains("repeated"));
+        // Address wider than the claimed bit width.
+        assert!(StrippedTrace::from_parts(unique, ids, 2)
+            .unwrap_err()
+            .contains("header claims 2"));
     }
 
     #[test]

@@ -1,0 +1,164 @@
+//! Model exploration of the store tier's locking: concurrent load and
+//! evict on a store-backed [`ArtifactCache`], and directly on the
+//! [`DiskStore`] index lock. Every lock in the path goes through
+//! `cachedse-sync`, so under `--cfg cachedse_model` the scheduler
+//! enumerates interleavings and proves the tier free of deadlock and lost
+//! wakeups — with the functional invariant (a returned bundle is always
+//! the bundle that was stored, whatever the schedule) asserted on every
+//! execution.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg cachedse_model"`; the CI
+//! `model-check` job runs this suite.
+#![cfg(cachedse_model)]
+
+use std::sync::Arc;
+
+use cachedse_store::{
+    ArtifactCache, ArtifactKey, ArtifactStore, DiskStore, MemoryStore, TraceArtifacts,
+};
+use cachedse_sync::model::{explore, Mode, ModelConfig};
+use cachedse_sync::thread;
+use cachedse_trace::generate;
+
+fn tiny_artifacts() -> (ArtifactKey, TraceArtifacts) {
+    let trace = generate::loop_pattern(0, 8, 2);
+    let key = ArtifactKey::of(&trace, trace.address_bits());
+    let artifacts = TraceArtifacts::build(&trace, key.max_index_bits).unwrap();
+    (key, artifacts)
+}
+
+/// One loader racing one evictor over a warm store-backed cache: the
+/// loader must observe either nothing or exactly the stored bundle.
+#[test]
+fn concurrent_load_and_evict_are_clean_under_exhaustive_bound_1() {
+    let (key, artifacts) = tiny_artifacts();
+    let out = explore(
+        &ModelConfig {
+            preemption_bound: Some(1),
+            max_executions: 100_000,
+            mode: Mode::Exhaustive,
+        },
+        || {
+            let store: Arc<dyn ArtifactStore> = Arc::new(MemoryStore::new());
+            store.save(&key, &artifacts).unwrap();
+            let cache = Arc::new(ArtifactCache::with_store(2, Arc::clone(&store)));
+            let loader = {
+                let cache = Arc::clone(&cache);
+                thread::spawn(move || cache.get(&key))
+            };
+            let evictor = {
+                let cache = Arc::clone(&cache);
+                thread::spawn(move || cache.evict(&key))
+            };
+            let loaded = loader.join().expect("loader");
+            evictor.join().expect("evictor");
+            if let Some((bundle, _)) = loaded {
+                assert_eq!(*bundle, artifacts, "loader observed a torn bundle");
+            }
+        },
+    )
+    .expect("model build");
+    assert!(
+        out.violation.is_none(),
+        "store tier violated a concurrency invariant: {}",
+        out.violation.unwrap()
+    );
+    assert!(out.complete, "exploration must finish within the cap");
+}
+
+/// Two builders racing for the same key over an empty store-backed cache,
+/// with an evictor in the middle: both must come back with the same
+/// answer and the store must never serve a half-written entry.
+#[test]
+fn concurrent_builders_with_eviction_agree_on_the_answer() {
+    let (key, artifacts) = tiny_artifacts();
+    let out = explore(
+        &ModelConfig {
+            preemption_bound: None,
+            max_executions: 10_000,
+            mode: Mode::Walks {
+                count: 100,
+                seed: 0x57_0BE,
+            },
+        },
+        || {
+            let store: Arc<dyn ArtifactStore> = Arc::new(MemoryStore::new());
+            let cache = Arc::new(ArtifactCache::with_store(2, Arc::clone(&store)));
+            let build = |cache: Arc<ArtifactCache>| {
+                thread::spawn(move || {
+                    let trace = generate::loop_pattern(0, 8, 2);
+                    let (bundle, _) = cache
+                        .get_or_build(key, || {
+                            TraceArtifacts::build(&trace, key.max_index_bits)
+                                .map_err(|e| e.to_string())
+                        })
+                        .expect("build");
+                    bundle
+                })
+            };
+            let first = build(Arc::clone(&cache));
+            let evictor = {
+                let cache = Arc::clone(&cache);
+                thread::spawn(move || cache.evict(&key))
+            };
+            let second = build(Arc::clone(&cache));
+            let a = first.join().expect("first builder");
+            evictor.join().expect("evictor");
+            let b = second.join().expect("second builder");
+            assert_eq!(*a, artifacts, "first builder diverged");
+            assert_eq!(*b, artifacts, "second builder diverged");
+        },
+    )
+    .expect("model build");
+    assert!(
+        out.violation.is_none(),
+        "builder/evictor race violated an invariant: {}",
+        out.violation.unwrap()
+    );
+    assert_eq!(out.executions, 100);
+}
+
+/// The disk store's index lock under the same load/evict race, with real
+/// files underneath: seeded walks keep the I/O bounded while still
+/// exploring schedules the OS never produces.
+#[test]
+fn disk_store_index_lock_is_clean_under_seeded_walks() {
+    let (key, artifacts) = tiny_artifacts();
+    let dir = std::env::temp_dir().join(format!("cachedse-model-disk-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = explore(
+        &ModelConfig {
+            preemption_bound: None,
+            max_executions: 10_000,
+            mode: Mode::Walks {
+                count: 50,
+                seed: 0xD15C,
+            },
+        },
+        || {
+            let store = Arc::new(DiskStore::open(&dir).expect("open"));
+            store.save(&key, &artifacts).expect("save");
+            let loader = {
+                let store = Arc::clone(&store);
+                thread::spawn(move || store.load(&key))
+            };
+            let remover = {
+                let store = Arc::clone(&store);
+                thread::spawn(move || store.remove(&key))
+            };
+            let loaded = loader.join().expect("loader");
+            remover.join().expect("remover").expect("remove");
+            if let Ok(Some(bundle)) = loaded {
+                assert_eq!(bundle, artifacts, "disk loader observed a torn bundle");
+            }
+        },
+    )
+    .expect("model build");
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(
+        out.violation.is_none(),
+        "disk store violated a concurrency invariant: {}",
+        out.violation.unwrap()
+    );
+    assert_eq!(out.executions, 50);
+}

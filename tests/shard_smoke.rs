@@ -1,0 +1,232 @@
+//! Two-node sharding smoke test: a pair of joined serve nodes must answer
+//! the same JSONL batch with results identical to a single node's —
+//! byte-identical once the volatile fields (wall-clock micros, cache
+//! temperature, the `forwarded` marker) are stripped. Placement is also
+//! checked against an independently computed ring: a job is marked
+//! `forwarded` exactly when its digest hashes to the other member.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+use cachedse_json::Value;
+use cachedse_serve::{serve, serve_with, ServiceConfig, ShardOptions};
+use cachedse_store::HashRing;
+use cachedse_trace::digest::TraceDigest;
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Self {
+        let writer = TcpStream::connect(addr).expect("connect");
+        let reader = BufReader::new(writer.try_clone().expect("clone"));
+        Self { reader, writer }
+    }
+
+    fn send(&mut self, line: &str) {
+        writeln!(self.writer, "{line}").expect("send");
+    }
+
+    fn recv(&mut self) -> Value {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("recv");
+        Value::parse(line.trim()).unwrap_or_else(|e| panic!("bad response {line:?}: {e}"))
+    }
+}
+
+/// Polls until the node accepts connections (its accept loop is up).
+fn await_listening(addr: &str) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while TcpStream::connect(addr).is_err() {
+        assert!(Instant::now() < deadline, "{addr} never started listening");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn job_line(id: &str, seed: u64) -> String {
+    format!(
+        concat!(
+            "{{\"id\":\"{}\",",
+            "\"trace\":{{\"pattern\":\"phases\",\"phases\":3,\"len\":3000,\"ws\":128,\"seed\":{}}},",
+            "\"budget\":{{\"misses\":5}}}}"
+        ),
+        id, seed
+    )
+}
+
+/// The response minus everything legitimately node-dependent: timing,
+/// cache temperature, and the forwarding marker.
+fn canonical(response: &Value) -> String {
+    let pairs = response.as_object().expect("object response");
+    Value::object(
+        pairs
+            .iter()
+            .filter(|(k, _)| k != "micros" && k != "cache" && k != "forwarded")
+            .map(|(k, v)| (k.clone(), v.clone())),
+    )
+    .render()
+}
+
+fn digest_of(response: &Value) -> TraceDigest {
+    let hex = response
+        .get("trace")
+        .and_then(|t| t.get("digest"))
+        .and_then(Value::as_str)
+        .expect("digest in response");
+    TraceDigest::from_raw(u64::from_str_radix(hex, 16).expect("hex digest"))
+}
+
+#[test]
+fn two_joined_nodes_answer_a_batch_identically_to_one_node() {
+    const JOBS: u64 = 10;
+
+    // Node A: a fresh single-member ring.
+    let listener_a = TcpListener::bind("127.0.0.1:0").expect("bind a");
+    let addr_a = listener_a.local_addr().expect("addr a").to_string();
+    let config = || ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    };
+    let shard_a = ShardOptions {
+        advertise: addr_a.clone(),
+        join: Vec::new(),
+    };
+    let node_a = {
+        let config = config();
+        cachedse_sync::thread::spawn(move || {
+            serve_with(listener_a, config, Some(shard_a)).expect("node a")
+        })
+    };
+    await_listening(&addr_a);
+
+    // Node B joins through A.
+    let listener_b = TcpListener::bind("127.0.0.1:0").expect("bind b");
+    let addr_b = listener_b.local_addr().expect("addr b").to_string();
+    let shard_b = ShardOptions {
+        advertise: addr_b.clone(),
+        join: vec![addr_a.clone()],
+    };
+    let node_b = {
+        let config = config();
+        cachedse_sync::thread::spawn(move || {
+            serve_with(listener_b, config, Some(shard_b)).expect("node b")
+        })
+    };
+    await_listening(&addr_b);
+
+    // Both nodes agree on the two-member ring. The listener backlog makes
+    // `await_listening` return before B's join handshake has reached A, so
+    // poll A's view until the membership converges.
+    let mut client = Client::connect(&addr_a);
+    let mut expected = [addr_a.clone(), addr_b.clone()];
+    expected.sort_unstable();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        client.send(r#"{"op":"ring"}"#);
+        let ring_a = client.recv();
+        let mut members: Vec<String> = ring_a
+            .get("members")
+            .and_then(Value::as_array)
+            .expect("members")
+            .iter()
+            .filter_map(Value::as_str)
+            .map(str::to_owned)
+            .collect();
+        members.sort_unstable();
+        if members == expected {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "node a ring never converged after join: {members:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // The whole batch goes to node A; it forwards what it does not own.
+    let mut sharded = Vec::new();
+    for seed in 0..JOBS {
+        client.send(&job_line(&format!("j{seed}"), seed));
+        let response = client.recv();
+        assert_eq!(
+            response.get("ok").and_then(Value::as_bool),
+            Some(true),
+            "job {seed} failed: {}",
+            response.render()
+        );
+        sharded.push(response);
+    }
+
+    // Placement check against an independent ring: forwarded iff owned by
+    // the other member.
+    let ring = HashRing::new([addr_a.clone(), addr_b.clone()]);
+    for response in &sharded {
+        let owner = ring.owner(digest_of(response)).expect("owner");
+        let forwarded = response.get("forwarded").and_then(Value::as_bool) == Some(true);
+        assert_eq!(
+            forwarded,
+            owner != addr_a,
+            "placement mismatch for {}",
+            response.render()
+        );
+    }
+
+    // A digest-only replay of every job still answers — wherever the
+    // artifacts live on the ring.
+    for response in &sharded {
+        let id = response.get("id").and_then(Value::as_str).expect("id");
+        client.send(&format!(
+            "{{\"id\":\"{id}-replay\",\"trace\":{{\"digest\":\"{}\"}},\"budget\":{{\"misses\":5}}}}",
+            digest_of(response)
+        ));
+        let replay = client.recv();
+        assert_eq!(
+            replay.get("ok").and_then(Value::as_bool),
+            Some(true),
+            "digest replay failed: {}",
+            replay.render()
+        );
+        assert_eq!(
+            replay.get("frontier").expect("frontier").render(),
+            response.get("frontier").expect("frontier").render(),
+            "digest replay diverged"
+        );
+    }
+
+    // The reference: the same batch through a plain single node.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind single");
+    let addr_single = listener.local_addr().expect("addr").to_string();
+    let node_single = {
+        let config = config();
+        cachedse_sync::thread::spawn(move || serve(listener, config).expect("single node"))
+    };
+    await_listening(&addr_single);
+    let mut single_client = Client::connect(&addr_single);
+    for (seed, sharded_response) in sharded.iter().enumerate() {
+        single_client.send(&job_line(&format!("j{seed}"), seed as u64));
+        let single_response = single_client.recv();
+        assert_eq!(
+            canonical(sharded_response),
+            canonical(&single_response),
+            "job {seed}: sharded and single-node results differ"
+        );
+    }
+
+    // Tear all three nodes down.
+    single_client.send(r#"{"op":"shutdown"}"#);
+    let _ = single_client.recv();
+    let _ = node_single.join().expect("single node thread");
+    let mut client_b = Client::connect(&addr_b);
+    client_b.send(r#"{"op":"shutdown"}"#);
+    let _ = client_b.recv();
+    let stats_b = node_b.join().expect("node b thread");
+    client.send(r#"{"op":"shutdown"}"#);
+    let _ = client.recv();
+    let stats_a = node_a.join().expect("node a thread");
+
+    // Every original job ran exactly once across the pair.
+    assert_eq!(stats_a.cache_misses + stats_b.cache_misses, JOBS);
+}

@@ -33,6 +33,61 @@ fn rs_files(dir: &Path, skip: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
+/// Coverage cross-check: every workspace crate must live inside the
+/// `crates/` tree this lint scans and must contribute at least one source
+/// file to the scan. A crate declared at another path — or an empty crate
+/// directory — would escape the lint silently; this turns that into a red
+/// build the moment the crate is added.
+#[test]
+fn every_workspace_crate_is_inside_the_scanned_tree() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let manifest = fs::read_to_string(root.join("Cargo.toml")).expect("root manifest");
+
+    let mut dep_paths = Vec::new();
+    for line in manifest.lines() {
+        let Some(rest) = line.trim_start().strip_prefix("cachedse-") else {
+            continue;
+        };
+        if let Some(idx) = rest.find("path = \"") {
+            let tail = &rest[idx + "path = \"".len()..];
+            let path = tail.split('"').next().expect("closing quote");
+            dep_paths.push(path.to_owned());
+        }
+    }
+    assert!(
+        dep_paths.len() >= 11,
+        "found only {} workspace crate paths — manifest layout changed?",
+        dep_paths.len()
+    );
+    for path in &dep_paths {
+        assert!(
+            path.starts_with("crates/"),
+            "workspace crate at '{path}' is outside crates/ — the sync-shim \
+             lint does not scan it; move it or extend the scan here and in \
+             tools/check_sync_shim.sh"
+        );
+    }
+    assert!(
+        dep_paths.iter().any(|p| p == "crates/store"),
+        "the artifact store crate must stay under lint coverage"
+    );
+
+    // Every crate directory must actually contribute sources to the scan.
+    for entry in fs::read_dir(root.join("crates")).expect("crates/ listing") {
+        let dir = entry.expect("crates/ entry").path();
+        if !dir.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        rs_files(&dir, Path::new(""), &mut files);
+        assert!(
+            !files.is_empty(),
+            "no .rs sources under {} — the sync-shim lint scanned nothing there",
+            dir.display()
+        );
+    }
+}
+
 #[test]
 fn concurrency_primitives_go_through_the_shim() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));

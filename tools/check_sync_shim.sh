@@ -17,6 +17,31 @@ SYNC='std::sync'
 THREAD='std::thread'
 PATTERN="${SYNC}::Mutex|${SYNC}::Condvar|${THREAD}::spawn|${THREAD}::scope"
 
+# Coverage cross-check before the scan: every workspace crate must live
+# inside the scanned `crates/` tree and actually contribute sources. A
+# crate declared at some other path — or an empty crate directory left by
+# a botched move — would otherwise escape the lint silently.
+for dep_path in $(grep -E '^cachedse-[a-z-]+ *= *\{ *path *= *"' Cargo.toml \
+  | sed -E 's/.*path *= *"([^"]*)".*/\1/'); do
+  case "$dep_path" in
+    crates/*) ;;
+    *)
+      echo "workspace crate at '$dep_path' is outside crates/ — the" >&2
+      echo "sync-shim lint does not scan it. Move it under crates/ or" >&2
+      echo "extend the scan in tools/check_sync_shim.sh AND" >&2
+      echo "tests/sync_shim_lint.rs." >&2
+      exit 1
+      ;;
+  esac
+done
+for crate_dir in crates/*/; do
+  if ! find "$crate_dir" -name '*.rs' 2>/dev/null | grep -q .; then
+    echo "no .rs sources found under $crate_dir — the sync-shim lint" >&2
+    echo "scanned nothing there. Empty crate directories are not allowed." >&2
+    exit 1
+  fi
+done
+
 matches=$(grep -rn --include='*.rs' -E "$PATTERN" crates tests src 2>/dev/null \
   | grep -v '^crates/sync/' || true)
 
