@@ -1,10 +1,11 @@
 //! `perf_report` — the workspace's machine-readable perf trajectory.
 //!
-//! Times every prelude phase (`strip`, `bcat`, `mrct`), every engine of the
-//! §2.4 depth-first comparison (`depth_first`, `depth_first_parallel` at
-//! pinned worker counts, `tree_table`), and the end-to-end exploration over
-//! the benchmark kernels, then writes `BENCH_dfs.json` at the repo root —
-//! schema `cachedse-bench-dfs/v3`, documented in `DESIGN.md` §11.
+//! Times every prelude phase (`strip`, `bcat`, `mrct`, the fused
+//! `streamed` MRCT→postlude replay), every engine of the §2.4 depth-first
+//! comparison (`depth_first`, `depth_first_parallel` at pinned worker
+//! counts, `tree_table`), and the end-to-end exploration over the
+//! benchmark kernels, then writes `BENCH_dfs.json` at the repo root —
+//! schema `cachedse-bench-dfs/v4`, documented in `DESIGN.md` §11.
 //!
 //! ```text
 //! perf_report [--quick] [--samples N] [--out FILE] [--gate]
@@ -18,13 +19,26 @@
 //!
 //! Each kernel row carries the recorded **pre-rewrite** serial depth-first
 //! median (captured on this workspace immediately before the scratch-arena
-//! engine landed) plus versioned **phase baselines** for the MRCT and BCAT
-//! prelude phases: the medians captured immediately before and immediately
-//! after each phase's own rewrite (the output-optimal MRCT arena and the
-//! radix permutation-arena BCAT respectively), so the trajectory keeps both
-//! origins visible. `--gate` turns the post-rewrite baselines into a
-//! regression gate: the run fails if any measured kernel's MRCT **or** BCAT
-//! phase is more than [`GATE_FACTOR`]× its recorded post-rewrite median.
+//! engine landed) plus versioned **phase baselines** for the MRCT, BCAT,
+//! and streamed phases: the medians captured immediately before and
+//! immediately after each phase's own rewrite (the output-optimal MRCT
+//! arena, the radix permutation-arena BCAT, and the streamed postlude
+//! fusion respectively), so the trajectory keeps every origin visible.
+//! `--gate` turns the post-rewrite baselines into a regression gate: the
+//! run fails if any measured kernel's MRCT, BCAT, **or** streamed phase is
+//! more than [`GATE_FACTOR`]× its recorded post-rewrite median.
+//!
+//! When built with the `alloc-track` feature the binary installs the
+//! counting global allocator from `cachedse_bench::alloc_track` and
+//! records each phase's **delta peak heap** (`peak_alloc_bytes`, v4): the
+//! phase is re-run once on a fresh shim thread — so the thread-local
+//! arena pools start cold and the number reflects a cold build, not
+//! whatever the pools happened to retain — bracketed by `mark`/
+//! `peak_since`. The top-level `peak_alloc_tracked` flag records whether
+//! the counters were live, and `--check` requires the per-kernel peak
+//! objects exactly when it is `true`. Under `--gate` the tracked peaks
+//! also gate the fusion's memory claim: the streamed phase must not
+//! out-allocate the materialized MRCT build it replaces.
 //!
 //! On single-core hosts the `depth_first_parallel_*` engine rows are
 //! skipped: worker-pool timings on a 1-wide machine measure scheduling
@@ -35,18 +49,27 @@
 use std::num::NonZeroUsize;
 use std::process::ExitCode;
 
-use cachedse_bench::{all_traces, crit::measure, NamedTrace};
-use cachedse_core::{dfs, postlude, Bcat, DesignSpaceExplorer, MissBudget, Mrct};
+use cachedse_bench::{all_traces, alloc_track, crit::measure, NamedTrace};
+use cachedse_core::{dfs, postlude, streamed, Bcat, DesignSpaceExplorer, MissBudget, Mrct};
 use cachedse_json::Value;
+use cachedse_sync::thread;
 use cachedse_trace::strip::StrippedTrace;
 use cachedse_trace::Trace;
 
-/// Schema tag of the emitted report.
-const SCHEMA: &str = "cachedse-bench-dfs/v3";
+#[cfg(feature = "alloc-track")]
+#[global_allocator]
+static ALLOC: alloc_track::CountingAlloc = alloc_track::CountingAlloc;
 
-/// `--gate` fails when a measured MRCT or BCAT phase exceeds its recorded
-/// post-rewrite baseline by more than this factor.
+/// Schema tag of the emitted report.
+const SCHEMA: &str = "cachedse-bench-dfs/v4";
+
+/// `--gate` fails when a measured MRCT, BCAT, or streamed phase exceeds
+/// its recorded post-rewrite baseline by more than this factor.
 const GATE_FACTOR: f64 = 2.0;
+
+/// Floor for the peak-allocation gate: below this, both phases are in
+/// pool-and-page noise and the comparison means nothing.
+const PEAK_GATE_FLOOR_BYTES: u64 = 1 << 20;
 
 /// The two small kernels `--quick` keeps (CI smoke coverage of one data and
 /// one instruction trace without the multi-minute full sweep).
@@ -149,33 +172,100 @@ const PRE_REWRITE_BCAT_NS: [(&str, f64); 24] = [
 
 /// Median `Mrct::build` ns/iter per kernel recorded immediately **after**
 /// the output-optimal rewrite (Fenwick-sized CSR arena, tombstone recency
-/// array, thread-local arena recycling — DESIGN.md §12), same capture
-/// parameters and host class. This is the `--gate` reference.
+/// array, thread-local arena recycling — DESIGN.md §12). Re-baselined from
+/// the v3 full run captured immediately before the streamed fusion landed:
+/// the original post-rewrite capture had drifted up to ~1.6× above steady
+/// state on the big data traces, which left the 2× gate headroom hollow.
+/// Same capture parameters and host class. This is the `--gate` reference.
 const POST_REWRITE_MRCT_NS: &[(&str, f64)] = &[
-    ("adpcm.data", 176_980_415.0),
-    ("adpcm.instr", 46_818_831.0),
-    ("bcnt.data", 46_159_787.0),
-    ("bcnt.instr", 17_842_551.0),
-    ("blit.data", 5_376_685.0),
-    ("blit.instr", 4_008_602.0),
-    ("compress.data", 350_815_274.0),
-    ("compress.instr", 49_009_496.0),
-    ("crc.data", 59_857_594.0),
-    ("crc.instr", 19_991_537.0),
-    ("des.data", 27_043_175.0),
-    ("des.instr", 15_476_173.0),
-    ("engine.data", 6_042_327.0),
-    ("engine.instr", 9_466_470.0),
-    ("fir.data", 139_087_776.0),
-    ("fir.instr", 116_184_412.0),
-    ("g3fax.data", 137_390_363.0),
-    ("g3fax.instr", 24_593_113.0),
-    ("pocsag.data", 2_397_205.0),
-    ("pocsag.instr", 8_441_076.0),
-    ("qurt.data", 1_025_644.0),
-    ("qurt.instr", 6_400_090.0),
-    ("ucbqsort.data", 71_448_031.0),
-    ("ucbqsort.instr", 27_186_217.0),
+    ("adpcm.data", 136_799_196.0),
+    ("adpcm.instr", 30_351_307.0),
+    ("bcnt.data", 39_630_485.0),
+    ("bcnt.instr", 16_310_415.0),
+    ("blit.data", 3_066_247.0),
+    ("blit.instr", 3_565_874.0),
+    ("compress.data", 258_724_766.0),
+    ("compress.instr", 33_456_429.0),
+    ("crc.data", 60_738_573.0),
+    ("crc.instr", 13_141_813.0),
+    ("des.data", 27_444_484.0),
+    ("des.instr", 24_106_239.0),
+    ("engine.data", 6_195_332.0),
+    ("engine.instr", 13_418_859.0),
+    ("fir.data", 95_665_809.0),
+    ("fir.instr", 71_985_990.0),
+    ("g3fax.data", 122_102_431.0),
+    ("g3fax.instr", 26_190_064.0),
+    ("pocsag.data", 2_064_212.0),
+    ("pocsag.instr", 11_815_203.0),
+    ("qurt.data", 1_089_046.0),
+    ("qurt.instr", 11_089_533.0),
+    ("ucbqsort.data", 78_525_473.0),
+    ("ucbqsort.instr", 29_050_719.0),
+];
+
+/// Median materialized profile path (`Bcat::from_stripped` +
+/// `Mrct::build` + `postlude::level_profiles`) ns/iter per kernel,
+/// recorded on this workspace immediately **before** the streamed
+/// postlude fusion landed (the v3 report's `tree_table` engine medians —
+/// the exact pipeline `streamed::level_profiles` replaces).
+const PRE_FUSION_STREAMED_NS: [(&str, f64); 24] = [
+    ("adpcm.data", 4_179_231_502.0),
+    ("adpcm.instr", 82_028_174.0),
+    ("bcnt.data", 553_133_776.0),
+    ("bcnt.instr", 26_003_701.0),
+    ("blit.data", 50_903_773.0),
+    ("blit.instr", 4_892_440.0),
+    ("compress.data", 7_347_514_134.0),
+    ("compress.instr", 88_637_645.0),
+    ("crc.data", 1_289_864_640.0),
+    ("crc.instr", 25_524_619.0),
+    ("des.data", 253_231_257.0),
+    ("des.instr", 56_950_961.0),
+    ("engine.data", 20_124_489.0),
+    ("engine.instr", 49_708_753.0),
+    ("fir.data", 760_830_011.0),
+    ("fir.instr", 156_432_528.0),
+    ("g3fax.data", 3_771_235_393.0),
+    ("g3fax.instr", 56_985_971.0),
+    ("pocsag.data", 7_260_553.0),
+    ("pocsag.instr", 29_036_076.0),
+    ("qurt.data", 37_628_629.0),
+    ("qurt.instr", 20_439_144.0),
+    ("ucbqsort.data", 715_928_110.0),
+    ("ucbqsort.instr", 71_734_696.0),
+];
+
+/// Median `streamed::level_profiles` ns/iter per kernel recorded
+/// immediately **after** the streamed postlude fusion landed (DESIGN.md
+/// §16), same capture parameters and host class. This is the streamed
+/// third of the `--gate` reference. Kernels absent here (none today) are
+/// simply not gated.
+const POST_FUSION_STREAMED_NS: &[(&str, f64)] = &[
+    ("adpcm.data", 437_036_678.0),
+    ("adpcm.instr", 44_058_088.0),
+    ("bcnt.data", 75_371_893.0),
+    ("bcnt.instr", 11_218_289.0),
+    ("blit.data", 6_832_538.0),
+    ("blit.instr", 2_363_648.0),
+    ("compress.data", 664_992_872.0),
+    ("compress.instr", 34_270_620.0),
+    ("crc.data", 131_239_493.0),
+    ("crc.instr", 15_166_484.0),
+    ("des.data", 45_924_019.0),
+    ("des.instr", 23_906_786.0),
+    ("engine.data", 9_021_497.0),
+    ("engine.instr", 20_164_241.0),
+    ("fir.data", 204_176_082.0),
+    ("fir.instr", 77_330_927.0),
+    ("g3fax.data", 323_280_689.0),
+    ("g3fax.instr", 21_715_157.0),
+    ("pocsag.data", 2_177_933.0),
+    ("pocsag.instr", 7_728_191.0),
+    ("qurt.data", 4_470_309.0),
+    ("qurt.instr", 7_774_253.0),
+    ("ucbqsort.data", 88_485_443.0),
+    ("ucbqsort.instr", 33_384_343.0),
 ];
 
 /// Median `Bcat::from_stripped` ns/iter per kernel recorded immediately
@@ -263,6 +353,7 @@ fn main() -> ExitCode {
         for (phase, table) in GATED_PHASES {
             failures.extend(gate_phase(&report, phase, table));
         }
+        failures.extend(gate_peaks(&report));
         if !failures.is_empty() {
             eprintln!("perf_report: phase regression gate failed:");
             for f in failures {
@@ -270,7 +361,10 @@ fn main() -> ExitCode {
             }
             return ExitCode::FAILURE;
         }
-        eprintln!("perf_report: mrct and bcat phases within {GATE_FACTOR}x of recorded baselines");
+        eprintln!(
+            "perf_report: mrct, bcat, and streamed phases within {GATE_FACTOR}x of recorded \
+             baselines"
+        );
     }
     ExitCode::SUCCESS
 }
@@ -285,9 +379,10 @@ fn usage(problem: &str) -> ExitCode {
 
 /// The prelude phases `--gate` covers, with their post-rewrite reference
 /// tables.
-const GATED_PHASES: [(&str, &[(&str, f64)]); 2] = [
+const GATED_PHASES: [(&str, &[(&str, f64)]); 3] = [
     ("mrct", POST_REWRITE_MRCT_NS),
     ("bcat", POST_REWRITE_BCAT_NS),
+    ("streamed", POST_FUSION_STREAMED_NS),
 ];
 
 /// Returns a failure line for every measured kernel whose `phase` median
@@ -318,6 +413,43 @@ fn gate_phase(report: &Value, phase: &str, table: &[(&str, f64)]) -> Vec<String>
             failures.push(format!(
                 "{label}: {phase} {measured:.0} ns/iter exceeds {GATE_FACTOR}x recorded \
                  post-rewrite baseline {baseline:.0} ns/iter"
+            ));
+        }
+    }
+    failures
+}
+
+/// The fusion's memory claim as a gate: whenever the allocator counters
+/// were live, the streamed phase's cold-build peak must not exceed the
+/// materialized `Mrct::build` peak it replaces (modulo the
+/// [`PEAK_GATE_FLOOR_BYTES`] noise floor on tiny kernels). Returns one
+/// failure line per violating kernel; empty when peaks were not tracked.
+fn gate_peaks(report: &Value) -> Vec<String> {
+    if report.get("peak_alloc_tracked").and_then(Value::as_bool) != Some(true) {
+        return Vec::new();
+    }
+    let mut failures = Vec::new();
+    let kernels = report
+        .get("kernels")
+        .and_then(Value::as_array)
+        .unwrap_or(&[]);
+    for kernel in kernels {
+        let Some(label) = kernel.get("label").and_then(Value::as_str) else {
+            continue;
+        };
+        let peak = |phase: &str| {
+            kernel
+                .get("peak_alloc_bytes")
+                .and_then(|p| p.get(phase))
+                .and_then(Value::as_u64)
+        };
+        let (Some(mrct), Some(streamed)) = (peak("mrct"), peak("streamed")) else {
+            continue;
+        };
+        if streamed > mrct.max(PEAK_GATE_FLOOR_BYTES) {
+            failures.push(format!(
+                "{label}: streamed peak {streamed} B exceeds materialized mrct peak {mrct} B \
+                 — the fusion is supposed to need strictly less memory"
             ));
         }
     }
@@ -357,14 +489,18 @@ fn run_report(quick: bool, samples: usize) -> Value {
         eprintln!("perf_report: host parallelism is 1, skipping depth_first_parallel rows");
     }
 
+    let peak_tracked = alloc_track::enabled();
     eprintln!(
-        "perf_report: {} trace(s), {samples} samples, host parallelism {host}",
-        traces.len()
+        "perf_report: {} trace(s), {samples} samples, host parallelism {host}, \
+         peak alloc tracking {}",
+        traces.len(),
+        if peak_tracked { "on" } else { "off" }
     );
     println!(
-        "{:<16} {:>13} {:>13} {:>13} {:>13} {:>13} {:>13} {:>8} {:>8}",
+        "{:<16} {:>13} {:>13} {:>13} {:>13} {:>13} {:>13} {:>13} {:>8} {:>8}",
         "kernel",
         "mrct ns",
+        "strm ns",
         "dfs ns",
         "par1 ns",
         "par2 ns",
@@ -389,13 +525,15 @@ fn run_report(quick: bool, samples: usize) -> Value {
         ("samples", Value::from(samples as u64)),
         ("host_parallelism", Value::from(host as u64)),
         ("parallel_engines_measured", Value::from(measure_parallel)),
+        ("peak_alloc_tracked", Value::from(peak_tracked)),
         ("kernels", Value::array(kernels)),
     ])
 }
 
 /// All medians measured for one trace, in nanoseconds per iteration.
 /// `parallel_ns` is `None` when the host is too narrow to make worker-pool
-/// timings meaningful (see `run_report`).
+/// timings meaningful (see `run_report`); `peaks` is `None` without the
+/// `alloc-track` feature.
 struct TraceRow {
     refs: u64,
     unique: u64,
@@ -403,10 +541,50 @@ struct TraceRow {
     strip_ns: f64,
     bcat_ns: f64,
     mrct_ns: f64,
+    streamed_ns: f64,
     depth_first_ns: f64,
     parallel_ns: Option<[f64; PARALLEL_WORKERS.len()]>,
     tree_table_ns: f64,
     end_to_end_ns: f64,
+    peaks: Option<PhasePeaks>,
+}
+
+/// Cold-build delta-peak heap bytes per phase (see [`phase_peak`]).
+struct PhasePeaks {
+    strip: u64,
+    bcat: u64,
+    mrct: u64,
+    streamed: u64,
+}
+
+/// Runs `f` once on a fresh shim thread and returns how far the heap
+/// climbed above the thread's starting residency. The fresh thread is the
+/// point: `Mrct`/`Bcat` recycle their arenas through thread-local pools,
+/// so re-running a phase on the bench thread (whose pools are warm from
+/// the timing loops) would measure pool top-up, not the build. A new
+/// thread starts with empty pools and its thread-local destructors return
+/// the memory on join.
+fn phase_peak<T: Send>(f: impl FnOnce() -> T + Send) -> u64 {
+    thread::scope(|s| {
+        s.spawn(|| {
+            let start = alloc_track::mark();
+            let out = f();
+            let peak = alloc_track::peak_since(start);
+            drop(out);
+            peak
+        })
+        .join()
+        .expect("peak-measurement thread panicked")
+    })
+}
+
+fn measure_peaks(trace: &Trace, stripped: &StrippedTrace, bits: u32) -> PhasePeaks {
+    PhasePeaks {
+        strip: phase_peak(|| StrippedTrace::from_trace(trace)),
+        bcat: phase_peak(|| Bcat::from_stripped(stripped, bits)),
+        mrct: phase_peak(|| Mrct::build(stripped)),
+        streamed: phase_peak(|| streamed::level_profiles(stripped, bits)),
+    }
 }
 
 fn measure_trace(named: &NamedTrace, samples: usize, measure_parallel: bool) -> TraceRow {
@@ -417,6 +595,7 @@ fn measure_trace(named: &NamedTrace, samples: usize, measure_parallel: bool) -> 
     let strip_ns = measure(samples, || StrippedTrace::from_trace(trace));
     let bcat_ns = measure(samples, || Bcat::from_stripped(&stripped, bits));
     let mrct_ns = measure(samples, || Mrct::build(&stripped));
+    let streamed_ns = measure(samples, || streamed::level_profiles(&stripped, bits));
     let depth_first_ns = measure(samples, || dfs::level_profiles(&stripped, bits));
     let parallel_ns = measure_parallel.then(|| {
         PARALLEL_WORKERS.map(|workers| {
@@ -437,6 +616,7 @@ fn measure_trace(named: &NamedTrace, samples: usize, measure_parallel: bool) -> 
             .explore(MissBudget::FractionOfMax(0.10))
             .expect("non-empty kernel trace")
     });
+    let peaks = alloc_track::enabled().then(|| measure_peaks(trace, &stripped, bits));
 
     TraceRow {
         refs: stripped.total_len() as u64,
@@ -445,10 +625,12 @@ fn measure_trace(named: &NamedTrace, samples: usize, measure_parallel: bool) -> 
         strip_ns,
         bcat_ns,
         mrct_ns,
+        streamed_ns,
         depth_first_ns,
         parallel_ns,
         tree_table_ns,
         end_to_end_ns,
+        peaks,
     }
 }
 
@@ -476,9 +658,10 @@ fn print_row(named: &NamedTrace, row: &TraceRow) {
             .map_or_else(|| "-".to_owned(), |ns| format!("{:.0}", ns[i]))
     };
     println!(
-        "{label:<16} {:>13.0} {:>13.0} {:>13} {:>13} {:>13} {:>13.0} {vs_tree:>7.2}x \
+        "{label:<16} {:>13.0} {:>13.0} {:>13.0} {:>13} {:>13} {:>13} {:>13.0} {vs_tree:>7.2}x \
          {vs_base:>8}",
         row.mrct_ns,
+        row.streamed_ns,
         row.depth_first_ns,
         par(0),
         par(1),
@@ -547,7 +730,13 @@ impl TraceRow {
             &PRE_REWRITE_BCAT_NS,
             POST_REWRITE_BCAT_NS,
         );
-        Value::object([
+        let streamed_baseline = phase_baseline_json(
+            &label,
+            self.streamed_ns,
+            &PRE_FUSION_STREAMED_NS,
+            POST_FUSION_STREAMED_NS,
+        );
+        let mut fields = vec![
             ("label", Value::from(label)),
             ("refs", Value::from(self.refs)),
             ("unique", Value::from(self.unique)),
@@ -558,11 +747,16 @@ impl TraceRow {
                     ("strip", Value::from(self.strip_ns)),
                     ("bcat", Value::from(self.bcat_ns)),
                     ("mrct", Value::from(self.mrct_ns)),
+                    ("streamed", Value::from(self.streamed_ns)),
                 ]),
             ),
             (
                 "phase_baselines",
-                Value::object([("mrct", mrct_baseline), ("bcat", bcat_baseline)]),
+                Value::object([
+                    ("mrct", mrct_baseline),
+                    ("bcat", bcat_baseline),
+                    ("streamed", streamed_baseline),
+                ]),
             ),
             ("engines_ns", engines),
             ("end_to_end_ns", Value::from(self.end_to_end_ns)),
@@ -570,8 +764,24 @@ impl TraceRow {
                 "speedup_vs_tree_table",
                 Value::from(self.tree_table_ns / self.depth_first_ns),
             ),
+            (
+                "fused_speedup_vs_materialized",
+                Value::from(self.tree_table_ns / self.streamed_ns),
+            ),
             ("pre_rewrite", baseline),
-        ])
+        ];
+        if let Some(peaks) = &self.peaks {
+            fields.push((
+                "peak_alloc_bytes",
+                Value::object([
+                    ("strip", Value::from(peaks.strip)),
+                    ("bcat", Value::from(peaks.bcat)),
+                    ("mrct", Value::from(peaks.mrct)),
+                    ("streamed", Value::from(peaks.streamed)),
+                ]),
+            ));
+        }
+        Value::object(fields)
     }
 }
 
@@ -600,6 +810,10 @@ fn validate_report(text: &str) -> Result<usize, String> {
         .get("parallel_engines_measured")
         .and_then(Value::as_bool)
         .ok_or("missing boolean \"parallel_engines_measured\"")?;
+    let peak_tracked = value
+        .get("peak_alloc_tracked")
+        .and_then(Value::as_bool)
+        .ok_or("missing boolean \"peak_alloc_tracked\"")?;
     let kernels = value
         .get("kernels")
         .and_then(Value::as_array)
@@ -619,14 +833,41 @@ fn validate_report(text: &str) -> Result<usize, String> {
                 .and_then(Value::as_u64)
                 .ok_or_else(|| context(field))?;
         }
-        for field in ["end_to_end_ns", "speedup_vs_tree_table"] {
+        for field in [
+            "end_to_end_ns",
+            "speedup_vs_tree_table",
+            "fused_speedup_vs_materialized",
+        ] {
             positive(kernel.get(field), &context(field))?;
         }
         let phases = kernel
             .get("phases_ns")
             .ok_or_else(|| format!("kernel {label:?} missing \"phases_ns\""))?;
-        for field in ["strip", "bcat", "mrct"] {
+        for field in ["strip", "bcat", "mrct", "streamed"] {
             positive(phases.get(field), &context(field))?;
+        }
+        // Peak objects appear exactly when the report says the allocator
+        // counters were live — same emitter/flag cross-check as the
+        // parallel engine rows.
+        match (peak_tracked, kernel.get("peak_alloc_bytes")) {
+            (true, Some(peaks)) => {
+                for field in ["strip", "bcat", "mrct", "streamed"] {
+                    peaks
+                        .get(field)
+                        .and_then(Value::as_u64)
+                        .ok_or_else(|| context(&format!("peak_alloc_bytes.{field}")))?;
+                }
+            }
+            (false, None) => {}
+            (true, None) => {
+                return Err(format!("kernel {label:?} missing \"peak_alloc_bytes\""));
+            }
+            (false, Some(_)) => {
+                return Err(format!(
+                    "kernel {label:?} carries \"peak_alloc_bytes\" although \
+                     \"peak_alloc_tracked\" is false"
+                ));
+            }
         }
         let engines = kernel
             .get("engines_ns")
@@ -666,7 +907,7 @@ fn validate_report(text: &str) -> Result<usize, String> {
         let phase_baselines = kernel
             .get("phase_baselines")
             .ok_or_else(|| format!("kernel {label:?} missing \"phase_baselines\""))?;
-        for phase in ["mrct", "bcat"] {
+        for phase in ["mrct", "bcat", "streamed"] {
             match phase_baselines.get(phase) {
                 Some(Value::Null) => {}
                 Some(entry) => {

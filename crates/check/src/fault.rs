@@ -11,6 +11,8 @@
 use std::fmt;
 use std::str::FromStr;
 
+use cachedse_sim::onepass::DepthProfile;
+
 use crate::bcat::BcatSnapshot;
 use crate::mrct::MrctSnapshot;
 
@@ -39,11 +41,30 @@ pub enum FaultKind {
     /// Reverse a multi-element conflict set (breaks the canonical recency
     /// member order, so the set no longer equals its recomputed window).
     MrctUnsortedSet,
+    /// Shift one count between adjacent buckets of a streamed per-level
+    /// histogram. The histogram total — and with it every trace statistic —
+    /// is preserved, so only the streamed-vs-materialized byte-identity
+    /// check ([`Invariant::ProfileDivergence`]) can catch it: the signature
+    /// of an off-by-one in the fused replay's suffix-sum walk.
+    ///
+    /// [`Invariant::ProfileDivergence`]: crate::report::Invariant::ProfileDivergence
+    StreamedCountSkew,
+}
+
+/// Which pipeline artifact a [`FaultKind`] corrupts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultTarget {
+    /// The BCAT snapshot.
+    Bcat,
+    /// The MRCT snapshot.
+    Mrct,
+    /// The streamed per-level profiles.
+    Profiles,
 }
 
 impl FaultKind {
     /// Every fault kind, for exhaustive detection tests and CLI help.
-    pub const ALL: [Self; 7] = [
+    pub const ALL: [Self; 8] = [
         Self::BcatDropRef,
         Self::BcatDuplicateRef,
         Self::BcatPrematureLeaf,
@@ -51,18 +72,26 @@ impl FaultKind {
         Self::MrctSelfConflict,
         Self::MrctDropSet,
         Self::MrctUnsortedSet,
+        Self::StreamedCountSkew,
     ];
 
-    /// `true` if the fault targets the BCAT (otherwise it targets the MRCT).
+    /// Which artifact this fault corrupts.
+    #[must_use]
+    pub fn target(self) -> FaultTarget {
+        match self {
+            Self::BcatDropRef
+            | Self::BcatDuplicateRef
+            | Self::BcatPrematureLeaf
+            | Self::BcatPermutationSwap => FaultTarget::Bcat,
+            Self::MrctSelfConflict | Self::MrctDropSet | Self::MrctUnsortedSet => FaultTarget::Mrct,
+            Self::StreamedCountSkew => FaultTarget::Profiles,
+        }
+    }
+
+    /// `true` if the fault targets the BCAT.
     #[must_use]
     pub fn targets_bcat(self) -> bool {
-        matches!(
-            self,
-            Self::BcatDropRef
-                | Self::BcatDuplicateRef
-                | Self::BcatPrematureLeaf
-                | Self::BcatPermutationSwap
-        )
+        self.target() == FaultTarget::Bcat
     }
 }
 
@@ -76,6 +105,7 @@ impl fmt::Display for FaultKind {
             Self::MrctSelfConflict => "mrct-self-conflict",
             Self::MrctDropSet => "mrct-drop-set",
             Self::MrctUnsortedSet => "mrct-unsorted-set",
+            Self::StreamedCountSkew => "streamed-count-skew",
         };
         f.write_str(name)
     }
@@ -221,6 +251,37 @@ pub fn inject_mrct(snapshot: &mut MrctSnapshot, kind: FaultKind) -> bool {
     }
 }
 
+/// Applies a profile fault to a streamed per-level profile vector. Returns
+/// `false` when no profile has a recurrence to skew or the fault targets
+/// another artifact.
+pub fn inject_profiles(profiles: &mut [DepthProfile], kind: FaultKind) -> bool {
+    if kind != FaultKind::StreamedCountSkew {
+        return false;
+    }
+    for (i, profile) in profiles.iter().enumerate() {
+        // Move one set from its true conflict depth `d` to `d + 1`: the
+        // histogram total is untouched, so the skew survives every
+        // statistics gate and only byte-identity can expose it.
+        let Some(d) = profile.histogram().iter().position(|&c| c > 0) else {
+            continue;
+        };
+        let mut histogram = profile.histogram().to_vec();
+        histogram[d] -= 1;
+        if histogram.len() <= d + 1 {
+            histogram.resize(d + 2, 0);
+        }
+        histogram[d + 1] += 1;
+        profiles[i] = DepthProfile::from_parts(
+            profile.depth(),
+            histogram,
+            profile.cold(),
+            profile.accesses(),
+        );
+        return true;
+    }
+    false
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -244,22 +305,33 @@ mod tests {
     fn every_fault_is_detected() {
         let stripped = StrippedTrace::from_trace(&paper_running_example());
         for kind in FaultKind::ALL {
-            if kind.targets_bcat() {
-                let bcat = Bcat::from_stripped(&stripped, 4);
-                let mut snap = BcatSnapshot::of(&bcat);
-                assert!(inject_bcat(&mut snap, kind), "{kind} found no site");
-                assert!(
-                    !check_bcat(&snap, &stripped).is_empty(),
-                    "{kind} went undetected"
-                );
-            } else {
-                let mrct = Mrct::build(&stripped);
-                let mut snap = MrctSnapshot::of(&mrct);
-                assert!(inject_mrct(&mut snap, kind), "{kind} found no site");
-                assert!(
-                    !check_mrct(&snap, &stripped).is_empty(),
-                    "{kind} went undetected"
-                );
+            match kind.target() {
+                FaultTarget::Bcat => {
+                    let bcat = Bcat::from_stripped(&stripped, 4);
+                    let mut snap = BcatSnapshot::of(&bcat);
+                    assert!(inject_bcat(&mut snap, kind), "{kind} found no site");
+                    assert!(
+                        !check_bcat(&snap, &stripped).is_empty(),
+                        "{kind} went undetected"
+                    );
+                }
+                FaultTarget::Mrct => {
+                    let mrct = Mrct::build(&stripped);
+                    let mut snap = MrctSnapshot::of(&mrct);
+                    assert!(inject_mrct(&mut snap, kind), "{kind} found no site");
+                    assert!(
+                        !check_mrct(&snap, &stripped).is_empty(),
+                        "{kind} went undetected"
+                    );
+                }
+                FaultTarget::Profiles => {
+                    let mut fused = cachedse_core::streamed::level_profiles(&stripped, 4);
+                    assert!(inject_profiles(&mut fused, kind), "{kind} found no site");
+                    assert!(
+                        !crate::profiles::check_profiles(&fused, &stripped, 4).is_empty(),
+                        "{kind} went undetected"
+                    );
+                }
             }
         }
     }
@@ -291,7 +363,28 @@ mod tests {
         let stripped = StrippedTrace::from_trace(&paper_running_example());
         let mut bcat_snap = BcatSnapshot::of(&Bcat::from_stripped(&stripped, 4));
         let mut mrct_snap = MrctSnapshot::of(&Mrct::build(&stripped));
+        let mut fused = cachedse_core::streamed::level_profiles(&stripped, 4);
         assert!(!inject_bcat(&mut bcat_snap, FaultKind::MrctDropSet));
         assert!(!inject_mrct(&mut mrct_snap, FaultKind::BcatDropRef));
+        assert!(!inject_bcat(&mut bcat_snap, FaultKind::StreamedCountSkew));
+        assert!(!inject_mrct(&mut mrct_snap, FaultKind::StreamedCountSkew));
+        assert!(!inject_profiles(&mut fused, FaultKind::BcatDropRef));
+    }
+
+    /// The skew preserves the histogram total (and thus every trace
+    /// statistic), so nothing but byte-identity can expose it.
+    #[test]
+    fn count_skew_preserves_histogram_totals() {
+        let stripped = StrippedTrace::from_trace(&paper_running_example());
+        let clean = cachedse_core::streamed::level_profiles(&stripped, 4);
+        let mut skewed = clean.clone();
+        assert!(inject_profiles(&mut skewed, FaultKind::StreamedCountSkew));
+        assert_ne!(clean, skewed);
+        for (c, s) in clean.iter().zip(&skewed) {
+            assert_eq!(
+                c.histogram().iter().sum::<u64>(),
+                s.histogram().iter().sum::<u64>()
+            );
+        }
     }
 }

@@ -41,6 +41,7 @@ pub mod fault;
 pub mod frontier;
 pub mod model;
 pub mod mrct;
+pub mod profiles;
 pub mod report;
 pub mod zero_one;
 
@@ -52,10 +53,11 @@ use cachedse_trace::Trace;
 
 pub use bcat::{check_bcat, check_bcat_live, BcatNodeSnapshot, BcatSnapshot};
 pub use engines::check_engines;
-pub use fault::{inject_bcat, inject_mrct, FaultKind};
+pub use fault::{inject_bcat, inject_mrct, inject_profiles, FaultKind, FaultTarget};
 pub use frontier::{check_budget_monotonicity, check_frontier};
 pub use model::{model_report, violation_from_model};
 pub use mrct::{check_mrct, check_mrct_live, MrctSnapshot};
+pub use profiles::{check_profiles, check_streamed};
 pub use report::{CheckReport, Invariant, Location, Violation};
 pub use zero_one::check_zero_one;
 
@@ -64,8 +66,9 @@ pub use zero_one::check_zero_one;
 pub struct CheckOptions {
     /// Cap on explored index bits (`None` = the trace's address width).
     pub max_index_bits: Option<u32>,
-    /// A fault to inject into the BCAT/MRCT snapshot before checking, for
-    /// exercising the detection path end to end.
+    /// A fault to inject into the BCAT/MRCT snapshot — or the streamed
+    /// per-level profiles — before checking, for exercising the detection
+    /// path end to end.
     pub inject_fault: Option<FaultKind>,
 }
 
@@ -92,14 +95,16 @@ pub fn check_artifacts(
         mrct: check_mrct(mrct_snapshot, stripped),
         frontier: Vec::new(),
         engine: Vec::new(),
+        profiles: Vec::new(),
         model: Vec::new(),
     }
 }
 
 /// Runs the full pipeline on `trace` and verifies every artifact: zero/one
 /// sets, BCAT, MRCT, engine agreement (depth-first serial and parallel vs
-/// the tree+table reference), and the frontier at each of `budgets` (plus
-/// budget monotonicity across them).
+/// the tree+table reference), streamed-vs-materialized postlude identity,
+/// and the frontier at each of `budgets` (plus budget monotonicity across
+/// them).
 ///
 /// # Errors
 ///
@@ -124,15 +129,28 @@ pub fn check_pipeline(
     let mut bcat_snapshot = BcatSnapshot::of(&bcat);
     let mut mrct_snapshot = MrctSnapshot::of(&mrct);
     if let Some(kind) = options.inject_fault {
-        if kind.targets_bcat() {
-            inject_bcat(&mut bcat_snapshot, kind);
-        } else {
-            inject_mrct(&mut mrct_snapshot, kind);
+        match kind.target() {
+            fault::FaultTarget::Bcat => {
+                inject_bcat(&mut bcat_snapshot, kind);
+            }
+            fault::FaultTarget::Mrct => {
+                inject_mrct(&mut mrct_snapshot, kind);
+            }
+            // Profile faults are applied to the streamed profiles below.
+            fault::FaultTarget::Profiles => {}
         }
     }
 
     let mut report = check_artifacts(&zo, &bcat_snapshot, &mrct_snapshot, &stripped);
     report.engine = check_engines(&stripped, max_bits);
+
+    let mut fused = cachedse_core::streamed::level_profiles(&stripped, max_bits);
+    if let Some(kind) = options.inject_fault {
+        if kind.target() == fault::FaultTarget::Profiles {
+            inject_profiles(&mut fused, kind);
+        }
+    }
+    report.profiles = check_profiles(&fused, &stripped, max_bits);
 
     let mut explorer = DesignSpaceExplorer::new(trace);
     if let Some(bits) = options.max_index_bits {
@@ -206,10 +224,16 @@ mod tests {
             )
             .unwrap();
             assert!(!report.is_clean(), "{kind} produced a clean report");
-            if kind.targets_bcat() {
-                assert!(!report.bcat.is_empty(), "{kind}: wrong family");
-            } else {
-                assert!(!report.mrct.is_empty(), "{kind}: wrong family");
+            match kind.target() {
+                fault::FaultTarget::Bcat => {
+                    assert!(!report.bcat.is_empty(), "{kind}: wrong family");
+                }
+                fault::FaultTarget::Mrct => {
+                    assert!(!report.mrct.is_empty(), "{kind}: wrong family");
+                }
+                fault::FaultTarget::Profiles => {
+                    assert!(!report.profiles.is_empty(), "{kind}: wrong family");
+                }
             }
         }
     }

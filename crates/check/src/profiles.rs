@@ -1,0 +1,109 @@
+//! Streamed-vs-materialized postlude checking.
+//!
+//! The default `streamed` engine fuses the MRCT replay with the postlude
+//! (DESIGN.md §16): conflict sets are folded into the per-level histograms
+//! the moment the recency array produces them, and the CSR arena is never
+//! built. Its soundness claim is *byte-identity* with the paper's published
+//! pipeline — `Mrct::build` followed by `postlude::level_profiles` over a
+//! materialized BCAT. This checker recomputes the profiles both ways from
+//! the stripped trace and reports every level where they disagree, so a
+//! fused-path regression surfaces as a structured
+//! [`Invariant::ProfileDivergence`] violation instead of a silently wrong
+//! frontier.
+
+use cachedse_core::{postlude, streamed, Bcat, Mrct};
+use cachedse_sim::onepass::DepthProfile;
+use cachedse_trace::strip::StrippedTrace;
+
+use crate::report::{Invariant, Location, Violation};
+
+/// Diffs `candidate` — normally the output of
+/// [`streamed::level_profiles`] — against a freshly materialized
+/// `Mrct::build` + postlude run, level by level.
+#[must_use]
+pub fn check_profiles(
+    candidate: &[DepthProfile],
+    stripped: &StrippedTrace,
+    max_index_bits: u32,
+) -> Vec<Violation> {
+    let bcat = Bcat::from_stripped(stripped, max_index_bits);
+    let mrct = Mrct::build(stripped);
+    let golden = postlude::level_profiles(&bcat, &mrct, stripped, max_index_bits);
+
+    let mut violations = Vec::new();
+    if candidate.len() != golden.len() {
+        violations.push(Violation::new(
+            Invariant::ProfileDivergence,
+            Location::Global,
+            format!(
+                "streamed path produced {} level profile(s), materialized path has {}",
+                candidate.len(),
+                golden.len()
+            ),
+        ));
+        return violations;
+    }
+    for (level, (got, want)) in candidate.iter().zip(&golden).enumerate() {
+        if got != want {
+            let level = u32::try_from(level).expect("level fits u32");
+            violations.push(Violation::new(
+                Invariant::ProfileDivergence,
+                Location::Level(level),
+                format!("streamed profile {got:?} differs from materialized {want:?}"),
+            ));
+        }
+    }
+    violations
+}
+
+/// Convenience: recomputes the streamed profiles itself and checks them —
+/// the zero-setup form used by `check_pipeline`.
+#[must_use]
+pub fn check_streamed(stripped: &StrippedTrace, max_index_bits: u32) -> Vec<Violation> {
+    let fused = streamed::level_profiles(stripped, max_index_bits);
+    check_profiles(&fused, stripped, max_index_bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachedse_trace::{generate, paper_running_example};
+
+    #[test]
+    fn paper_example_paths_agree() {
+        let s = StrippedTrace::from_trace(&paper_running_example());
+        assert!(check_streamed(&s, s.address_bits()).is_empty());
+    }
+
+    #[test]
+    fn workload_paths_agree() {
+        let trace = generate::loop_with_excursions(3, 56, 27, 9, 1 << 11, 6);
+        let s = StrippedTrace::from_trace(&trace);
+        assert!(check_streamed(&s, s.address_bits()).is_empty());
+    }
+
+    #[test]
+    fn divergence_is_reported_per_level() {
+        let s = StrippedTrace::from_trace(&paper_running_example());
+        let bits = s.address_bits();
+        let mut fused = streamed::level_profiles(&s, bits);
+        let first = fused[0].clone();
+        let last = fused.len() - 1;
+        fused[last] = first;
+        let violations = check_profiles(&fused, &s, bits);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].invariant, Invariant::ProfileDivergence);
+        assert_eq!(
+            violations[0].location,
+            Location::Level(u32::try_from(last).unwrap())
+        );
+    }
+
+    #[test]
+    fn length_mismatch_is_a_single_global_violation() {
+        let s = StrippedTrace::from_trace(&paper_running_example());
+        let violations = check_profiles(&[], &s, s.address_bits());
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].location, Location::Global);
+    }
+}

@@ -59,6 +59,11 @@ pub enum Invariant {
     /// per-level profile different from the tree+table reference; the
     /// engines are interchangeable only because they are byte-identical.
     EngineDivergence,
+    /// The streamed MRCT→postlude fusion produced a per-level profile
+    /// different from the materialized `Mrct::build` + postlude path; the
+    /// fused default engine is sound only because it is byte-identical to
+    /// the paper's Algorithms 2–3 as published.
+    ProfileDivergence,
     /// The concurrency model checker found a schedule in which every thread
     /// is blocked (or stuck past the step bound) with no waiter involved.
     ModelDeadlock,
@@ -93,6 +98,7 @@ impl fmt::Display for Invariant {
             Self::FrontierNonMonotoneDepth => "frontier-non-monotone-depth",
             Self::FrontierNonMonotoneBudget => "frontier-non-monotone-budget",
             Self::EngineDivergence => "engine-divergence",
+            Self::ProfileDivergence => "profile-divergence",
             Self::ModelDeadlock => "model-deadlock",
             Self::ModelLostWakeup => "model-lost-wakeup",
             Self::ModelDataRace => "model-data-race",
@@ -217,6 +223,9 @@ pub struct CheckReport {
     /// Engine-agreement violations (depth-first engines vs the tree+table
     /// reference).
     pub engine: Vec<Violation>,
+    /// Streamed-vs-materialized postlude divergence violations (the fused
+    /// replay against `Mrct::build` + `postlude::level_profiles`).
+    pub profiles: Vec<Violation>,
     /// Concurrency-model violations (deadlock, lost wakeup, data race,
     /// misuse, panic) found by exploring the serve-pool and parallel-engine
     /// scenarios under `cachedse-sync`'s model scheduler.
@@ -238,6 +247,7 @@ impl CheckReport {
             + self.mrct.len()
             + self.frontier.len()
             + self.engine.len()
+            + self.profiles.len()
             + self.model.len()
     }
 
@@ -249,6 +259,7 @@ impl CheckReport {
             .chain(&self.mrct)
             .chain(&self.frontier)
             .chain(&self.engine)
+            .chain(&self.profiles)
             .chain(&self.model)
     }
 
@@ -264,6 +275,7 @@ impl CheckReport {
             ("mrct", Value::from(self.mrct.len())),
             ("frontier", Value::from(self.frontier.len())),
             ("engine", Value::from(self.engine.len())),
+            ("profiles", Value::from(self.profiles.len())),
             ("model", Value::from(self.model.len())),
         ]);
         Value::object([
@@ -282,12 +294,14 @@ impl fmt::Display for CheckReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "zero/one: {}, bcat: {}, mrct: {}, frontier: {}, engine: {}, model: {} violation(s)",
+            "zero/one: {}, bcat: {}, mrct: {}, frontier: {}, engine: {}, profiles: {}, \
+             model: {} violation(s)",
             self.zero_one.len(),
             self.bcat.len(),
             self.mrct.len(),
             self.frontier.len(),
             self.engine.len(),
+            self.profiles.len(),
             self.model.len()
         )?;
         for v in self.iter() {

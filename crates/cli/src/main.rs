@@ -7,7 +7,7 @@
 //! cachedse stats trace.din
 //! cachedse simulate trace.din --depth 64 --assoc 2 [--policy lru] [--line-bits 0]
 //! cachedse explore trace.din (--misses K | --fraction F) [--max-bits B]
-//!                            [--engine dfs|parallel|tree] [--threads N]
+//!                            [--engine streamed|dfs|parallel|tree] [--threads N]
 //!                            [--verify] [--format json]
 //! cachedse sweep trace.din [--max-bits B]        # the paper's K-grid table
 //! cachedse check trace.din [--misses K | --fraction F] [--max-bits B]
@@ -17,11 +17,11 @@
 //!                        # concurrency model gate; needs a build with
 //!                        # RUSTFLAGS="--cfg cachedse_model"
 //! cachedse batch [jobs.jsonl] [--workers N] [--queue N] [--cache N]
-//!                [--engine dfs|parallel|tree] [--threads N]
+//!                [--engine streamed|dfs|parallel|tree] [--threads N]
 //!                [--timeout-ms MS] [--validate]
 //!                [--store-dir DIR]               # JSONL jobs in, results out
 //! cachedse serve [--bind HOST:PORT] [--workers N] [--queue N] [--cache N]
-//!                [--engine dfs|parallel|tree] [--threads N]
+//!                [--engine streamed|dfs|parallel|tree] [--threads N]
 //!                [--timeout-ms MS] [--validate]
 //!                [--store-dir DIR]               # persistent artifact store
 //!                [--join HOST:PORT[,HOST:PORT…]] # enter a shard ring
@@ -241,11 +241,14 @@ fn cmd_simulate(args: &Args) -> CliResult {
 }
 
 fn engine_of(args: &Args) -> Result<Engine, Box<dyn std::error::Error>> {
-    match args.opt_str("engine").unwrap_or("dfs") {
+    match args.opt_str("engine").unwrap_or("streamed") {
+        "streamed" => Ok(Engine::Streamed),
         "dfs" => Ok(Engine::DepthFirst),
         "parallel" => Ok(Engine::DepthFirstParallel),
         "tree" => Ok(Engine::TreeTable),
-        other => Err(format!("unknown engine {other:?}; expected dfs|parallel|tree").into()),
+        other => {
+            Err(format!("unknown engine {other:?}; expected streamed|dfs|parallel|tree").into())
+        }
     }
 }
 

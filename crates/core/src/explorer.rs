@@ -14,6 +14,7 @@ use crate::dfs;
 use crate::error::ExploreError;
 use crate::mrct::Mrct;
 use crate::postlude;
+use crate::streamed;
 
 /// The designer's miss constraint `K`.
 ///
@@ -32,9 +33,16 @@ pub enum MissBudget {
 /// Which implementation of the analytical method to run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum Engine {
-    /// The Section 2.4 combined algorithm: depth-first subtrace partitioning,
-    /// linear space, no materialized BCAT/MRCT. The default.
+    /// The streamed MRCT→postlude fusion (DESIGN.md §16): the tombstone
+    /// recency-array replay of [`Mrct::build`](crate::Mrct::build) with each
+    /// conflict set folded into the per-level histograms the moment it is
+    /// produced — `O(unique refs)` memory, no arena, no sizing pass. The
+    /// default for fresh analytical runs; byte-identical to every other
+    /// engine.
     #[default]
+    Streamed,
+    /// The Section 2.4 combined algorithm: depth-first subtrace partitioning,
+    /// linear space, no materialized BCAT/MRCT.
     DepthFirst,
     /// The depth-first engine with BCAT subtrees fanned out over a worker
     /// pool — the paper's §2.4 distributed-sets remark, in threads. Worker
@@ -52,6 +60,7 @@ pub enum Engine {
 impl fmt::Display for Engine {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            Self::Streamed => f.write_str("streamed"),
             Self::DepthFirst => f.write_str("depth-first"),
             Self::DepthFirstParallel => f.write_str("depth-first-parallel"),
             Self::TreeTable => f.write_str("tree-table"),
@@ -187,6 +196,7 @@ pub fn prepare_stripped(
         return Err(ExploreError::IndexBitsTooLarge(max_bits));
     }
     let profiles = match engine {
+        Engine::Streamed => streamed::level_profiles(stripped, max_bits),
         Engine::DepthFirst => dfs::level_profiles(stripped, max_bits),
         Engine::DepthFirstParallel => {
             let threads = threads
@@ -829,8 +839,14 @@ mod tests {
 
     #[test]
     fn engine_display() {
+        assert_eq!(Engine::Streamed.to_string(), "streamed");
         assert_eq!(Engine::DepthFirst.to_string(), "depth-first");
         assert_eq!(Engine::TreeTable.to_string(), "tree-table");
+    }
+
+    #[test]
+    fn streamed_is_the_default_engine() {
+        assert_eq!(Engine::default(), Engine::Streamed);
     }
 
     #[test]
@@ -923,6 +939,7 @@ mod tests {
         ];
         let refs: Vec<&Trace> = apps.iter().collect();
         for engine in [
+            Engine::Streamed,
             Engine::DepthFirst,
             Engine::DepthFirstParallel,
             Engine::TreeTable,

@@ -32,7 +32,11 @@
 //! Section 2.4 of the paper sketches a combined variant that never
 //! materializes the tree or the table; [`dfs`] implements it with a
 //! depth-first subtrace partition and Fenwick-tree distance counting, in
-//! `O(N log N)` time per level and linear space.
+//! `O(N log N)` time per level and linear space. The default engine goes
+//! further: [`streamed`] fuses the MRCT replay with the postlude, folding
+//! every conflict set into the per-level histograms the moment it is
+//! produced — the profiles of all levels in one pass, `O(N')` memory, no
+//! materialized table at all.
 //!
 //! # Exactness
 //!
@@ -74,6 +78,7 @@ pub mod explorer;
 pub mod mrct;
 pub mod postlude;
 pub mod report;
+pub mod streamed;
 pub mod verify;
 pub mod zero_one;
 

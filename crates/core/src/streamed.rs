@@ -1,0 +1,248 @@
+//! Streamed MRCT→postlude fusion: per-depth miss profiles straight off the
+//! recency-array replay, with no conflict-set materialization.
+//!
+//! [`Mrct::build`](crate::Mrct::build) exists to feed
+//! [`postlude::level_profiles`](crate::postlude::level_profiles): the CSR
+//! arena stores every conflict set only so the postlude can later count
+//! `|S ∩ C|` per level. But `|S ∩ C|` is order-insensitive and decomposes
+//! per member — reference `x` in `r`'s conflict set shares `r`'s row at
+//! level `l` **iff** the low `l` address bits agree, i.e. iff
+//! `trailing_zeros(addr_x ^ addr_r) ≥ l`. So each set can be folded into
+//! the per-level histograms the moment the replay produces it, and never
+//! stored: one `trailing_zeros` bucketing pass over the members, then a
+//! suffix-sum walk down the levels.
+//!
+//! Memory drops from `O(output)` (the arena holds hundreds of millions of
+//! members on conflict-heavy kernels) to `O(unique refs + levels)`; the
+//! Fenwick sizing pass of `Mrct::build` disappears entirely (nothing needs
+//! pre-reserved ranges), and each member is touched **once** instead of
+//! once per active level. The materialized pair stays intact as the
+//! differential oracle and the artifact-store representation; byte-identity
+//! of the two paths is enforced by `tests/postlude_differential.rs` and the
+//! `cachedse-check` `profile-divergence` invariant.
+//!
+//! Why recency order is irrelevant: the postlude only ever computes the
+//! *cardinality* `d = |S ∩ C|` of each set against each row — a sum of
+//! per-member indicators — so the order in which the replay emits members
+//! (and the order in which sets are produced) cannot change any histogram.
+
+use cachedse_sim::onepass::DepthProfile;
+use cachedse_trace::strip::StrippedTrace;
+
+/// Tombstone marker in the recency array (same scheme as `Mrct::build`).
+const ABSENT: u32 = u32::MAX;
+
+/// Computes the exact miss profile of every depth `1, 2, …, 2^max_index_bits`
+/// in one fused replay pass — byte-identical to
+/// [`Mrct::build`](crate::Mrct::build) +
+/// [`postlude::level_profiles`](crate::postlude::level_profiles), without
+/// materializing the BCAT or the MRCT.
+///
+/// # Examples
+///
+/// ```
+/// use cachedse_core::{postlude, streamed, Bcat, Mrct};
+/// use cachedse_trace::{paper_running_example, strip::StrippedTrace};
+///
+/// let stripped = StrippedTrace::from_trace(&paper_running_example());
+/// let fused = streamed::level_profiles(&stripped, 4);
+///
+/// let bcat = Bcat::from_stripped(&stripped, 4);
+/// let mrct = Mrct::build(&stripped);
+/// assert_eq!(fused, postlude::level_profiles(&bcat, &mrct, &stripped, 4));
+/// ```
+#[must_use]
+pub fn level_profiles(stripped: &StrippedTrace, max_index_bits: u32) -> Vec<DepthProfile> {
+    let total = stripped.total_len() as u64;
+    let unique = stripped.unique_len() as u64;
+    let non_cold = total - unique;
+    let n_unique = stripped.unique_len();
+    let sequence = stripped.id_sequence();
+    debug_assert!(
+        n_unique < ABSENT as usize,
+        "id space leaves room for the tombstone marker"
+    );
+
+    let addrs: Vec<u32> = stripped
+        .unique_addresses()
+        .iter()
+        .map(|a| a.raw())
+        .collect();
+
+    // `hist[l][d]` counts the conflict sets with exactly `d` same-row
+    // members at level `l` (only `d > 0` is recorded, mirroring the
+    // materialized postlude). `bucket[b]` holds, for the set currently
+    // being folded, the members whose shared-row depth — clamped to
+    // `max_index_bits` — is exactly `b`; the level walk drains it back to
+    // all-zeros before the next set starts.
+    let max_level = max_index_bits as usize;
+    let mut hist: Vec<Vec<u64>> = vec![Vec::new(); max_level + 1];
+    let mut bucket: Vec<u64> = vec![0; max_level + 1];
+
+    // The replay is `Mrct::build`'s pass two verbatim — live entries in
+    // last-access order, dead entries tombstoned in place, a sorted index
+    // of the (few) dead positions splitting each emitted suffix into clean
+    // spans — except the spans are folded instead of copied: no pass one,
+    // no reserved ranges, no arena.
+    let mut seq: Vec<u32> = Vec::with_capacity(n_unique.min(sequence.len()) + 1);
+    let mut live_pos: Vec<u32> = vec![ABSENT; n_unique];
+    let mut dead: Vec<u32> = Vec::new();
+    let mut live: usize = 0;
+    for &id in sequence {
+        let i = id.index();
+        let p = live_pos[i];
+        if p == ABSENT {
+            live += 1;
+        } else {
+            // The conflict set is the live suffix after p. Bucket every
+            // member by its clamped shared-row depth against the owner:
+            // distinct unique addresses make the xor nonzero, and the
+            // `min` also absorbs the (unreachable) `trailing_zeros == 32`.
+            let owner = addrs[i];
+            let mut d: u64 = 0;
+            let mut span = p as usize + 1;
+            for &q in &dead[dead.partition_point(|&q| q <= p)..] {
+                for &x in &seq[span..q as usize] {
+                    let b = ((addrs[x as usize] ^ owner).trailing_zeros() as usize).min(max_level);
+                    bucket[b] += 1;
+                }
+                d += (q as usize - span) as u64;
+                span = q as usize + 1;
+            }
+            for &x in &seq[span..] {
+                let b = ((addrs[x as usize] ^ owner).trailing_zeros() as usize).min(max_level);
+                bucket[b] += 1;
+            }
+            d += (seq.len() - span) as u64;
+            // Suffix-sum walk: at level l the set contributes `d_l` =
+            // #{members with shared depth ≥ l}; `d_0 = |C|` and each step
+            // retires bucket[l]. Every member's clamped depth is ≤
+            // max_level, so `d` hits zero no later than one past it — and
+            // `d == 0` means every remaining bucket is already zero, which
+            // is what lets `take` leave the array clean for the next set.
+            let mut l = 0;
+            while d > 0 {
+                let du = d as usize;
+                let h = &mut hist[l];
+                if h.len() <= du {
+                    h.resize(du + 1, 0);
+                }
+                h[du] += 1;
+                d -= std::mem::take(&mut bucket[l]);
+                l += 1;
+            }
+            seq[p as usize] = ABSENT;
+            dead.insert(dead.partition_point(|&q| q < p), p);
+        }
+        live_pos[i] = u32::try_from(seq.len()).expect("recency position fits u32");
+        seq.push(id.raw());
+        // Compact once tombstones could fragment the folded spans:
+        // amortized O(1) per access, same threshold as `Mrct::build`.
+        if dead.len() > live / 256 + 8 {
+            let mut w = 0;
+            for j in 0..seq.len() {
+                let x = seq[j];
+                if x != ABSENT {
+                    live_pos[x as usize] = w as u32;
+                    seq[w] = x;
+                    w += 1;
+                }
+            }
+            debug_assert_eq!(w, live, "compaction must retain exactly the live entries");
+            seq.truncate(w);
+            dead.clear();
+        }
+    }
+
+    // Finalize exactly like the materialized postlude: every non-first
+    // occurrence falls in exactly one row per level; those not recorded
+    // above had zero same-row conflicts.
+    hist.into_iter()
+        .enumerate()
+        .map(|(level, mut histogram)| {
+            let tail: u64 = histogram.iter().sum();
+            if histogram.is_empty() {
+                histogram.push(non_cold - tail);
+            } else {
+                histogram[0] = non_cold - tail;
+            }
+            DepthProfile::from_parts(1 << level, histogram, unique, total)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bcat::Bcat;
+    use crate::mrct::Mrct;
+    use crate::postlude;
+    use cachedse_sim::onepass::profile_depths;
+    use cachedse_trace::rng::SplitMix64;
+    use cachedse_trace::{generate, paper_running_example, Address, Record, Trace};
+
+    fn materialized(trace: &Trace, max_bits: u32) -> Vec<DepthProfile> {
+        let stripped = StrippedTrace::from_trace(trace);
+        let bcat = Bcat::from_stripped(&stripped, max_bits);
+        let mrct = Mrct::build(&stripped);
+        postlude::level_profiles(&bcat, &mrct, &stripped, max_bits)
+    }
+
+    fn fused(trace: &Trace, max_bits: u32) -> Vec<DepthProfile> {
+        level_profiles(&StrippedTrace::from_trace(trace), max_bits)
+    }
+
+    #[test]
+    fn paper_example_matches_materialized_and_simulation() {
+        let trace = paper_running_example();
+        let profiles = fused(&trace, 4);
+        assert_eq!(profiles, materialized(&trace, 4));
+        assert_eq!(profiles, profile_depths(&trace, 4));
+        // Section 2.3: a depth-2 cache needs associativity 3 for zero misses.
+        assert_eq!(profiles[1].min_associativity(0), 3);
+    }
+
+    #[test]
+    fn matches_materialized_on_workloads() {
+        for trace in [
+            generate::loop_pattern(0x40, 24, 20),
+            generate::strided(0, 4, 64, 6),
+            generate::uniform_random(800, 128, 11),
+            generate::working_set_phases(4, 150, 24, 2),
+            generate::loop_with_excursions(0, 48, 30, 11, 1 << 10, 5),
+        ] {
+            let bits = trace.address_bits();
+            assert_eq!(fused(&trace, bits), materialized(&trace, bits));
+            assert_eq!(fused(&trace, bits), profile_depths(&trace, bits));
+        }
+    }
+
+    #[test]
+    fn levels_beyond_addresses_are_all_zero() {
+        let trace: Trace = [1u32, 2, 1, 2]
+            .into_iter()
+            .map(|a| Record::read(Address::new(a)))
+            .collect();
+        let profiles = fused(&trace, 5);
+        assert_eq!(profiles, materialized(&trace, 5));
+        assert_eq!(profiles.len(), 6);
+        for p in &profiles[2..] {
+            assert_eq!(p.misses_at(1), 0, "depth {}", p.depth());
+        }
+    }
+
+    /// Randomized byte-identity sweep, dense enough to exercise the
+    /// tombstone compaction path (small address spaces force recurrences).
+    #[test]
+    fn matches_materialized_on_random_traces() {
+        let mut rng = SplitMix64::seed_from_u64(0x5742_EA11);
+        for _ in 0..64 {
+            let len = rng.gen_range(1usize..250);
+            let trace: Trace = (0..len)
+                .map(|_| Record::read(Address::new(rng.gen_range(0u32..96))))
+                .collect();
+            let max_bits = rng.gen_range(0u32..8);
+            assert_eq!(fused(&trace, max_bits), materialized(&trace, max_bits));
+        }
+    }
+}

@@ -7,10 +7,15 @@
 //! version          u32       1
 //! digest           u64       FNV-1a trace digest (the key)
 //! max_index_bits   u32       index-bit cap the artifacts were built under
-//! flags            u32       bit 0: BCAT/MRCT/zero-one tree present
+//! flags            u32       bit 0: BCAT/MRCT/zero-one tree present;
+//!                            bit 1: profiles-only entry (no tree was ever
+//!                            materialized — the streamed fusion path);
+//!                            mutually exclusive, both clear on legacy
+//!                            treeless entries
 //! address_bits     u32       width of the stripped trace's addresses
 //! stats            3 × u64   total N, unique N', max_misses
-//! engine           u32       0 depth-first, 1 parallel, 2 tree-table
+//! engine           u32       0 depth-first, 1 parallel, 2 tree-table,
+//!                            3 streamed
 //! unique           len + u32[]   unique addresses in identifier order
 //! ids              len + u32[]   the access order as identifiers
 //! profiles         len, then per profile:
@@ -49,6 +54,12 @@ pub const MAGIC: [u8; 8] = *b"CDSEART1";
 pub const VERSION: u32 = 1;
 /// Flag bit 0: the BCAT/MRCT/zero-one tree is present.
 const FLAG_TREE: u32 = 1;
+/// Flag bit 1: a profiles-only entry — the build (typically the streamed
+/// MRCT→postlude fusion) never materialized a tree, and the entry
+/// deliberately persists just the stripped trace and the per-depth
+/// profiles. Legacy treeless entries carry neither bit and decode the
+/// same way.
+const FLAG_PROFILES_ONLY: u32 = 1 << 1;
 /// Smallest possible entry: magic + version + trailing checksum.
 const MIN_LEN: usize = MAGIC.len() + 4 + 8;
 
@@ -86,7 +97,7 @@ pub fn encode(key: &ArtifactKey, artifacts: &TraceArtifacts) -> Vec<u8> {
     let flags = if artifacts.tree.is_some() {
         FLAG_TREE
     } else {
-        0
+        FLAG_PROFILES_ONLY
     };
     put_u32(&mut buf, flags);
     put_u32(&mut buf, stripped.address_bits());
@@ -139,6 +150,7 @@ fn engine_code(engine: Engine) -> u32 {
         Engine::DepthFirst => 0,
         Engine::DepthFirstParallel => 1,
         Engine::TreeTable => 2,
+        Engine::Streamed => 3,
     }
 }
 
@@ -147,6 +159,7 @@ fn engine_of(code: u32) -> Result<Engine, StoreError> {
         0 => Ok(Engine::DepthFirst),
         1 => Ok(Engine::DepthFirstParallel),
         2 => Ok(Engine::TreeTable),
+        3 => Ok(Engine::Streamed),
         other => Err(StoreError::Corrupt(format!("unknown engine code {other}"))),
     }
 }
@@ -260,8 +273,13 @@ pub fn decode(bytes: &[u8]) -> Result<(ArtifactKey, TraceArtifacts), StoreError>
     let digest = TraceDigest::from_raw(c.u64("digest")?);
     let max_index_bits = c.u32("max_index_bits")?;
     let flags = c.u32("flags")?;
-    if flags & !FLAG_TREE != 0 {
+    if flags & !(FLAG_TREE | FLAG_PROFILES_ONLY) != 0 {
         return Err(StoreError::Corrupt(format!("unknown flag bits {flags:#x}")));
+    }
+    if flags & FLAG_TREE != 0 && flags & FLAG_PROFILES_ONLY != 0 {
+        return Err(StoreError::Corrupt(
+            "contradictory flags: tree-present and profiles-only".into(),
+        ));
     }
     let address_bits = c.u32("address_bits")?;
     let stats = TraceStats {
@@ -379,6 +397,59 @@ mod tests {
             assert_eq!(decoded_key, key);
             assert_eq!(decoded, artifacts, "with_tree={with_tree}");
         }
+    }
+
+    /// Byte offset of the `flags` field: magic + version + digest +
+    /// max_index_bits.
+    const FLAGS_AT: usize = MAGIC.len() + 4 + 8 + 4;
+
+    fn reseal(bytes: &mut [u8]) {
+        let body_len = bytes.len() - 8;
+        let mut h = Fnv1a::new();
+        h.update(&bytes[..body_len]);
+        let sum = h.finish().to_le_bytes();
+        bytes[body_len..].copy_from_slice(&sum);
+    }
+
+    #[test]
+    fn profiles_only_entries_round_trip_and_carry_the_flag() {
+        let trace = generate::working_set_phases(2, 150, 32, 9);
+        let key = ArtifactKey::of(&trace, trace.address_bits());
+        let artifacts =
+            TraceArtifacts::build_with(&trace, key.max_index_bits, Engine::Streamed, None, false)
+                .unwrap();
+        assert!(artifacts.tree.is_none());
+        let bytes = encode(&key, &artifacts);
+        let flags = u32::from_le_bytes(bytes[FLAGS_AT..FLAGS_AT + 4].try_into().unwrap());
+        assert_eq!(flags, FLAG_PROFILES_ONLY);
+        let (decoded_key, decoded) = decode(&bytes).unwrap();
+        assert_eq!(decoded_key, key);
+        assert_eq!(decoded, artifacts);
+        assert_eq!(decoded.exploration.engine(), Engine::Streamed);
+    }
+
+    #[test]
+    fn legacy_treeless_entries_without_the_flag_still_decode() {
+        let (key, artifacts) = sample(false);
+        let mut bytes = encode(&key, &artifacts);
+        // Entries written before the profiles-only bit existed carry
+        // flags = 0; clear the bit and re-seal to reproduce one.
+        bytes[FLAGS_AT..FLAGS_AT + 4].copy_from_slice(&0u32.to_le_bytes());
+        reseal(&mut bytes);
+        let (decoded_key, decoded) = decode(&bytes).unwrap();
+        assert_eq!(decoded_key, key);
+        assert_eq!(decoded, artifacts);
+    }
+
+    #[test]
+    fn contradictory_flag_bits_are_rejected() {
+        let (key, artifacts) = sample(true);
+        let mut bytes = encode(&key, &artifacts);
+        let both = FLAG_TREE | FLAG_PROFILES_ONLY;
+        bytes[FLAGS_AT..FLAGS_AT + 4].copy_from_slice(&both.to_le_bytes());
+        reseal(&mut bytes);
+        let err = decode(&bytes).unwrap_err().to_string();
+        assert!(err.contains("contradictory"), "{err}");
     }
 
     #[test]

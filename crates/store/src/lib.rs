@@ -142,10 +142,12 @@ pub trait ArtifactStore: Send + Sync + fmt::Debug {
 
 /// Re-certifies loaded artifacts from the outside before anything
 /// downstream trusts them: the exploration's trace statistics must match
-/// the stripped trace they claim to describe, and when the BCAT/MRCT
-/// tree is present it must pass `cachedse-check`'s ground-truth checkers
-/// ([`check_artifacts`]) — the same gate the serve tier's `--validate`
-/// mode applies to in-memory cache entries.
+/// the stripped trace they claim to describe (and every profile must
+/// agree with them — the only recompute-free gate a profiles-only entry
+/// can offer), and when the BCAT/MRCT tree is present it must pass
+/// `cachedse-check`'s ground-truth checkers ([`check_artifacts`]) — the
+/// same gate the serve tier's `--validate` mode applies to in-memory
+/// cache entries.
 ///
 /// # Errors
 ///
@@ -157,6 +159,17 @@ pub fn validate_loaded(artifacts: &TraceArtifacts) -> Result<(), StoreError> {
             "exploration stats {:?} disagree with the stripped trace's {stats:?}",
             artifacts.exploration.stats()
         )));
+    }
+    for profile in artifacts.exploration.profiles() {
+        if profile.cold() != stats.unique as u64
+            || profile.accesses() != stats.total as u64
+            || profile.histogram().iter().sum::<u64>() != (stats.total - stats.unique) as u64
+        {
+            return Err(StoreError::Invalid(format!(
+                "depth-{} profile disagrees with the trace statistics",
+                profile.depth()
+            )));
+        }
     }
     if let Some(tree) = &artifacts.tree {
         let report = check_artifacts(

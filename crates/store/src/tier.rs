@@ -398,7 +398,11 @@ mod tests {
         let (trace, key) = key_of(5);
         let full = TraceArtifacts::build(&trace, key.max_index_bits).unwrap();
         assert!(full.tree.is_some());
-        for engine in [Engine::DepthFirst, Engine::DepthFirstParallel] {
+        for engine in [
+            Engine::Streamed,
+            Engine::DepthFirst,
+            Engine::DepthFirstParallel,
+        ] {
             let lean = TraceArtifacts::build_with(&trace, key.max_index_bits, engine, None, false)
                 .unwrap();
             assert!(
