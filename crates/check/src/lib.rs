@@ -57,7 +57,7 @@ pub use fault::{inject_bcat, inject_mrct, inject_profiles, FaultKind, FaultTarge
 pub use frontier::{check_budget_monotonicity, check_frontier};
 pub use model::{model_report, violation_from_model};
 pub use mrct::{check_mrct, check_mrct_live, MrctSnapshot};
-pub use profiles::{check_profiles, check_streamed};
+pub use profiles::{check_profiles, check_streamed, check_streamed_parallel};
 pub use report::{CheckReport, Invariant, Location, Violation};
 pub use zero_one::check_zero_one;
 

@@ -64,6 +64,20 @@ pub fn check_streamed(stripped: &StrippedTrace, max_index_bits: u32) -> Vec<Viol
     check_profiles(&fused, stripped, max_index_bits)
 }
 
+/// Like [`check_streamed`], but runs the chunked parallel fold
+/// ([`streamed::level_profiles_parallel`]) with the given worker count —
+/// the divergence detector the parallel bench rows and the differential
+/// suite lean on.
+#[must_use]
+pub fn check_streamed_parallel(
+    stripped: &StrippedTrace,
+    max_index_bits: u32,
+    threads: std::num::NonZeroUsize,
+) -> Vec<Violation> {
+    let fused = streamed::level_profiles_parallel(stripped, max_index_bits, threads);
+    check_profiles(&fused, stripped, max_index_bits)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -80,6 +94,19 @@ mod tests {
         let trace = generate::loop_with_excursions(3, 56, 27, 9, 1 << 11, 6);
         let s = StrippedTrace::from_trace(&trace);
         assert!(check_streamed(&s, s.address_bits()).is_empty());
+    }
+
+    #[test]
+    fn parallel_paths_agree() {
+        let trace = generate::loop_with_excursions(3, 56, 27, 9, 1 << 11, 6);
+        let s = StrippedTrace::from_trace(&trace);
+        for threads in [1usize, 2, 4, 8] {
+            let threads = std::num::NonZeroUsize::new(threads).expect("nonzero");
+            assert!(
+                check_streamed_parallel(&s, s.address_bits(), threads).is_empty(),
+                "threads {threads}"
+            );
+        }
     }
 
     #[test]

@@ -14,8 +14,9 @@
 //!                          [--inject-fault <kind>] [--quiet] [--format json]
 //! cachedse check --model [--preemptions N] [--walks N --seed S]
 //!                        [--max-executions M] [--format json]
-//!                        # concurrency model gate; needs a build with
-//!                        # RUSTFLAGS="--cfg cachedse_model"
+//!                        # concurrency model gate over the serve-pool,
+//!                        # dfs-split, and streamed-split scenarios; needs
+//!                        # a build with RUSTFLAGS="--cfg cachedse_model"
 //! cachedse batch [jobs.jsonl] [--workers N] [--queue N] [--cache N]
 //!                [--engine streamed|dfs|parallel|tree] [--threads N]
 //!                [--timeout-ms MS] [--validate]
@@ -58,7 +59,8 @@ commands:
   sweep      print the paper-style table for K in {5,10,15,20}%
   rank       order the budget-satisfying configurations by dynamic energy
   check      statically verify every pipeline invariant on a trace
-             (--model explores the service/engine concurrency instead)
+             (--model explores the serve-pool, parallel-dfs, and parallel
+             streamed-fold concurrency instead)
   batch      run JSONL job specs through the shared-artifact worker pool
   serve      answer JSONL jobs over TCP until told to shut down
   workloads  list the embedded benchmark kernels
@@ -252,7 +254,9 @@ fn engine_of(args: &Args) -> Result<Engine, Box<dyn std::error::Error>> {
     }
 }
 
-/// `--threads N` for the parallel engine (`None` = available parallelism).
+/// `--threads N` worker pin for the parallel engines — `parallel` defaults
+/// to the available parallelism; `streamed` stays serial unless N ≥ 2 opts
+/// it into the chunked fold (`None` = engine default).
 fn threads_of(args: &Args) -> Result<Option<std::num::NonZeroUsize>, Box<dyn std::error::Error>> {
     match args.opt::<usize>("threads")? {
         None => Ok(None),

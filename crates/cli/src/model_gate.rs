@@ -5,7 +5,7 @@
 //! scheduler to exist; a passthrough build answers with a structured error
 //! so the CI gate cannot silently pass by running the wrong binary.
 //!
-//! Two closed scenarios are explored:
+//! Three closed scenarios are explored:
 //!
 //! - **serve-pool** — a two-worker service with an admission queue of depth
 //!   one, fed three blocking submissions of a tiny trace, drained, and shut
@@ -15,6 +15,10 @@
 //!   whose per-level profile must equal the serial engine's on every
 //!   schedule (the cursor hand-off and scope join are the interactions
 //!   under test).
+//! - **streamed-split** — the chunked parallel streamed fold on two worker
+//!   threads: snapshot-resumed chunk replays claimed through an atomic
+//!   cursor, private histograms summed after the scope join, asserted equal
+//!   to the serial fold on every schedule.
 //!
 //! Violations are folded into the ordinary [`CheckReport`] shape, so
 //! `--format json` output is grep-compatible with the artifact checkers.
@@ -101,6 +105,30 @@ fn scenario_dfs_split() -> impl Fn() {
     }
 }
 
+/// The chunked parallel streamed fold on two threads must produce the
+/// same profiles as the serial fold on every interleaving of the chunk
+/// cursor. The trace is dense enough that the weighted pre-scan cuts real
+/// chunks for both workers to contend over; the serial reference is
+/// computed once outside the explored closure.
+fn scenario_streamed_split() -> impl Fn() {
+    let trace = generate::working_set_phases(6, 8192, 96, 17);
+    let stripped = StrippedTrace::from_trace(&trace);
+    let serial = prepare_stripped(&stripped, None, Engine::Streamed, None)
+        .expect("non-empty trace explores");
+    move || {
+        let threads = std::num::NonZeroUsize::new(2);
+        let parallel = prepare_stripped(&stripped, None, Engine::Streamed, threads)
+            .expect("non-empty trace explores");
+        for budget in [MissBudget::Absolute(0), MissBudget::FractionOfMax(0.10)] {
+            assert_eq!(
+                parallel.result(budget).expect("valid budget"),
+                serial.result(budget).expect("valid budget"),
+                "chunked streamed fold must be schedule-independent"
+            );
+        }
+    }
+}
+
 fn config_of(args: &Args) -> Result<ModelConfig, Box<dyn std::error::Error>> {
     let preemptions = args.opt::<u32>("preemptions")?;
     let mode = match args.opt::<u64>("walks")? {
@@ -162,6 +190,7 @@ pub fn run(args: &Args, json: bool) -> Result<(), Box<dyn std::error::Error>> {
     let scenarios: Vec<Scenario> = vec![
         ("serve-pool", Box::new(scenario_serve_pool)),
         ("dfs-split", Box::new(scenario_dfs_split())),
+        ("streamed-split", Box::new(scenario_streamed_split())),
     ];
     let mut outcomes: Vec<(&str, Outcome)> = Vec::new();
     for (name, scenario) in &scenarios {

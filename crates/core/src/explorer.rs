@@ -38,7 +38,11 @@ pub enum Engine {
     /// conflict set folded into the per-level histograms the moment it is
     /// produced — `O(unique refs)` memory, no arena, no sizing pass. The
     /// default for fresh analytical runs; byte-identical to every other
-    /// engine.
+    /// engine. Pinning `threads ≥ 2` via [`DesignSpaceExplorer::threads`] /
+    /// [`prepare_stripped`] switches to the chunked parallel fold
+    /// (DESIGN.md §17) — same bytes, split across a worker pool; the
+    /// default (no pin) stays serial so pooled services don't oversubscribe
+    /// their own workers.
     #[default]
     Streamed,
     /// The Section 2.4 combined algorithm: depth-first subtrace partitioning,
@@ -124,10 +128,11 @@ impl<'a> DesignSpaceExplorer<'a> {
     }
 
     /// Pins the worker count used by [`Engine::DepthFirstParallel`]
-    /// (default: the machine's available parallelism). Ignored by the
-    /// serial engines. The result never depends on this value — only the
-    /// wall clock does — so benchmarks and services can set it for
-    /// reproducible scheduling.
+    /// (default: the machine's available parallelism) and, when ≥ 2, opts
+    /// [`Engine::Streamed`] into its chunked parallel fold (default:
+    /// serial). Ignored by the other serial engines. The result never
+    /// depends on this value — only the wall clock does — so benchmarks
+    /// and services can set it for reproducible scheduling.
     #[must_use]
     pub fn threads(mut self, threads: std::num::NonZeroUsize) -> Self {
         self.threads = Some(threads);
@@ -174,8 +179,11 @@ impl<'a> DesignSpaceExplorer<'a> {
 /// wrapper over this function.
 ///
 /// `threads` pins the worker count of [`Engine::DepthFirstParallel`]
-/// (`None` = the machine's available parallelism); the serial engines
-/// ignore it. The result never depends on the worker count.
+/// (`None` = the machine's available parallelism) and, when `Some(n ≥ 2)`,
+/// routes [`Engine::Streamed`] through its chunked parallel fold (`None`
+/// keeps it serial — pooled callers already parallelize across traces);
+/// the other serial engines ignore it. The result never depends on the
+/// worker count.
 ///
 /// # Errors
 ///
@@ -196,7 +204,10 @@ pub fn prepare_stripped(
         return Err(ExploreError::IndexBitsTooLarge(max_bits));
     }
     let profiles = match engine {
-        Engine::Streamed => streamed::level_profiles(stripped, max_bits),
+        Engine::Streamed => match threads {
+            Some(t) if t.get() >= 2 => streamed::level_profiles_parallel(stripped, max_bits, t),
+            _ => streamed::level_profiles(stripped, max_bits),
+        },
         Engine::DepthFirst => dfs::level_profiles(stripped, max_bits),
         Engine::DepthFirstParallel => {
             let threads = threads
@@ -970,6 +981,25 @@ mod tests {
         for threads in [1, 2, 5] {
             let pinned = DesignSpaceExplorer::new(&trace)
                 .engine(Engine::DepthFirstParallel)
+                .threads(std::num::NonZeroUsize::new(threads).expect("nonzero"))
+                .explore(MissBudget::Absolute(25))
+                .unwrap();
+            assert_eq!(baseline, pinned, "threads = {threads}");
+        }
+    }
+
+    /// Pinning `threads ≥ 2` routes the streamed engine through the chunked
+    /// parallel fold; the exploration must not change for any worker count.
+    #[test]
+    fn streamed_threads_do_not_change_results() {
+        let trace = generate::working_set_phases(4, 300, 40, 3);
+        let baseline = DesignSpaceExplorer::new(&trace)
+            .engine(Engine::Streamed)
+            .explore(MissBudget::Absolute(25))
+            .unwrap();
+        for threads in [1, 2, 4, 8] {
+            let pinned = DesignSpaceExplorer::new(&trace)
+                .engine(Engine::Streamed)
                 .threads(std::num::NonZeroUsize::new(threads).expect("nonzero"))
                 .explore(MissBudget::Absolute(25))
                 .unwrap();

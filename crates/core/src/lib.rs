@@ -71,6 +71,7 @@
 #![warn(missing_docs)]
 
 mod error;
+mod recency;
 
 pub mod bcat;
 pub mod dfs;

@@ -25,12 +25,33 @@
 //! *cardinality* `d = |S ∩ C|` of each set against each row — a sum of
 //! per-member indicators — so the order in which the replay emits members
 //! (and the order in which sets are produced) cannot change any histogram.
+//!
+//! Unlike `Mrct::build`'s emission pass, the fold keeps **no sorted index
+//! of dead positions**: emission copies whole live spans with `memcpy`, so
+//! it pays to know where the tombstones are, but the fold touches every
+//! member individually anyway — a single well-predicted `x != ABSENT` test
+//! per member (tombstones are bounded to `live/256 + 8` of the array by the
+//! compaction trigger, so the branch is taken ≲0.4% of the time) replaces
+//! both the binary search and the `O(dead)` ordered insert per recurrence.
+//! Tombstoning becomes `O(1)` flat, which matters on adversarial traces
+//! whose recurrences cluster between compactions (see `benches/streamed`).
+//!
+//! The same order-insensitivity that lets sets fold eagerly also lets the
+//! replay itself be **chunked across cores**: see
+//! [`level_profiles_parallel`].
+
+use std::num::NonZeroUsize;
 
 use cachedse_sim::onepass::DepthProfile;
-use cachedse_trace::strip::StrippedTrace;
+use cachedse_trace::strip::{RefId, StrippedTrace};
 
-/// Tombstone marker in the recency array (same scheme as `Mrct::build`).
-const ABSENT: u32 = u32::MAX;
+use crate::recency::{self, Recency, ABSENT};
+
+/// Work items handed to the parallel pool per requested thread: mild
+/// oversubscription so the greedy LPT pull can rebalance when the span
+/// weights mispredict the true fold cost (they are exact up to tombstone
+/// count, so 4× is plenty).
+const CHUNKS_PER_THREAD: usize = 4;
 
 /// Computes the exact miss profile of every depth `1, 2, …, 2^max_index_bits`
 /// in one fused replay pass — byte-identical to
@@ -53,9 +74,6 @@ const ABSENT: u32 = u32::MAX;
 /// ```
 #[must_use]
 pub fn level_profiles(stripped: &StrippedTrace, max_index_bits: u32) -> Vec<DepthProfile> {
-    let total = stripped.total_len() as u64;
-    let unique = stripped.unique_len() as u64;
-    let non_cold = total - unique;
     let n_unique = stripped.unique_len();
     let sequence = stripped.id_sequence();
     debug_assert!(
@@ -63,57 +81,222 @@ pub fn level_profiles(stripped: &StrippedTrace, max_index_bits: u32) -> Vec<Dept
         "id space leaves room for the tombstone marker"
     );
 
-    let addrs: Vec<u32> = stripped
-        .unique_addresses()
-        .iter()
-        .map(|a| a.raw())
-        .collect();
-
-    // `hist[l][d]` counts the conflict sets with exactly `d` same-row
-    // members at level `l` (only `d > 0` is recorded, mirroring the
-    // materialized postlude). `bucket[b]` holds, for the set currently
-    // being folded, the members whose shared-row depth — clamped to
-    // `max_index_bits` — is exactly `b`; the level walk drains it back to
-    // all-zeros before the next set starts.
+    let addrs = address_table(stripped);
     let max_level = max_index_bits as usize;
     let mut hist: Vec<Vec<u64>> = vec![Vec::new(); max_level + 1];
     let mut bucket: Vec<u64> = vec![0; max_level + 1];
+    let mut replay = Recency::new(n_unique, sequence.len());
+    fold_chunk(
+        &mut replay,
+        sequence,
+        &addrs,
+        max_level,
+        &mut hist,
+        &mut bucket,
+    );
+    finalize(hist, stripped)
+}
 
-    // The replay is `Mrct::build`'s pass two verbatim — live entries in
-    // last-access order, dead entries tombstoned in place, a sorted index
-    // of the (few) dead positions splitting each emitted suffix into clean
-    // spans — except the spans are folded instead of copied: no pass one,
-    // no reserved ranges, no arena.
-    let mut seq: Vec<u32> = Vec::with_capacity(n_unique.min(sequence.len()) + 1);
-    let mut live_pos: Vec<u32> = vec![ABSENT; n_unique];
-    let mut dead: Vec<u32> = Vec::new();
-    let mut live: usize = 0;
-    for &id in sequence {
+/// Chunked multi-core variant of [`level_profiles`], byte-identical for
+/// every thread count.
+///
+/// Two passes. Pass one is the recency replay **alone** — `O(N)`, no
+/// member folding, which is the `O(total conflict elements)` cost that
+/// dominates — run serially to (a) bucket each recurrence's span weight by
+/// trace position and cut the trace into [`CHUNKS_PER_THREAD`]`×threads`
+/// chunks of roughly equal fold work, then (b) capture a force-compacted
+/// snapshot of the recency state (`seq`/`live_pos`, `O(unique)` each) at
+/// every chunk boundary. Pass two replays each chunk from its snapshot in
+/// parallel workers (through the `cachedse-sync` shim, so the model
+/// checker can explore the fan-out/merge — see `tests/model_streamed.rs`),
+/// folding conflict sets into private per-level histograms that merge
+/// additively at the end.
+///
+/// **Why the merge is byte-identical to serial.** A chunk's snapshot holds
+/// exactly the live set and last-access order the serial replay has at
+/// that position — compaction is semantically transparent, so forcing it
+/// at the boundary changes nothing a fold can observe. Each recurrence
+/// therefore folds against exactly the members it would fold against
+/// serially, contributing the same `(level, d)` increments; and since
+/// histogram cells are sums of such increments, partitioning them across
+/// workers and adding the partial histograms reproduces the serial counts
+/// exactly — not approximately. The final [`DepthProfile`] construction is
+/// shared with the serial path.
+///
+/// Degenerate inputs — one thread, a trace with fewer than two references,
+/// or no recurrences at all (zero fold work) — fall back to the serial
+/// fold.
+///
+/// # Examples
+///
+/// ```
+/// use std::num::NonZeroUsize;
+/// use cachedse_core::streamed;
+/// use cachedse_trace::{generate, strip::StrippedTrace};
+///
+/// let trace = generate::uniform_random(5_000, 512, 3);
+/// let stripped = StrippedTrace::from_trace(&trace);
+/// let serial = streamed::level_profiles(&stripped, 9);
+/// let parallel = streamed::level_profiles_parallel(
+///     &stripped,
+///     9,
+///     NonZeroUsize::new(4).expect("nonzero"),
+/// );
+/// assert_eq!(serial, parallel);
+/// ```
+#[must_use]
+pub fn level_profiles_parallel(
+    stripped: &StrippedTrace,
+    max_index_bits: u32,
+    threads: NonZeroUsize,
+) -> Vec<DepthProfile> {
+    let sequence = stripped.id_sequence();
+    let n_unique = stripped.unique_len();
+    if threads.get() == 1 || sequence.len() < 2 {
+        return level_profiles(stripped, max_index_bits);
+    }
+
+    // Pass one (a): recency-only pre-scan → equal-work chunk boundaries.
+    let (bounds, weights) =
+        recency::weighted_boundaries(sequence, n_unique, threads.get() * CHUNKS_PER_THREAD);
+    let chunks = bounds.len() - 1;
+    if chunks < 2 {
+        return level_profiles(stripped, max_index_bits);
+    }
+
+    // Pass one (b): replay again, capturing a compacted snapshot at each
+    // interior boundary. Chunk 0 needs none (it starts from the empty
+    // state); chunk k ≥ 1 resumes from `snapshots[k - 1]`.
+    let mut snapshots = Vec::with_capacity(chunks - 1);
+    {
+        let mut replay = Recency::new(n_unique, sequence.len());
+        let mut next_cut = 1;
+        for (t, &id) in sequence.iter().enumerate() {
+            if next_cut < chunks && bounds[next_cut] == t {
+                snapshots.push(replay.snapshot());
+                next_cut += 1;
+            }
+            replay.advance(id);
+        }
+        debug_assert_eq!(snapshots.len(), chunks - 1);
+    }
+
+    let addrs = address_table(stripped);
+    let max_level = max_index_bits as usize;
+
+    // LPT: heaviest chunks first, so the greedy pull balances the pool.
+    let mut order: Vec<usize> = (0..chunks).collect();
+    order.sort_by_key(|&k| std::cmp::Reverse(weights[k]));
+    let worker_count = threads.get().min(chunks);
+
+    // Work-stealing cursor. `Relaxed` is sufficient: the cursor only needs
+    // each `fetch_add` to be atomic (every chunk claimed exactly once);
+    // the claimed inputs are read-only shared slices, and the per-worker
+    // histograms are published by the scope join, which synchronizes-with
+    // every worker exit.
+    let next = cachedse_sync::atomic::AtomicUsize::new(0);
+    let locals = cachedse_sync::thread::scope(|scope| {
+        let handles: Vec<_> = (0..worker_count)
+            .map(|_| {
+                let next = &next;
+                let order = &order;
+                let bounds = &bounds;
+                let snapshots = &snapshots;
+                let addrs = &addrs;
+                scope.spawn(move || {
+                    let mut hist: Vec<Vec<u64>> = vec![Vec::new(); max_level + 1];
+                    let mut bucket: Vec<u64> = vec![0; max_level + 1];
+                    loop {
+                        let i = next.fetch_add(1, cachedse_sync::atomic::Ordering::Relaxed);
+                        let Some(&k) = order.get(i) else {
+                            break;
+                        };
+                        let mut replay = if k == 0 {
+                            Recency::new(n_unique, sequence.len())
+                        } else {
+                            snapshots[k - 1].restore()
+                        };
+                        fold_chunk(
+                            &mut replay,
+                            &sequence[bounds[k]..bounds[k + 1]],
+                            addrs,
+                            max_level,
+                            &mut hist,
+                            &mut bucket,
+                        );
+                    }
+                    hist
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("streamed worker does not panic"))
+            .collect::<Vec<_>>()
+    });
+
+    // Additive merge: histogram cells are sums of per-recurrence
+    // increments, and the chunks partition the recurrences.
+    let mut hist: Vec<Vec<u64>> = vec![Vec::new(); max_level + 1];
+    for local in locals {
+        for (level, partial) in local.into_iter().enumerate() {
+            if hist[level].len() < partial.len() {
+                hist[level].resize(partial.len(), 0);
+            }
+            for (slot, v) in hist[level].iter_mut().zip(partial) {
+                *slot += v;
+            }
+        }
+    }
+    finalize(hist, stripped)
+}
+
+/// Raw per-reference addresses, indexable by `RefId`.
+fn address_table(stripped: &StrippedTrace) -> Vec<u32> {
+    stripped
+        .unique_addresses()
+        .iter()
+        .map(|a| a.raw())
+        .collect()
+}
+
+/// Folds one contiguous run of the trace into `hist`, advancing `replay`
+/// through it. `hist[l][d]` counts the conflict sets with exactly `d`
+/// same-row members at level `l` (only `d > 0` is recorded, mirroring the
+/// materialized postlude); `bucket[b]` holds, for the set currently being
+/// folded, the members whose shared-row depth — clamped to `max_level` —
+/// is exactly `b`, and the level walk drains it back to all-zeros before
+/// the next set starts. The serial path folds the whole sequence in one
+/// call; the parallel path folds each chunk from its boundary snapshot.
+fn fold_chunk(
+    replay: &mut Recency,
+    chunk: &[RefId],
+    addrs: &[u32],
+    max_level: usize,
+    hist: &mut [Vec<u64>],
+    bucket: &mut [u64],
+) {
+    for &id in chunk {
         let i = id.index();
-        let p = live_pos[i];
+        let p = replay.live_pos[i];
         if p == ABSENT {
-            live += 1;
+            replay.live += 1;
         } else {
             // The conflict set is the live suffix after p. Bucket every
             // member by its clamped shared-row depth against the owner:
             // distinct unique addresses make the xor nonzero, and the
             // `min` also absorbs the (unreachable) `trailing_zeros == 32`.
+            // Tombstones are skipped inline — see the module docs for why
+            // no dead-position index is kept.
             let owner = addrs[i];
             let mut d: u64 = 0;
-            let mut span = p as usize + 1;
-            for &q in &dead[dead.partition_point(|&q| q <= p)..] {
-                for &x in &seq[span..q as usize] {
+            for &x in &replay.seq[p as usize + 1..] {
+                if x != ABSENT {
                     let b = ((addrs[x as usize] ^ owner).trailing_zeros() as usize).min(max_level);
                     bucket[b] += 1;
+                    d += 1;
                 }
-                d += (q as usize - span) as u64;
-                span = q as usize + 1;
             }
-            for &x in &seq[span..] {
-                let b = ((addrs[x as usize] ^ owner).trailing_zeros() as usize).min(max_level);
-                bucket[b] += 1;
-            }
-            d += (seq.len() - span) as u64;
             // Suffix-sum walk: at level l the set contributes `d_l` =
             // #{members with shared depth ≥ l}; `d_0 = |C|` and each step
             // retires bucket[l]. Every member's clamped depth is ≤
@@ -131,32 +314,28 @@ pub fn level_profiles(stripped: &StrippedTrace, max_index_bits: u32) -> Vec<Dept
                 d -= std::mem::take(&mut bucket[l]);
                 l += 1;
             }
-            seq[p as usize] = ABSENT;
-            dead.insert(dead.partition_point(|&q| q < p), p);
+            replay.seq[p as usize] = ABSENT;
+            replay.dead += 1;
         }
-        live_pos[i] = u32::try_from(seq.len()).expect("recency position fits u32");
-        seq.push(id.raw());
-        // Compact once tombstones could fragment the folded spans:
+        replay.live_pos[i] = u32::try_from(replay.seq.len()).expect("recency position fits u32");
+        replay.seq.push(id.raw());
+        // Compact once tombstones could fragment the folded suffixes:
         // amortized O(1) per access, same threshold as `Mrct::build`.
-        if dead.len() > live / 256 + 8 {
-            let mut w = 0;
-            for j in 0..seq.len() {
-                let x = seq[j];
-                if x != ABSENT {
-                    live_pos[x as usize] = w as u32;
-                    seq[w] = x;
-                    w += 1;
-                }
-            }
-            debug_assert_eq!(w, live, "compaction must retain exactly the live entries");
-            seq.truncate(w);
-            dead.clear();
+        if replay.should_compact() {
+            replay.compact();
         }
     }
+}
 
-    // Finalize exactly like the materialized postlude: every non-first
-    // occurrence falls in exactly one row per level; those not recorded
-    // above had zero same-row conflicts.
+/// Turns the raw `hist[l][d]` counts into [`DepthProfile`]s, exactly like
+/// the materialized postlude: every non-first occurrence falls in exactly
+/// one row per level; those not recorded during the fold had zero same-row
+/// conflicts. Shared by the serial and parallel paths, so byte-identity
+/// reduces to the raw counts matching.
+fn finalize(hist: Vec<Vec<u64>>, stripped: &StrippedTrace) -> Vec<DepthProfile> {
+    let total = stripped.total_len() as u64;
+    let unique = stripped.unique_len() as u64;
+    let non_cold = total - unique;
     hist.into_iter()
         .enumerate()
         .map(|(level, mut histogram)| {
@@ -192,6 +371,14 @@ mod tests {
         level_profiles(&StrippedTrace::from_trace(trace), max_bits)
     }
 
+    fn fused_parallel(trace: &Trace, max_bits: u32, threads: usize) -> Vec<DepthProfile> {
+        level_profiles_parallel(
+            &StrippedTrace::from_trace(trace),
+            max_bits,
+            NonZeroUsize::new(threads).expect("nonzero"),
+        )
+    }
+
     #[test]
     fn paper_example_matches_materialized_and_simulation() {
         let trace = paper_running_example();
@@ -214,6 +401,27 @@ mod tests {
             let bits = trace.address_bits();
             assert_eq!(fused(&trace, bits), materialized(&trace, bits));
             assert_eq!(fused(&trace, bits), profile_depths(&trace, bits));
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_workloads() {
+        for trace in [
+            generate::loop_pattern(0x40, 24, 20),
+            generate::strided(0, 4, 64, 6),
+            generate::uniform_random(800, 128, 11),
+            generate::working_set_phases(4, 150, 24, 2),
+            generate::loop_with_excursions(0, 48, 30, 11, 1 << 10, 5),
+        ] {
+            let bits = trace.address_bits();
+            let serial = fused(&trace, bits);
+            for threads in [1, 2, 4, 8] {
+                assert_eq!(
+                    serial,
+                    fused_parallel(&trace, bits, threads),
+                    "threads {threads}"
+                );
+            }
         }
     }
 
@@ -243,6 +451,32 @@ mod tests {
                 .collect();
             let max_bits = rng.gen_range(0u32..8);
             assert_eq!(fused(&trace, max_bits), materialized(&trace, max_bits));
+            let threads = rng.gen_range(2usize..9);
+            assert_eq!(
+                fused(&trace, max_bits),
+                fused_parallel(&trace, max_bits, threads),
+                "threads {threads}"
+            );
+        }
+    }
+
+    /// An adversarial many-tombstones trace: a large cold sweep, then a
+    /// burst of recurrences whose owners sit just below the compaction
+    /// threshold, maximizing dead entries inside the folded suffixes.
+    #[test]
+    fn tombstone_heavy_trace_matches_materialized() {
+        let n = 4096u32;
+        let mut records: Vec<Record> = (0..n).map(|a| Record::read(Address::new(a))).collect();
+        for round in 0..4 {
+            for a in (0..16).map(|k| (round * 16 + k) % n) {
+                records.push(Record::read(Address::new(a)));
+            }
+        }
+        let trace: Trace = records.into_iter().collect();
+        let bits = 6;
+        assert_eq!(fused(&trace, bits), materialized(&trace, bits));
+        for threads in [2, 4, 8] {
+            assert_eq!(fused(&trace, bits), fused_parallel(&trace, bits, threads));
         }
     }
 }

@@ -94,7 +94,9 @@ impl TraceArtifacts {
     /// The depth-first engines go through
     /// [`prepare_stripped`](cachedse_core::prepare_stripped) and allocate
     /// nothing beyond their scratch arena; `threads` pins the parallel
-    /// engine's worker count.
+    /// engines' worker count and, when ≥ 2, also chunks the materialized
+    /// MRCT's sizing pass ([`Mrct::build_parallel`]) — both tables are
+    /// byte-identical for every worker count.
     ///
     /// # Errors
     ///
@@ -116,7 +118,10 @@ impl TraceArtifacts {
             // trace; the zero/one sets are still materialized for the
             // validation path (`cachedse-check` consumes them).
             let bcat = Bcat::from_stripped(&stripped, max_index_bits);
-            let mrct = Mrct::build(&stripped);
+            let mrct = match threads {
+                Some(t) if t.get() >= 2 => Mrct::build_parallel(&stripped, t),
+                _ => Mrct::build(&stripped),
+            };
             let exploration = cachedse_core::Exploration::from_artifacts(
                 &bcat,
                 &mrct,

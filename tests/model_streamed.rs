@@ -1,0 +1,96 @@
+//! Model exploration of the chunked parallel streamed fold's fan-out/merge.
+//!
+//! The parallel streamed engine snapshots the recency replay at chunk
+//! boundaries, lets scoped workers claim chunks through an atomic cursor,
+//! and sums their private histograms after the join; its whole correctness
+//! claim is that the result is byte-identical to the serial fold on
+//! **every** interleaving. Under `--cfg cachedse_model` the scheduler
+//! enumerates the cursor/spawn/join interleavings of a two-worker pool —
+//! exhaustively at preemption bound 2, plus a seeded random walk deeper
+//! into the schedule space — and the equality is asserted inside the
+//! explored closure, so any schedule-dependent divergence surfaces as a
+//! violation.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg cachedse_model"`; the CI
+//! `model-check` job runs this suite.
+#![cfg(cachedse_model)]
+
+use cachedse_core::streamed;
+use cachedse_sync::model::{explore, Mode, ModelConfig};
+use cachedse_trace::generate;
+use cachedse_trace::strip::StrippedTrace;
+
+#[test]
+fn two_worker_fold_matches_serial_on_every_schedule() {
+    // Dense enough that the weighted pre-scan cuts real chunks (the phases
+    // keep recurrences flowing), small enough that each explored execution
+    // stays cheap across the whole bound-2 schedule space.
+    let trace = generate::working_set_phases(4, 4096, 96, 17);
+    let stripped = StrippedTrace::from_trace(&trace);
+    let serial = streamed::level_profiles(&stripped, 6);
+
+    let out = explore(
+        &ModelConfig {
+            preemption_bound: Some(2),
+            max_executions: 100_000,
+            mode: Mode::Exhaustive,
+        },
+        || {
+            let threads = std::num::NonZeroUsize::new(2).expect("nonzero");
+            let parallel = streamed::level_profiles_parallel(&stripped, 6, threads);
+            assert_eq!(
+                parallel, serial,
+                "chunked fold must be schedule-independent"
+            );
+        },
+    )
+    .expect("model build");
+    assert!(
+        out.violation.is_none(),
+        "parallel streamed fold violated a concurrency invariant: {}",
+        out.violation.unwrap()
+    );
+    assert!(out.complete, "bound-2 cursor space must be enumerable");
+    assert!(
+        out.executions > 10,
+        "two workers over a shared cursor have many interleavings, got {}",
+        out.executions
+    );
+}
+
+#[test]
+fn seeded_walks_explore_deeper_schedules() {
+    let trace = generate::working_set_phases(4, 4096, 96, 17);
+    let stripped = StrippedTrace::from_trace(&trace);
+    let serial = streamed::level_profiles(&stripped, 6);
+
+    let out = explore(
+        &ModelConfig {
+            preemption_bound: None,
+            max_executions: 100_000,
+            mode: Mode::Walks {
+                count: 200,
+                seed: 0x57EA_4ED5,
+            },
+        },
+        || {
+            let threads = std::num::NonZeroUsize::new(3).expect("nonzero");
+            let parallel = streamed::level_profiles_parallel(&stripped, 6, threads);
+            assert_eq!(
+                parallel, serial,
+                "chunked fold must be schedule-independent"
+            );
+        },
+    )
+    .expect("model build");
+    assert!(
+        out.violation.is_none(),
+        "parallel streamed fold violated a concurrency invariant: {}",
+        out.violation.unwrap()
+    );
+    assert!(
+        out.executions >= 200,
+        "every requested walk must run, got {}",
+        out.executions
+    );
+}

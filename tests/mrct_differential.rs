@@ -66,6 +66,16 @@ fn assert_builders_agree(label: &str, trace: &Trace) {
         fast, naive,
         "{label}: fast builder diverged from Algorithm 2"
     );
+    // The chunked parallel sizing pass must reproduce the same arena,
+    // byte for byte, at any worker count.
+    for workers in [2usize, 5] {
+        let workers = std::num::NonZeroUsize::new(workers).expect("nonzero");
+        assert_eq!(
+            fast,
+            Mrct::build_parallel(&stripped, workers),
+            "{label}: chunked sizing diverged at {workers} workers"
+        );
+    }
 }
 
 #[test]

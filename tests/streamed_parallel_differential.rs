@@ -1,0 +1,147 @@
+//! Byte-identity of the chunked parallel streamed fold (`DESIGN.md` §17):
+//! for every trace, index-bit budget, and worker count,
+//! `streamed::level_profiles_parallel` must return *exactly* the profiles
+//! of the serial fold — same depths, same histograms, byte for byte. The
+//! chunking is a pure work-partitioning change (snapshot-resumed replays
+//! plus an additive histogram merge); any divergence is a bug, not drift.
+//!
+//! Coverage: all 24 paper kernel traces at full size and 1/2/4/8 workers
+//! (release-mode CI job; `#[ignore]`d here because the big data traces
+//! take minutes per fold without optimizations), a 96-trace seeded random
+//! sweep with randomized worker counts, and the chunk-boundary edge cases:
+//! compaction-dense traces (boundaries landing mid-compaction-cycle),
+//! weight concentrated in one chunk, a single-reference trace, an
+//! all-recurrences trace with zero span weight, and more workers than
+//! references.
+
+use std::num::NonZeroUsize;
+
+use cachedse::core::streamed;
+use cachedse::trace::rng::SplitMix64;
+use cachedse::trace::strip::StrippedTrace;
+use cachedse::trace::{Address, Record, Trace};
+
+fn workers(n: usize) -> NonZeroUsize {
+    NonZeroUsize::new(n).expect("nonzero worker count")
+}
+
+fn assert_identical(trace: &Trace, max_bits: u32, worker_counts: &[usize], what: &str) {
+    let stripped = StrippedTrace::from_trace(trace);
+    let serial = streamed::level_profiles(&stripped, max_bits);
+    for &w in worker_counts {
+        let parallel = streamed::level_profiles_parallel(&stripped, max_bits, workers(w));
+        assert_eq!(
+            serial, parallel,
+            "{what}: {w}-worker fold diverged from serial at max_bits {max_bits}"
+        );
+    }
+}
+
+/// Every one of the paper's 24 benchmark traces (12 kernels × data+instr)
+/// at full published size, serial vs 1/2/4/8 workers.
+///
+/// Ignored in the default (debug) test run: the conflict-heavy data traces
+/// take minutes per fold without optimizations. The CI offline job runs it
+/// in release mode via `--include-ignored`.
+#[test]
+#[ignore = "full-size sweep; run in release (CI does, via --include-ignored)"]
+fn all_24_kernel_traces_are_byte_identical() {
+    for kernel in cachedse::workloads::all() {
+        let run = kernel.capture();
+        for (side, trace) in [("data", &run.data), ("instr", &run.instr)] {
+            let bits = trace.address_bits();
+            assert_identical(trace, bits, &[1, 2, 4, 8], &format!("{}.{side}", run.name));
+        }
+    }
+}
+
+/// 96 seeded random traces across address-space shapes and budgets, each
+/// checked at a randomized worker count (2..=8).
+#[test]
+fn random_sweep_with_random_worker_counts_is_byte_identical() {
+    let mut rng = SplitMix64::seed_from_u64(0x5742_EA13);
+    for round in 0..96 {
+        let addr_space = 1u32 << rng.gen_range(2u32..10);
+        let len = rng.gen_range(1usize..400);
+        let trace: Trace = (0..len)
+            .map(|_| Record::read(Address::new(rng.gen_range(0..addr_space))))
+            .collect();
+        let max_bits = rng.gen_range(0u32..12);
+        let w = rng.gen_range(2usize..9);
+        assert_identical(&trace, max_bits, &[w], &format!("random trace #{round}"));
+    }
+}
+
+/// A compaction-dense trace: a small working set keeps the compaction
+/// trigger (`dead > live/256 + 8`) firing every handful of recurrences, so
+/// with many chunks some boundaries necessarily land mid-cycle — right
+/// after tombstones accumulate, before the next compaction would fire.
+/// Snapshot capture force-compacts; the bytes must not care.
+#[test]
+fn compaction_dense_trace_is_byte_identical() {
+    let mut rng = SplitMix64::seed_from_u64(0xC0DE_DEAD);
+    let trace: Trace = (0..2_000)
+        .map(|_| Record::read(Address::new(rng.gen_range(0u32..64))))
+        .collect();
+    assert_identical(&trace, 6, &[2, 3, 7, 8], "compaction-dense");
+}
+
+/// All conflict weight concentrated at the front (a burst of recurrences,
+/// then a long cold tail): the weighted cut collapses most quantiles into
+/// the first buckets and the partition degenerates toward one chunk.
+#[test]
+fn front_loaded_weight_is_byte_identical() {
+    let mut records: Vec<Record> = Vec::new();
+    for round in 0..40u32 {
+        for a in 0..8u32 {
+            records.push(Record::read(Address::new(a + (round % 2))));
+        }
+    }
+    // Cold tail: addresses never seen again.
+    for a in 0..1_500u32 {
+        records.push(Record::read(Address::new(0x1_0000 + a)));
+    }
+    let trace: Trace = records.into_iter().collect();
+    assert_identical(&trace, 8, &[2, 4, 8], "front-loaded weight");
+}
+
+/// A single reference: the parallel entry point must take the serial
+/// fallback (trace too short to chunk) and still agree.
+#[test]
+fn single_reference_is_byte_identical() {
+    let trace: Trace = [Record::read(Address::new(42))].into_iter().collect();
+    assert_identical(&trace, 8, &[2, 4, 8], "single reference");
+}
+
+/// One address repeated: every access after the first is a recurrence with
+/// an *empty* conflict set, so the total span weight is zero and the
+/// weighted partition collapses to one chunk.
+#[test]
+fn all_same_address_is_byte_identical() {
+    let trace: Trace = (0..300).map(|_| Record::read(Address::new(7))).collect();
+    assert_identical(&trace, 5, &[2, 4, 8], "all-same-address");
+}
+
+/// Far more workers than distinct references (and than could ever be
+/// chunked usefully): the pool must clamp, not wedge.
+#[test]
+fn more_workers_than_references_is_byte_identical() {
+    let trace: Trace = [3u32, 1, 3, 2, 1, 3]
+        .into_iter()
+        .map(|a| Record::read(Address::new(a)))
+        .collect();
+    assert_identical(&trace, 4, &[8, 16], "more workers than refs");
+}
+
+/// Addresses that agree on their low 8 bits: every level up to 8 maps the
+/// whole working set onto one row — the widest conflict sets per
+/// recurrence, stressing the weighted cut and the per-chunk fold alike.
+#[test]
+fn all_same_row_is_byte_identical() {
+    let trace: Trace = (0..200u32)
+        .map(|i| Record::read(Address::new((i % 32) << 8)))
+        .collect();
+    for max_bits in [4, 8] {
+        assert_identical(&trace, max_bits, &[2, 4, 8], "all-same-row");
+    }
+}

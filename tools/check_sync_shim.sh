@@ -2,9 +2,12 @@
 # Lint gate: every blocking/concurrency primitive in the workspace must go
 # through the `cachedse-sync` shim so the model scheduler can interpose on
 # it under `--cfg cachedse_model`. A direct `std::sync::Mutex`,
-# `std::sync::Condvar`, `std::thread::spawn`, or `std::thread::scope`
+# `std::sync::Condvar`, `std::sync::RwLock`, `std::sync::Barrier`,
+# `std::sync::mpsc` channel, `std::thread::spawn`, or `std::thread::scope`
 # outside `crates/sync` is invisible to the schedule explorer and silently
-# shrinks the checked surface.
+# shrinks the checked surface. The blocking primitives the shim does not
+# even offer (RwLock, Barrier, mpsc) are on the list precisely so new
+# parallel worker code cannot adopt one without extending the shim first.
 #
 # The same scan runs as a workspace test (`tests/sync_shim_lint.rs`); this
 # script is the CI entry point so the failure is a first-class job.
@@ -15,7 +18,8 @@ cd "$(dirname "$0")/.."
 # never satisfy it.
 SYNC='std::sync'
 THREAD='std::thread'
-PATTERN="${SYNC}::Mutex|${SYNC}::Condvar|${THREAD}::spawn|${THREAD}::scope"
+PATTERN="${SYNC}::Mutex|${SYNC}::Condvar|${SYNC}::RwLock|${SYNC}::Barrier"
+PATTERN="${PATTERN}|${SYNC}::mpsc|${THREAD}::spawn|${THREAD}::scope"
 
 # Coverage cross-check before the scan: every workspace crate must live
 # inside the scanned `crates/` tree and actually contribute sources. A
